@@ -1,0 +1,192 @@
+//! Criterion microbenchmarks for the pipeline's hot paths: perceptual
+//! hashing, clustering, page rendering, world generation, crawl visits,
+//! backtracking-graph construction, attribution matching and milking
+//! rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use seacma_browser::{BrowserConfig, BrowserSession};
+use seacma_crawler::{visit_publisher, CrawlPolicy};
+use seacma_graph::{Attributor, BacktrackGraph, NetworkPattern};
+use seacma_simweb::visual::VisualTemplate;
+use seacma_simweb::{SimTime, UaProfile, Vantage, World, WorldConfig};
+use seacma_vision::cluster::{cluster_screenshots, ClusterParams, ScreenshotPoint};
+use seacma_vision::dhash::{dhash128, hamming, Dhash};
+
+fn small_world() -> World {
+    World::generate(WorldConfig {
+        seed: 0xBE7C,
+        n_publishers: 300,
+        n_hidden_only_publishers: 30,
+        n_advertisers: 40,
+        campaign_scale: 0.4,
+        error_rate: 0.0,
+        ..Default::default()
+    })
+}
+
+fn bench_dhash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dhash");
+    let shot = VisualTemplate::TechSupport { skin: 1 }.render(7);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dhash128_128x80", |b| b.iter(|| dhash128(std::hint::black_box(&shot))));
+    let a = Dhash(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+    let d = Dhash(0x8877_6655_4433_2211_fedc_ba98_7654_3210);
+    g.bench_function("hamming", |b| {
+        b.iter(|| hamming(std::hint::black_box(a), std::hint::black_box(d)))
+    });
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("render");
+    for (name, t) in [
+        ("tech_support", VisualTemplate::TechSupport { skin: 2 }),
+        ("benign", VisualTemplate::BenignLanding { style: 99 }),
+        ("parked", VisualTemplate::Parked { provider: 3 }),
+    ] {
+        g.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                t.render(i)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+    for n in [500usize, 2000, 8000] {
+        // Synthetic corpus: 20 campaigns + noise.
+        let points: Vec<ScreenshotPoint> = (0..n)
+            .map(|i| {
+                let campaign = i % 25;
+                let base = seacma_simweb::det::det_hash(&[0x5EED, campaign as u64]);
+                let wiggle = 1u128 << (i % 5);
+                ScreenshotPoint::new(
+                    Dhash(u128::from(base) << 64 | u128::from(base.rotate_left(17)) ^ wiggle),
+                    format!("d{}.club", i % 200),
+                )
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("dbscan_theta", n), &points, |b, pts| {
+            b.iter(|| cluster_screenshots(pts, ClusterParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_world_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    for n in [500u32, 2000] {
+        g.bench_with_input(BenchmarkId::new("generate", n), &n, |b, &n| {
+            b.iter(|| {
+                World::generate(WorldConfig {
+                    n_publishers: n,
+                    n_hidden_only_publishers: n / 10,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let world = small_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let mut g = c.benchmark_group("crawl");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("visit_publisher", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % world.publishers().len();
+            visit_publisher(
+                &world,
+                &world.publishers()[i],
+                cfg,
+                SimTime((i as u64) * 2),
+                CrawlPolicy::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_graph_and_attribution(c: &mut Criterion) {
+    let world = small_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    // Produce one session log with several ad chains.
+    let mut session = BrowserSession::new(&world, cfg, SimTime::EPOCH);
+    let publisher = world.publishers().iter().find(|p| !p.stale).unwrap();
+    let loaded = session.navigate(&publisher.url()).unwrap();
+    let mut last_landing = None;
+    for k in 0..loaded.page.ad_click_chain.len() {
+        if let Some(a) = loaded.page.ad_action(k).cloned() {
+            if let Ok(Some(l)) = session.click(&loaded.url, &a) {
+                last_landing = Some(l.url);
+            }
+            session.reopen();
+            let _ = session.navigate(&publisher.url());
+        }
+    }
+    let log = session.into_log();
+    let landing = last_landing.expect("some landing");
+
+    let mut g = c.benchmark_group("graph");
+    g.bench_function("backtrack_from_log", |b| b.iter(|| BacktrackGraph::from_log(&log)));
+    let graph = BacktrackGraph::from_log(&log);
+    g.bench_function("involved_urls", |b| b.iter(|| graph.involved_urls(&landing)));
+    let attributor = Attributor::new(
+        world
+            .networks()
+            .iter()
+            .map(|n| NetworkPattern {
+                name: n.name.clone(),
+                url_invariant: n.url_invariant.clone(),
+            })
+            .collect(),
+    );
+    g.bench_function("attribute", |b| b.iter(|| attributor.attribute(&graph, &landing)));
+    g.finish();
+}
+
+fn bench_milking_session(c: &mut Criterion) {
+    let world = small_world();
+    let campaign = world
+        .campaigns()
+        .iter()
+        .find(|cm| cm.tds_domain.is_some())
+        .unwrap();
+    let tds = campaign.tds_url(0).unwrap();
+    let cfg =
+        BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential).without_screenshots();
+    let mut g = c.benchmark_group("milking");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("one_session", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            let mut session = BrowserSession::new(&world, cfg, SimTime(t));
+            session.navigate(std::hint::black_box(&tds))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dhash,
+    bench_render,
+    bench_dbscan,
+    bench_world_gen,
+    bench_crawl,
+    bench_graph_and_attribution,
+    bench_milking_session
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Writes the release dataset (browser logs + screenshots + campaign
+//! metadata) the paper publishes alongside the study, under
+//! `target/seacma-dataset/`.
+
+use std::path::PathBuf;
+
+use seacma_bench::{banner, BenchArgs};
+use seacma_core::export::export_run;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Dataset export (paper §4: released logs + screenshots)");
+    let (pipeline, run) = args.full();
+    let dir = PathBuf::from("target/seacma-dataset");
+    let summary = export_run(&pipeline, &run, &dir).expect("export failed");
+    println!(
+        "wrote {} landing records, {} campaign clusters, {} screenshots to {}",
+        summary.landings,
+        summary.campaigns,
+        summary.screenshots,
+        dir.display()
+    );
+    println!("files: landings.jsonl, campaigns.json, milking.json, screenshots/*.pgm");
+}

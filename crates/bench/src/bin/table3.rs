@@ -1,0 +1,32 @@
+//! Regenerates **Table 3** — SE attacks per ad network, with the
+//! "Unknown" row that seeds new-network discovery.
+
+use seacma_bench::{banner, paper_note, BenchArgs};
+use seacma_core::report;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table 3: SE attacks from each ad network");
+    let (pipeline, discovery) = args.discovery();
+    let rows = report::table3(pipeline.world(), &discovery);
+    println!("{}", report::render_table3(&rows));
+
+    let known: usize =
+        rows.iter().filter(|r| r.network != "Unknown").map(|r| r.se_pages).sum();
+    let unknown = rows.iter().find(|r| r.network == "Unknown").map_or(0, |r| r.se_pages);
+    let total = known + unknown;
+    if total > 0 {
+        println!(
+            "attributed to seed networks: {known}/{total} ({:.0}%), unknown: {unknown} ({:.0}%)",
+            100.0 * known as f64 / total as f64,
+            100.0 * unknown as f64 / total as f64
+        );
+    }
+    paper_note(&[
+        "RevenueHits 517 dom, 15635 lp, 3075 SE (19.67%) | AdSterra 578, 15102, 7644 (50.62%)",
+        "PopCash 2, 9734, 6256 (64.27%) | Propeller 4, 8206, 3470 (42.29%) | PopAds 3, 4658, 873 (18.74%)",
+        "Clickadu 10, 2814, 848 (30.14%) | AdCash 14, 1698, 955 (56.24%) | HilltopAds 46, 1198, 77 (6.43%)",
+        "PopMyAds 1, 1194, 103 (8.63%) | AdMaven 39, 496, 122 (24.60%) | Clicksor 4, 276, 12 (4.35%)",
+        "Unknown: 5488 SE attacks (19%); 3 networks with >50% SE ads",
+    ]);
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 4** — milking: new attack domains per category
+//! with GSB detection at discovery vs. after all lookups, plus the GSB
+//! listing lag.
+
+use seacma_bench::{banner, paper_note, BenchArgs};
+use seacma_core::report;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table 4: tracking SEACMA campaigns (milking)");
+    let (_pipeline, run) = args.full();
+    println!(
+        "milking sources: {}   sessions: {}   new domains: {}",
+        run.sources.len(),
+        run.milking.sessions,
+        run.milking.discoveries.len()
+    );
+    let rows = report::table4(&run.discovery.labels, &run.milking);
+    println!("{}", report::render_table4(&rows));
+    match run.milking.mean_gsb_lag_days() {
+        Some(lag) => println!("mean GSB listing lag behind milking: {lag:.1} days"),
+        None => println!("no milked domain was ever listed by GSB"),
+    }
+    paper_note(&[
+        "Fake Software 1665 dom, 1.28% -> 18.59% | Lottery/Gift 258, 2.99% -> 4.70%",
+        "Chrome Notifications 45, 0% -> 2.27% | Registration 47, 0% -> 0%",
+        "Tech Support/Scareware 27, 3.70% -> 55.56% | Total 2042, 1.42% -> 16.21%",
+        "505 milking sources, >1M sessions over 14 days; GSB >7 days slower than milking",
+    ]);
+}

@@ -1,0 +1,24 @@
+//! # seacma-blacklist
+//!
+//! Simulators for the two external reputation services the measurement
+//! depends on: **Google Safe Browsing** (URL blacklist) and **VirusTotal**
+//! (multi-AV file scanning).
+//!
+//! The paper *measures* these services from outside; this crate embeds
+//! their measured behaviour as ground truth so the pipeline's measurement
+//! code paths (lookup scheduling, init-vs-final detection-rate accounting,
+//! submit + delayed-rescan flows) run unchanged:
+//!
+//! * GSB detects only a small fraction of SE attack domains, with strong
+//!   per-category differences (Registration and Chrome-Notification
+//!   campaigns evade entirely; Tables 1 and 4) and a mean listing lag of
+//!   well over 7 days after a domain goes live (§4.5).
+//! * VirusTotal knows only ~12.7 % of milked (highly polymorphic) files at
+//!   submission time; after a months-later rescan, the AV ensemble catches
+//!   up: > 95 % flagged by at least one engine, > 40 % by 15 or more.
+
+pub mod gsb;
+pub mod virustotal;
+
+pub use gsb::{GsbParams, GsbService, GsbVerdict};
+pub use virustotal::{ScanReport, VirusTotal};

@@ -1,0 +1,507 @@
+//! A browsing session against the simulated web.
+//!
+//! One [`BrowserSession`] models one headless browser instance: a client
+//! profile (UA emulation + vantage + automation fingerprint), an
+//! instrumentation configuration (stealth patch, lock bypass), an event
+//! log, and a virtual clock. Navigation follows redirect chains hop by
+//! hop, logging everything the paper's instrumented Chromium logs.
+
+use serde::{Deserialize, Serialize};
+
+use seacma_simweb::{
+    det::{det_hash, str_word},
+    ClientProfile, ClickAction, HostResponse, LockTactic, Page, RedirectKind, SimDuration,
+    SimTime, UaProfile, Url, Vantage, World,
+};
+use seacma_vision::bitmap::Bitmap;
+
+use crate::log::{BrowserEvent, EventLog, NavCause};
+
+/// Maximum redirect hops followed per navigation (matches browser
+/// behaviour; the simulated chains are ≤ 4 hops).
+pub const MAX_REDIRECTS: usize = 12;
+
+/// Browser instrumentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    /// Emulated browser/OS.
+    pub ua: UaProfile,
+    /// IP vantage the session browses from.
+    pub vantage: Vantage,
+    /// Source-level stealth patch: hide `navigator.webdriver` from page
+    /// JS. Stock DevTools automation leaves it visible (§3.2).
+    pub stealth: bool,
+    /// Source-level bypass of page-locking tactics (modal loops, auth
+    /// storms, `onbeforeunload`). Without it the session wedges on
+    /// aggressive SE pages.
+    pub bypass_locks: bool,
+    /// Render a screenshot on every page load. High-frequency milking
+    /// sessions disable this and render on demand only for never-seen
+    /// domains.
+    pub capture_screenshots: bool,
+}
+
+impl BrowserConfig {
+    /// The fully instrumented crawler configuration used in the paper's
+    /// measurements.
+    pub fn instrumented(ua: UaProfile, vantage: Vantage) -> Self {
+        Self { ua, vantage, stealth: true, bypass_locks: true, capture_screenshots: true }
+    }
+
+    /// A stock automation tool (Selenium-like): detectable and lockable.
+    pub fn stock_automation(ua: UaProfile, vantage: Vantage) -> Self {
+        Self { ua, vantage, stealth: false, bypass_locks: false, capture_screenshots: true }
+    }
+
+    /// Disables per-load screenshot rendering (on-demand rendering stays
+    /// available through [`BrowserSession::render_screenshot`]).
+    pub fn without_screenshots(mut self) -> Self {
+        self.capture_screenshots = false;
+        self
+    }
+
+    /// The client profile pages observe.
+    pub fn client(&self) -> ClientProfile {
+        ClientProfile { ua: self.ua, vantage: self.vantage, webdriver_visible: !self.stealth }
+    }
+}
+
+/// A successfully loaded document plus its screenshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedPage {
+    /// Final URL after all redirects.
+    pub url: Url,
+    /// The document.
+    pub page: Page,
+    /// Rendered screenshot.
+    pub screenshot: Bitmap,
+    /// Redirect hops traversed to get here: `(from, to, kind)`.
+    pub hops: Vec<(Url, Url, RedirectKind)>,
+}
+
+/// Navigation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NavError {
+    /// Domain did not resolve.
+    NxDomain(Url),
+    /// Server refused to serve a document.
+    Refused(Url),
+    /// Redirect chain exceeded [`MAX_REDIRECTS`].
+    TooManyRedirects(Url),
+    /// The session is wedged on a locking page (lock bypass disabled) and
+    /// cannot navigate away.
+    BrowserLocked,
+}
+
+impl std::fmt::Display for NavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavError::NxDomain(u) => write!(f, "NXDOMAIN for {u}"),
+            NavError::Refused(u) => write!(f, "refused: {u}"),
+            NavError::TooManyRedirects(u) => write!(f, "too many redirects at {u}"),
+            NavError::BrowserLocked => write!(f, "browser locked by page"),
+        }
+    }
+}
+
+impl std::error::Error for NavError {}
+
+/// One live browser instance.
+///
+/// ```
+/// use seacma_browser::{BrowserConfig, BrowserSession};
+/// use seacma_simweb::{SimTime, UaProfile, Vantage, World, WorldConfig};
+///
+/// let world = World::generate(WorldConfig {
+///     n_publishers: 30,
+///     n_hidden_only_publishers: 0,
+///     n_advertisers: 5,
+///     error_rate: 0.0,
+///     ..Default::default()
+/// });
+/// let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+/// let mut session = BrowserSession::new(&world, cfg, SimTime::EPOCH);
+/// // Milkable TDS URLs redirect to the campaign's current attack domain;
+/// // every hop lands in the instrumented log.
+/// let campaign = world.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+/// let loaded = session.navigate(&campaign.tds_url(0).unwrap()).unwrap();
+/// assert!(loaded.page.visual.is_attack());
+/// assert_eq!(session.log().redirects().count(), loaded.hops.len());
+/// ```
+pub struct BrowserSession<'w> {
+    world: &'w World,
+    config: BrowserConfig,
+    log: EventLog,
+    clock: SimTime,
+    /// Set when a locking page wedged the (non-bypassing) session.
+    locked: bool,
+}
+
+impl<'w> BrowserSession<'w> {
+    /// Opens a browser at simulated time `start`.
+    pub fn new(world: &'w World, config: BrowserConfig, start: SimTime) -> Self {
+        Self { world, config, log: EventLog::new(), clock: start, locked: false }
+    }
+
+    /// The session's instrumentation configuration.
+    pub fn config(&self) -> &BrowserConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the virtual clock (the crawler charges each page
+    /// interaction a little wall time).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock = self.clock + d;
+    }
+
+    /// The accumulated event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consumes the session, returning its log.
+    pub fn into_log(self) -> EventLog {
+        self.log
+    }
+
+    /// Whether the session is wedged on a locking page.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Re-opens the browser (what the crawler does after each
+    /// interaction that navigated away — §3.2 — and the only way out of a
+    /// wedged session). The log is preserved.
+    pub fn reopen(&mut self) {
+        self.locked = false;
+    }
+
+    /// Navigates to `url`, following redirects and logging every hop.
+    pub fn navigate(&mut self, url: &Url) -> Result<LoadedPage, NavError> {
+        self.navigate_caused(url, NavCause::Initial, None)
+    }
+
+    /// Navigates with an explicit cause/initiator (used internally for
+    /// clicks and tab opens).
+    pub fn navigate_caused(
+        &mut self,
+        url: &Url,
+        cause: NavCause,
+        initiator: Option<&Url>,
+    ) -> Result<LoadedPage, NavError> {
+        if self.locked {
+            return Err(NavError::BrowserLocked);
+        }
+        self.log.push(BrowserEvent::NavigationStart {
+            url: url.clone(),
+            cause,
+            initiator: initiator.cloned(),
+        });
+
+        let client = self.config.client();
+        let mut current = url.clone();
+        let mut hops = Vec::new();
+        for _ in 0..MAX_REDIRECTS {
+            match self.world.fetch(&current, &client, self.clock) {
+                HostResponse::Redirect { to, kind } => {
+                    self.log.push(BrowserEvent::Redirected {
+                        from: current.clone(),
+                        to: to.clone(),
+                        kind,
+                    });
+                    if !kind.is_http() {
+                        // JS redirections surface as API calls in the
+                        // instrumented log.
+                        let api = match kind {
+                            RedirectKind::JsLocation => "window.location",
+                            RedirectKind::JsPushState => "history.pushState",
+                            RedirectKind::JsSetTimeout => "window.setTimeout",
+                            RedirectKind::MetaRefresh => "meta.refresh",
+                            _ => unreachable!("http kinds filtered above"),
+                        };
+                        self.log.push(BrowserEvent::JsApiCall {
+                            page: current.clone(),
+                            api: api.to_string(),
+                        });
+                    }
+                    hops.push((current, to.clone(), kind));
+                    current = to;
+                }
+                HostResponse::Page(page) => {
+                    return Ok(self.finish_load(*page, current, hops));
+                }
+                HostResponse::NxDomain => return Err(NavError::NxDomain(current)),
+                HostResponse::Refused => return Err(NavError::Refused(current)),
+            }
+        }
+        Err(NavError::TooManyRedirects(current))
+    }
+
+    fn finish_load(&mut self, page: Page, url: Url, hops: Vec<(Url, Url, RedirectKind)>) -> LoadedPage {
+        self.log.push(BrowserEvent::PageLoaded { url: url.clone(), title: page.title.clone() });
+        for s in &page.scripts {
+            self.log.push(BrowserEvent::ScriptLoaded { page: url.clone(), src: s.src.clone() });
+        }
+        if page.notification_prompt {
+            self.log.push(BrowserEvent::NotificationPrompt { page: url.clone() });
+        }
+        for &tactic in &page.locking {
+            let api = match tactic {
+                LockTactic::ModalDialogLoop => "window.alert",
+                LockTactic::AuthDialogStorm => "auth.dialog",
+                LockTactic::OnBeforeUnload => "window.onbeforeunload",
+            };
+            self.log.push(BrowserEvent::JsApiCall { page: url.clone(), api: api.to_string() });
+            if self.config.bypass_locks {
+                self.log.push(BrowserEvent::LockBypassed { page: url.clone(), tactic });
+            }
+        }
+        if page.is_locking() && !self.config.bypass_locks {
+            self.locked = true;
+        }
+        let screenshot = if self.config.capture_screenshots {
+            self.render_screenshot(&url, &page)
+        } else {
+            Bitmap::new(1, 1)
+        };
+        LoadedPage { url, page, screenshot, hops }
+    }
+
+    /// Renders a screenshot of a loaded page. Instance noise is keyed by
+    /// (URL, time) so repeated visits to one campaign differ slightly, as
+    /// real creatives do.
+    pub fn render_screenshot(&self, url: &Url, page: &Page) -> Bitmap {
+        let seed = det_hash(&[
+            self.world.seed(),
+            0x5C4EE,
+            str_word(&url.to_string()),
+            self.clock.minutes() / 30,
+        ]);
+        page.visual.render(seed)
+    }
+
+    /// Clicks an element's action (or a page-level ad listener action),
+    /// returning the landing page when the action navigates somewhere.
+    ///
+    /// `opener` is the URL of the page the click happens on.
+    pub fn click(
+        &mut self,
+        opener: &Url,
+        action: &ClickAction,
+    ) -> Result<Option<LoadedPage>, NavError> {
+        if self.locked {
+            return Err(NavError::BrowserLocked);
+        }
+        match action {
+            ClickAction::None => Ok(None),
+            ClickAction::OpenTab(target) => {
+                self.log.push(BrowserEvent::TabOpened {
+                    opener: opener.clone(),
+                    url: target.clone(),
+                });
+                self.navigate_caused(target, NavCause::WindowOpen, Some(opener)).map(Some)
+            }
+            ClickAction::Navigate(target) => self
+                .navigate_caused(target, NavCause::UserClick, Some(opener))
+                .map(Some),
+            ClickAction::Download(payload) => {
+                self.log.push(BrowserEvent::DownloadTriggered {
+                    page: opener.clone(),
+                    payload: *payload,
+                });
+                Ok(None)
+            }
+            ClickAction::AllowNotifications => {
+                self.log.push(BrowserEvent::JsApiCall {
+                    page: opener.clone(),
+                    api: "Notification.requestPermission".to_string(),
+                });
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_simweb::{SeCategory, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 11,
+            n_publishers: 200,
+            n_hidden_only_publishers: 20,
+            n_advertisers: 20,
+            campaign_scale: 0.3,
+            error_rate: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn navigate_logs_full_chain() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        let p = &w.publishers()[0];
+        let loaded = s.navigate(&p.url()).expect("publisher loads");
+        assert_eq!(loaded.url, p.url());
+        assert!(s.log().loaded_urls().count() >= 1);
+        assert!(
+            s.log().events().iter().any(|e| matches!(e, BrowserEvent::ScriptLoaded { .. })),
+            "script loads must be logged"
+        );
+    }
+
+    #[test]
+    fn redirect_chains_are_recorded_with_kinds() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        // TDS URL → JsSetTimeout redirect → attack page.
+        let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+        let tds = c.tds_url(0).unwrap();
+        let loaded = s.navigate(&tds).expect("tds resolves");
+        assert_eq!(loaded.hops.len(), 1);
+        assert_eq!(loaded.hops[0].2, RedirectKind::JsSetTimeout);
+        // The JS navigation also shows up as an instrumented API call.
+        assert!(s
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrowserEvent::JsApiCall { api, .. } if api == "window.setTimeout")));
+    }
+
+    #[test]
+    fn stock_automation_wedges_on_locking_pages() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::stock_automation(UaProfile::Ie10Windows, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        let c = w
+            .campaigns()
+            .iter()
+            .find(|c| c.category == SeCategory::TechnicalSupport)
+            .unwrap();
+        let url = c.attack_url(w.seed(), SimTime::EPOCH, 0);
+        let loaded = s.navigate(&url).expect("page loads before wedging");
+        assert!(loaded.page.is_locking());
+        assert!(s.is_locked());
+        // Can't navigate away…
+        let err = s.navigate(&w.publishers()[0].url()).unwrap_err();
+        assert_eq!(err, NavError::BrowserLocked);
+        // …until the crawler kills and reopens the browser.
+        s.reopen();
+        assert!(s.navigate(&w.publishers()[0].url()).is_ok());
+    }
+
+    #[test]
+    fn instrumented_browser_bypasses_locks() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::Ie10Windows, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        let c = w
+            .campaigns()
+            .iter()
+            .find(|c| c.category == SeCategory::TechnicalSupport)
+            .unwrap();
+        let url = c.attack_url(w.seed(), SimTime::EPOCH, 0);
+        s.navigate(&url).expect("page loads");
+        assert!(!s.is_locked());
+        assert!(s
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrowserEvent::LockBypassed { .. })));
+        assert!(s.navigate(&w.publishers()[0].url()).is_ok());
+    }
+
+    #[test]
+    fn click_opens_tab_and_logs_opener() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        let p = w.publishers().iter().find(|p| !p.stale).unwrap();
+        let loaded = s.navigate(&p.url()).unwrap();
+        let action = loaded.page.ad_click_chain[0].clone();
+        let landing = s.click(&loaded.url, &action).expect("click ok");
+        assert!(landing.is_some(), "ad click must navigate somewhere");
+        assert!(s
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrowserEvent::TabOpened { opener, .. } if *opener == p.url())));
+    }
+
+    #[test]
+    fn download_click_is_captured_not_navigated() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::Ie10Windows, Vantage::Residential),
+            SimTime::EPOCH,
+        );
+        let c = w
+            .campaigns()
+            .iter()
+            .find(|c| c.category == SeCategory::FakeSoftware)
+            .unwrap();
+        let url = c.attack_url(w.seed(), SimTime::EPOCH, 0);
+        let loaded = s.navigate(&url).unwrap();
+        let dl = loaded.page.elements[0].action.clone();
+        let res = s.click(&loaded.url, &dl).unwrap();
+        assert!(res.is_none());
+        assert_eq!(s.log().downloads().count(), 1);
+    }
+
+    #[test]
+    fn screenshots_of_same_campaign_cluster_together() {
+        use seacma_vision::dhash::{dhash128, hamming};
+        let w = world();
+        let client_cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+        let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+        let mut hashes = Vec::new();
+        for k in 0..3u64 {
+            let mut s = BrowserSession::new(&w, client_cfg, SimTime(k * 60));
+            let tds = c.tds_url(0).unwrap();
+            let loaded = s.navigate(&tds).unwrap();
+            hashes.push(dhash128(&loaded.screenshot));
+        }
+        for pair in hashes.windows(2) {
+            assert!(hamming(pair[0], pair[1]) <= 12);
+        }
+    }
+
+    #[test]
+    fn clock_advances_only_on_request() {
+        let w = world();
+        let mut s = BrowserSession::new(
+            &w,
+            BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential),
+            SimTime(100),
+        );
+        assert_eq!(s.now(), SimTime(100));
+        s.advance(SimDuration::from_minutes(2));
+        assert_eq!(s.now(), SimTime(102));
+    }
+}

@@ -1,0 +1,124 @@
+//! Behavioural tests of the browser session against adversarial worlds:
+//! failure injection, redirect depth, log integrity.
+
+use seacma_browser::{BrowserConfig, BrowserEvent, BrowserSession, NavError};
+use seacma_simweb::{SimTime, UaProfile, Url, Vantage, World, WorldConfig};
+
+fn flaky_world() -> World {
+    // Heavy failure injection: a fifth of loads come back blank.
+    World::generate(WorldConfig {
+        seed: 77,
+        n_publishers: 120,
+        n_hidden_only_publishers: 0,
+        n_advertisers: 20,
+        campaign_scale: 0.3,
+        error_rate: 0.2,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn flaky_loads_never_panic_and_are_logged() {
+    let w = flaky_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let mut blank = 0;
+    let mut ok = 0;
+    for p in w.publishers() {
+        let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
+        match s.navigate(&p.url()) {
+            Ok(loaded) => {
+                if matches!(loaded.page.visual, seacma_simweb::visual::VisualTemplate::LoadError) {
+                    blank += 1;
+                } else {
+                    ok += 1;
+                }
+                // Every successful load leaves a PageLoaded event.
+                assert!(s
+                    .log()
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e, BrowserEvent::PageLoaded { .. })));
+            }
+            Err(NavError::NxDomain(_)) | Err(NavError::Refused(_)) => {}
+            Err(e) => panic!("unexpected failure {e}"),
+        }
+    }
+    assert!(blank > 5, "error injection did not fire ({blank})");
+    assert!(ok > 50, "most loads should still succeed ({ok})");
+}
+
+#[test]
+fn navigation_events_bracket_every_load() {
+    let w = flaky_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
+    for p in w.publishers().iter().take(10) {
+        let _ = s.navigate(&p.url());
+    }
+    let starts = s
+        .log()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, BrowserEvent::NavigationStart { .. }))
+        .count();
+    assert_eq!(starts, 10, "one NavigationStart per navigate call");
+}
+
+#[test]
+fn unknown_hosts_error_cleanly() {
+    let w = flaky_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
+    let err = s.navigate(&Url::http("does-not-exist.invalid", "/")).unwrap_err();
+    assert!(matches!(err, NavError::NxDomain(_)));
+    // The failed navigation is still visible in the log.
+    assert_eq!(s.log().len(), 1);
+}
+
+#[test]
+fn screenshots_disabled_sessions_render_on_demand() {
+    let w = flaky_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+        .without_screenshots();
+    let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
+    let p = w.publishers().iter().find(|p| !p.stale).unwrap();
+    let loaded = s.navigate(&p.url()).unwrap();
+    assert_eq!(loaded.screenshot.width(), 1, "placeholder screenshot expected");
+    let real = s.render_screenshot(&loaded.url, &loaded.page);
+    assert!(real.width() > 1);
+}
+
+#[test]
+fn hop_lists_match_logged_redirects() {
+    let w = World::generate(WorldConfig {
+        seed: 78,
+        n_publishers: 60,
+        n_hidden_only_publishers: 0,
+        n_advertisers: 10,
+        campaign_scale: 0.3,
+        error_rate: 0.0,
+        ..Default::default()
+    });
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+    let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
+    let loaded = s.navigate(&c.tds_url(0).unwrap()).unwrap();
+    let logged: Vec<_> = s.log().redirects().collect();
+    assert_eq!(loaded.hops.len(), logged.len());
+    for ((f, t, k), (lf, lt, lk)) in loaded.hops.iter().zip(logged) {
+        assert_eq!(f, lf);
+        assert_eq!(t, lt);
+        assert_eq!(*k, lk);
+    }
+}
+
+#[test]
+fn clock_is_caller_owned_across_navigations() {
+    let w = flaky_world();
+    let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+    let mut s = BrowserSession::new(&w, cfg, SimTime(500));
+    let _ = s.navigate(&w.publishers()[0].url());
+    assert_eq!(s.now(), SimTime(500), "navigation itself must not advance time");
+    s.advance(seacma_simweb::SimDuration::from_minutes(3));
+    assert_eq!(s.now(), SimTime(503));
+}

@@ -1,0 +1,203 @@
+//! `seacma` — command-line front end to the measurement pipeline.
+//!
+//! ```text
+//! seacma discover [opts]          discovery phase + tables 1–3
+//! seacma track    [opts]          full run incl. milking + table 4
+//! seacma export   [opts] --out D  full run + release-dataset dump
+//! seacma mine     [opts]          automatic invariant mining (stage ①)
+//! seacma gallery  --out D         campaign screenshot gallery (PGM)
+//!
+//! options: --seed N  --publishers N  --scale F  --milk-days N  --quick
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use seacma_core::export::export_run;
+use seacma_core::invariants::mine_world_patterns;
+use seacma_core::pipeline::DiscoverySummary;
+use seacma_core::report::{self, ClusterBreakdown};
+use seacma_core::{Pipeline, PipelineConfig};
+use seacma_crawler::CrawlSchedule;
+use seacma_simweb::{SimDuration, WorldConfig};
+
+struct Opts {
+    seed: u64,
+    publishers: u32,
+    scale: f64,
+    milk_days: u64,
+    quick: bool,
+    out: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EAC_A201,
+            publishers: 3000,
+            scale: 1.0,
+            milk_days: 14,
+            quick: false,
+            out: PathBuf::from("seacma-out"),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: seacma <discover|track|export|mine|gallery> \
+         [--seed N] [--publishers N] [--scale F] [--milk-days N] [--quick] [--out DIR]"
+    );
+    exit(2)
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => o.seed = parse_u64(val()),
+            "--publishers" => o.publishers = parse_u64(val()) as u32,
+            "--scale" => o.scale = val().parse().unwrap_or_else(|_| usage()),
+            "--milk-days" => o.milk_days = parse_u64(val()),
+            "--quick" => o.quick = true,
+            "--out" => o.out = PathBuf::from(val()),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn parse_u64(s: &str) -> u64 {
+    s.strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|| s.parse())
+        .unwrap_or_else(|_| usage())
+}
+
+fn config(o: &Opts) -> PipelineConfig {
+    if o.quick {
+        let mut c = PipelineConfig::small(o.seed);
+        c.milking.duration = SimDuration::from_days(o.milk_days.min(3));
+        return c;
+    }
+    let mut c = PipelineConfig {
+        world: WorldConfig {
+            seed: o.seed,
+            n_publishers: o.publishers,
+            n_hidden_only_publishers: o.publishers / 10,
+            campaign_scale: o.scale,
+            ..Default::default()
+        },
+        schedule: CrawlSchedule { lanes: 4, ..Default::default() },
+        ..Default::default()
+    };
+    c.milking.duration = SimDuration::from_days(o.milk_days);
+    c
+}
+
+fn cmd_discover(o: &Opts) {
+    let pipeline = Pipeline::new(config(o));
+    let d = pipeline.discover();
+    let s = DiscoverySummary::over(&d);
+    println!(
+        "pool {} | visited {} | productive {} | landings {}",
+        s.pool_size, s.visited, s.with_landings, s.landings
+    );
+    let b = ClusterBreakdown::over(&d.labels);
+    println!(
+        "clusters: {} SE campaigns + {} benign ({} θc-passing total)\n",
+        b.se_campaigns,
+        b.benign(),
+        b.total()
+    );
+    println!("{}", report::render_table1(&report::table1(pipeline.world(), &d)));
+    println!("{}", report::render_table2(&report::table2(pipeline.world(), &d, 20)));
+    println!("{}", report::render_table3(&report::table3(pipeline.world(), &d)));
+}
+
+fn cmd_track(o: &Opts) {
+    let pipeline = Pipeline::new(config(o));
+    let run = pipeline.run_to_completion();
+    println!(
+        "sources {} | sessions {} | new domains {} | files {}",
+        run.sources.len(),
+        run.milking.sessions,
+        run.milking.discoveries.len(),
+        run.milking.files.len()
+    );
+    println!("{}", report::render_table4(&report::table4(&run.discovery.labels, &run.milking)));
+    if let Some(lag) = run.milking.mean_gsb_lag_days() {
+        println!("mean GSB lag: {lag:.1} days");
+    }
+    if !run.milking.scam_phones.is_empty() {
+        println!("scam phones: {:?}", run.milking.scam_phones.iter().map(|(p, _, _)| p).collect::<Vec<_>>());
+    }
+    println!(
+        "new networks: {:?} (+{} publishers)",
+        run.new_networks.new_patterns.iter().map(|p| p.name.as_str()).collect::<Vec<_>>(),
+        run.new_networks.new_publishers
+    );
+}
+
+fn cmd_export(o: &Opts) {
+    let pipeline = Pipeline::new(config(o));
+    let run = pipeline.run_to_completion();
+    match export_run(&pipeline, &run, &o.out) {
+        Ok(s) => println!(
+            "exported {} landings, {} campaigns, {} screenshots to {}",
+            s.landings,
+            s.campaigns,
+            s.screenshots,
+            o.out.display()
+        ),
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_mine(o: &Opts) {
+    let pipeline = Pipeline::new(config(o));
+    for (name, mined) in mine_world_patterns(pipeline.world(), 5) {
+        println!(
+            "{name}: js={:?} url={:?}",
+            mined.js_token.as_deref().unwrap_or("-"),
+            mined.url_token.as_deref().unwrap_or("-")
+        );
+    }
+}
+
+fn cmd_gallery(o: &Opts) {
+    use seacma_simweb::visual::VisualTemplate;
+    std::fs::create_dir_all(&o.out).expect("create out dir");
+    let items: [(&str, VisualTemplate); 6] = [
+        ("fake_software", VisualTemplate::FakeSoftware { skin: 3 }),
+        ("registration", VisualTemplate::Registration { skin: 1 }),
+        ("lottery", VisualTemplate::Lottery { skin: 0 }),
+        ("chrome_notifications", VisualTemplate::ChromeNotification { skin: 0 }),
+        ("scareware", VisualTemplate::Scareware { skin: 2 }),
+        ("tech_support", VisualTemplate::TechSupport { skin: 0 }),
+    ];
+    for (name, t) in items {
+        let path = o.out.join(format!("{name}.pgm"));
+        std::fs::write(&path, t.render(o.seed).to_pgm()).expect("write pgm");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let opts = parse(rest);
+    match cmd.as_str() {
+        "discover" => cmd_discover(&opts),
+        "track" => cmd_track(&opts),
+        "export" => cmd_export(&opts),
+        "mine" => cmd_mine(&opts),
+        "gallery" => cmd_gallery(&opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,128 @@
+//! Dataset export.
+//!
+//! The paper releases "all browser logs and screenshots related to the SE
+//! attacks" collected during the study, to support research on SE
+//! defenses and user training. This module serializes a measurement run
+//! into that release format:
+//!
+//! * `landings.jsonl` — one JSON record per landing page (URLs, redirect
+//!   chain, hashes, attribution inputs),
+//! * `campaigns.json` — the discovered campaign clusters with labels,
+//! * `milking.json` — discoveries, timelines and harvested intel,
+//! * `screenshots/` — one PGM per campaign-cluster representative.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+use seacma_browser::{BrowserConfig, BrowserSession};
+use seacma_simweb::Vantage;
+
+use crate::pipeline::{Pipeline, PipelineRun};
+
+/// Summary of what was written.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExportSummary {
+    /// Landing records exported.
+    pub landings: usize,
+    /// Campaign clusters exported.
+    pub campaigns: usize,
+    /// Screenshot files written.
+    pub screenshots: usize,
+}
+
+/// Exports a full run under `dir`.
+pub fn export_run(
+    pipeline: &Pipeline,
+    run: &PipelineRun,
+    dir: &Path,
+) -> std::io::Result<ExportSummary> {
+    fs::create_dir_all(dir.join("screenshots"))?;
+    let landings = run.discovery.landings();
+
+    // landings.jsonl
+    let mut f = fs::File::create(dir.join("landings.jsonl"))?;
+    for l in &landings {
+        serde_json::to_writer(&mut f, l)?;
+        f.write_all(b"\n")?;
+    }
+
+    // campaigns.json
+    #[derive(Serialize)]
+    struct CampaignOut<'a> {
+        index: usize,
+        label: &'a crate::label::ClusterLabel,
+        members: &'a [usize],
+        domains: Vec<&'a str>,
+        representative: usize,
+    }
+    let campaigns: Vec<CampaignOut> = run
+        .discovery
+        .clusters
+        .campaigns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| CampaignOut {
+            index: i,
+            label: &run.discovery.labels[i],
+            members: &c.members,
+            domains: c.domains.iter().map(String::as_str).collect(),
+            representative: c.representative,
+        })
+        .collect();
+    fs::write(dir.join("campaigns.json"), serde_json::to_vec_pretty(&campaigns)?)?;
+
+    // milking.json
+    fs::write(dir.join("milking.json"), serde_json::to_vec_pretty(&run.milking)?)?;
+
+    // screenshots: re-render each campaign representative at its original
+    // (url, time) coordinates.
+    let mut shots = 0usize;
+    for (i, c) in run.discovery.clusters.campaigns.iter().enumerate() {
+        let rep = landings[c.representative];
+        let cfg = BrowserConfig::instrumented(rep.ua, Vantage::Residential);
+        let mut session = BrowserSession::new(pipeline.world(), cfg, rep.t);
+        if let Ok(loaded) = session.navigate(&rep.landing_url) {
+            fs::write(
+                dir.join("screenshots").join(format!("cluster{i:03}.pgm")),
+                loaded.screenshot.to_pgm(),
+            )?;
+            shots += 1;
+        }
+    }
+
+    Ok(ExportSummary { landings: landings.len(), campaigns: campaigns.len(), screenshots: shots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+
+    #[test]
+    fn export_writes_release_files() {
+        let mut config = PipelineConfig::small(3);
+        config.world.n_publishers = 150;
+        config.world.n_hidden_only_publishers = 15;
+        config.milking.duration = seacma_simweb::SimDuration::from_days(1);
+        config.milking.lookup_tail = seacma_simweb::SimDuration::from_days(1);
+        let pipeline = Pipeline::new(config);
+        let run = pipeline.run_to_completion();
+        let dir = std::env::temp_dir().join(format!("seacma-export-{}", std::process::id()));
+        let summary = export_run(&pipeline, &run, &dir).expect("export ok");
+        assert!(summary.landings > 0);
+        assert_eq!(summary.campaigns, run.discovery.clusters.campaigns.len());
+        assert!(dir.join("landings.jsonl").exists());
+        assert!(dir.join("campaigns.json").exists());
+        assert!(dir.join("milking.json").exists());
+        // jsonl parses back.
+        let text = std::fs::read_to_string(dir.join("landings.jsonl")).unwrap();
+        for line in text.lines().take(5) {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("landing_url").is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,137 @@
+//! Cluster ground-truth labeling.
+//!
+//! The paper determined, for each of its 130 clusters, whether it
+//! represents a SEACMA campaign (108 did) by visual inspection, page
+//! interaction and external checks (§4.3). In the reproduction that manual
+//! step is replaced by consulting the simulator's ground truth: the visual
+//! template of a cluster's members tells us whether the cluster is an SE
+//! campaign (and of which category) or one of the benign confounders.
+
+use serde::{Deserialize, Serialize};
+
+use seacma_crawler::LandingRecord;
+use seacma_simweb::visual::VisualTemplate;
+use seacma_simweb::{ClientProfile, SeCategory, World};
+use seacma_vision::cluster::ScreenshotCluster;
+
+/// Kinds of non-SEACMA clusters the paper found among its 22 benign ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignKind {
+    /// Parked/expired domains sharing a registrar placeholder (11 in the
+    /// paper).
+    Parked,
+    /// Stock-image adult lure pages (6).
+    StockImages,
+    /// Ad-based URL-shortener interstitials (4).
+    UrlShortener,
+    /// Failed/blank page loads (1 spurious cluster).
+    SpuriousLoadError,
+    /// Ordinary benign advertiser content that happened to cluster.
+    OtherBenign,
+}
+
+/// Ground-truth label of one screenshot cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterLabel {
+    /// A SEACMA campaign of the given category.
+    Campaign(SeCategory),
+    /// Not an SE campaign.
+    Benign(BenignKind),
+}
+
+impl ClusterLabel {
+    /// Whether the cluster is a SEACMA campaign.
+    pub fn is_campaign(self) -> bool {
+        matches!(self, ClusterLabel::Campaign(_))
+    }
+
+    /// The category, when a campaign.
+    pub fn category(self) -> Option<SeCategory> {
+        match self {
+            ClusterLabel::Campaign(c) => Some(c),
+            ClusterLabel::Benign(_) => None,
+        }
+    }
+}
+
+/// Labels one cluster by re-fetching its representative landing (the
+/// stand-in for the paper's visual inspection) and majority-voting over
+/// member ground truth.
+pub fn label_cluster(
+    world: &World,
+    cluster: &ScreenshotCluster,
+    landings: &[&LandingRecord],
+) -> ClusterLabel {
+    // Majority vote over members' attack ground truth.
+    let attacks = cluster
+        .members
+        .iter()
+        .filter(|&&m| landings[m].truth_is_attack)
+        .count();
+    if attacks * 2 > cluster.members.len() {
+        // Category via the representative; if the representative happens
+        // to be a stray non-attack member (e.g. a blank load absorbed
+        // into the cluster), fall back to the first member that resolves.
+        let rep = landings[cluster.representative];
+        if let Some(cat) = category_of(world, rep) {
+            return ClusterLabel::Campaign(cat);
+        }
+        for &m in &cluster.members {
+            if let Some(cat) = category_of(world, landings[m]) {
+                return ClusterLabel::Campaign(cat);
+            }
+        }
+    }
+    // Benign: classify by the representative's template.
+    let rep = landings[cluster.representative];
+    let kind = match visual_of(world, rep) {
+        Some(VisualTemplate::Parked { .. }) => BenignKind::Parked,
+        Some(VisualTemplate::StockAdult { .. }) => BenignKind::StockImages,
+        Some(VisualTemplate::ShortenerFrame { .. }) => BenignKind::UrlShortener,
+        Some(VisualTemplate::LoadError) => BenignKind::SpuriousLoadError,
+        _ => BenignKind::OtherBenign,
+    };
+    ClusterLabel::Benign(kind)
+}
+
+/// The category of the campaign whose attack domain served this landing,
+/// if any (ground truth).
+pub fn category_of(world: &World, landing: &LandingRecord) -> Option<SeCategory> {
+    world
+        .campaign_of_attack_domain(&landing.landing_url.host, landing.t)
+        .map(|cid| world.campaign(cid).category)
+}
+
+/// Re-fetches the landing at its original time to recover the template the
+/// crawler saw (used only for labeling, mirroring manual inspection).
+pub fn visual_of(world: &World, landing: &LandingRecord) -> Option<VisualTemplate> {
+    let client = ClientProfile::stealthy(landing.ua, landing.vantage);
+    world
+        .fetch(&landing.landing_url, &client, landing.t)
+        .page()
+        .map(|p| p.visual)
+}
+
+/// Labels every cluster of a clustering result.
+pub fn label_clusters(
+    world: &World,
+    clusters: &[ScreenshotCluster],
+    landings: &[&LandingRecord],
+) -> Vec<ClusterLabel> {
+    clusters.iter().map(|c| label_cluster(world, c, landings)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_accessors() {
+        let a = ClusterLabel::Campaign(SeCategory::Scareware);
+        assert!(a.is_campaign());
+        assert_eq!(a.category(), Some(SeCategory::Scareware));
+        let b = ClusterLabel::Benign(BenignKind::Parked);
+        assert!(!b.is_campaign());
+        assert_eq!(b.category(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! # seacma-core
+//!
+//! The end-to-end SEACMA discovery-and-tracking pipeline — Figure 2 of
+//! *"What You See is NOT What You Get: Discovering and Tracking Social
+//! Engineering Attack Campaigns"* (Vadrevu & Perdisci, IMC 2019) — plus
+//! the report generators that reproduce every table of the evaluation.
+//!
+//! Pipeline stages (circled numbers are the paper's):
+//!
+//! 1. **Seed ad networks** ① — the 11 low-tier networks with manually
+//!    derived invariant patterns.
+//! 2. **Publisher reversal** ② — a PublicWWW-style source search turns
+//!    the invariants into a crawlable publisher pool, split into the
+//!    institutional pool and the residential pool (sites running cloaking
+//!    networks).
+//! 3. **Crawling** ③ — the parallel crawler farm visits every publisher
+//!    with four Browser/OS profiles, clicking size-ranked elements and
+//!    recording landings.
+//! 4. **Screenshot hashing** ④ and **clustering** ⑤ — 128-bit dhash +
+//!    DBSCAN over `(dhash, e2LD)` pairs, θc domain filter.
+//! 5. **Campaign tracking (milking)** ⑥ — milkable-URL extraction from
+//!    backtracking graphs, source validation, 14-day milking with GSB and
+//!    VirusTotal measurement.
+//! 6. **Ad attribution** ⑦ — invariant matching over involved-URL sets;
+//!    unknown attacks feed the new-ad-network discovery loop that widens
+//!    the publisher pool.
+//!
+//! Use [`Pipeline`] to run stages individually or
+//! [`Pipeline::run_to_completion`] for the whole measurement. [`report`]
+//! renders Tables 1–4, the cluster breakdown, the AdBlock experiment and
+//! the ethics cost analysis.
+
+pub mod adblock;
+pub mod config;
+pub mod export;
+pub mod invariants;
+pub mod label;
+pub mod newnet;
+pub mod parking;
+pub mod pipeline;
+pub mod report;
+
+pub use config::PipelineConfig;
+pub use label::{BenignKind, ClusterLabel};
+pub use pipeline::{DiscoveryOutput, Pipeline, PipelineRun};
+
+// Re-export the workspace API surface so downstream users (examples,
+// benches) can depend on `seacma-core` alone.
+pub use seacma_blacklist as blacklist;
+pub use seacma_browser as browser;
+pub use seacma_crawler as crawler;
+pub use seacma_graph as graph;
+pub use seacma_milker as milker;
+pub use seacma_simweb as simweb;
+pub use seacma_vision as vision;

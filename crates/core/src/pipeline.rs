@@ -1,0 +1,329 @@
+//! The end-to-end pipeline (Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+use seacma_blacklist::{GsbService, VirusTotal};
+use seacma_crawler::{CrawlDataset, CrawlFarm, LandingRecord};
+use seacma_graph::{Attribution, Attributor, NetworkPattern};
+use seacma_milker::{
+    validate_candidates, Milker, MilkingCandidate, MilkingOutcome, MilkingSource,
+};
+use seacma_simweb::search::SourceSearch;
+use seacma_simweb::{det, PublisherId, SimTime, UaProfile, Vantage, World};
+use seacma_vision::cluster::{cluster_screenshots, ScreenshotClusters, ScreenshotPoint};
+
+use crate::config::PipelineConfig;
+use crate::label::{label_clusters, ClusterLabel};
+use crate::newnet::{discover_networks, NewNetworkDiscovery};
+
+/// Output of the discovery phase (stages ①–⑤ + ⑦).
+pub struct DiscoveryOutput {
+    /// Seed publisher pool from pattern reversal, institutional part.
+    pub institutional_pool: Vec<PublisherId>,
+    /// Residential pool (publishers embedding cloaking networks).
+    pub residential_pool: Vec<PublisherId>,
+    /// How many residential publishers were actually visited.
+    pub residential_visited: usize,
+    /// The merged crawl dataset.
+    pub crawl: CrawlDataset,
+    /// Clustering result over all landing screenshots.
+    pub clusters: ScreenshotClusters,
+    /// Ground-truth labels, one per campaign cluster (same order as
+    /// `clusters.campaigns`).
+    pub labels: Vec<ClusterLabel>,
+    /// Attribution verdict per landing index (aligned with the flattened
+    /// landing order used for clustering).
+    pub attributions: Vec<Attribution>,
+}
+
+impl DiscoveryOutput {
+    /// Landings in the flattened order used by clustering/attribution.
+    pub fn landings<'a>(&'a self) -> Vec<&'a LandingRecord> {
+        self.crawl.landings().collect()
+    }
+
+    /// Indices of clusters labeled as SEACMA campaigns.
+    pub fn campaign_cluster_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_campaign())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A complete measurement run.
+pub struct PipelineRun {
+    /// Discovery-phase output.
+    pub discovery: DiscoveryOutput,
+    /// Validated milking sources.
+    pub sources: Vec<MilkingSource>,
+    /// Milking + GSB + VT measurement output.
+    pub milking: MilkingOutcome,
+    /// New-ad-network discovery from unknown attributions.
+    pub new_networks: NewNetworkDiscovery,
+}
+
+/// The pipeline driver.
+///
+/// ```no_run
+/// use seacma_core::{Pipeline, PipelineConfig};
+///
+/// let pipeline = Pipeline::new(PipelineConfig::small(42));
+/// let run = pipeline.run_to_completion();
+/// println!(
+///     "{} campaigns discovered, {} domains milked",
+///     run.discovery.labels.iter().filter(|l| l.is_campaign()).count(),
+///     run.milking.discoveries.len(),
+/// );
+/// ```
+pub struct Pipeline {
+    config: PipelineConfig,
+    world: World,
+}
+
+impl Pipeline {
+    /// Generates the world and prepares the pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        let world = World::generate(config.world.clone());
+        Self { config, world }
+    }
+
+    /// The generated world (the "live web" of the measurement).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The seed ad-network invariant patterns (stage ①). In the paper
+    /// these took ~15 manual minutes per network to derive; here they are
+    /// the seed-listed networks' published invariants.
+    pub fn seed_patterns(&self) -> Vec<NetworkPattern> {
+        self.world
+            .networks()
+            .iter()
+            .filter(|n| n.seed_listed)
+            .map(|n| NetworkPattern { name: n.name.clone(), url_invariant: n.url_invariant.clone() })
+            .collect()
+    }
+
+    /// Stage ②: reverse the seed patterns into a publisher pool and split
+    /// it by cloaking-network presence (Propeller/Clickadu sites must be
+    /// crawled from residential space).
+    pub fn reverse_publishers(&self) -> (Vec<PublisherId>, Vec<PublisherId>) {
+        let search = SourceSearch::new(&self.world);
+        let js_patterns: Vec<String> = self
+            .world
+            .networks()
+            .iter()
+            .filter(|n| n.seed_listed)
+            .map(|n| n.js_invariant.clone())
+            .collect();
+        let pats: Vec<&str> = js_patterns.iter().map(String::as_str).collect();
+        let pool = search.search_any(&pats);
+
+        let cloaker_patterns: Vec<String> = self
+            .world
+            .networks()
+            .iter()
+            .filter(|n| n.cloaks_nonresidential)
+            .map(|n| n.js_invariant.clone())
+            .collect();
+        let cloaker_pats: Vec<&str> = cloaker_patterns.iter().map(String::as_str).collect();
+        let cloaked: std::collections::HashSet<PublisherId> =
+            search.search_any(&cloaker_pats).into_iter().collect();
+
+        let mut institutional = Vec::new();
+        let mut residential = Vec::new();
+        for pid in pool {
+            if cloaked.contains(&pid) {
+                residential.push(pid);
+            } else {
+                institutional.push(pid);
+            }
+        }
+        (institutional, residential)
+    }
+
+    /// Stages ②–⑤ + ⑦: reversal, crawling (both vantage pools),
+    /// clustering, labeling, attribution.
+    pub fn discover(&self) -> DiscoveryOutput {
+        let (institutional_pool, residential_pool) = self.reverse_publishers();
+
+        // Residential bandwidth cap (paper: 11,182 of 34,068 visited).
+        let n_res = ((residential_pool.len() as f64) * self.config.residential_visit_fraction)
+            .round() as usize;
+        let residential_sample: Vec<PublisherId> = residential_pool
+            .iter()
+            .copied()
+            .filter(|p| {
+                det::det_f64(&[self.world.seed(), 0x2E5, u64::from(p.0)])
+                    < self.config.residential_visit_fraction
+            })
+            .take(n_res.max(1))
+            .collect();
+
+        let farm = CrawlFarm::new(&self.world, self.config.workers, self.config.crawl);
+        let mut crawl = farm.crawl(
+            &institutional_pool,
+            &self.config.uas,
+            Vantage::Institutional,
+            self.config.schedule,
+        );
+        let residential_visited = residential_sample.len();
+        // The residential pool is crawled concurrently (the paper's
+        // laptops ran alongside the servers).
+        crawl.merge(farm.crawl(
+            &residential_sample,
+            &self.config.uas,
+            Vantage::Residential,
+            self.config.schedule,
+        ));
+
+        // Stage ④–⑤: perceptual hashing + clustering + θc filter.
+        let landings: Vec<&LandingRecord> = crawl.landings().collect();
+        let points: Vec<ScreenshotPoint> = landings
+            .iter()
+            .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
+            .collect();
+        let clusters = cluster_screenshots(&points, self.config.clustering);
+
+        // Ground-truth labeling (the paper's manual step).
+        let labels = label_clusters(&self.world, &clusters.campaigns, &landings);
+
+        // Stage ⑦: attribution of every landing via seed patterns over
+        // the ad-loading chain (the click URL carries the invariant).
+        let attributor = Attributor::new(self.seed_patterns());
+        let attributions: Vec<Attribution> = landings
+            .iter()
+            .map(|l| attributor.attribute_urls(l.chain_urls().into_iter()))
+            .collect();
+
+        DiscoveryOutput {
+            institutional_pool,
+            residential_pool,
+            residential_visited,
+            crawl,
+            clusters,
+            labels,
+            attributions,
+        }
+    }
+
+    /// Stage ⑥ prep: extract per-campaign-cluster milking candidates from
+    /// the crawl records and validate them (§4.2's pilot).
+    pub fn milking_sources(&self, discovery: &DiscoveryOutput, t: SimTime) -> Vec<MilkingSource> {
+        let landings = discovery.landings();
+        let mut candidates = Vec::new();
+        for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
+            if !discovery.labels[ci].is_campaign() {
+                continue;
+            }
+            let reference = landings[cluster.representative].dhash;
+            for &m in &cluster.members {
+                let l = landings[m];
+                if let Some(url) = &l.milkable_candidate {
+                    candidates.push(MilkingCandidate {
+                        url: url.clone(),
+                        ua: l.ua,
+                        cluster: ci,
+                        reference,
+                    });
+                }
+            }
+        }
+        // Interleave UAs within each cluster before the source cap bites:
+        // landings arrive in UA-pass order, and without mixing, the first
+        // `max_milking_sources` candidates would nearly all carry the
+        // first pass's UA (and so milk only one platform's payloads).
+        candidates.sort_by_key(|c| {
+            (c.cluster, det::det_hash(&[det::str_word(&c.url.to_string()), c.ua.index()]))
+        });
+        let mut sources = validate_candidates(&self.world, candidates, t);
+        sources.truncate(self.config.max_milking_sources);
+        sources
+    }
+
+    /// Stage ⑥: the milking experiment.
+    pub fn milk(
+        &self,
+        sources: &[MilkingSource],
+        start: SimTime,
+        vt: &mut VirusTotal,
+    ) -> MilkingOutcome {
+        let mut gsb = GsbService::new(&self.world);
+        Milker::new(&self.world, self.config.milking).run(sources, &mut gsb, vt, start)
+    }
+
+    /// The full measurement: discovery, source validation, milking and the
+    /// new-network feedback loop.
+    pub fn run_to_completion(&self) -> PipelineRun {
+        let discovery = self.discover();
+        // Milking starts right after the last crawl pass.
+        let crawl_end = discovery
+            .crawl
+            .visits
+            .iter()
+            .map(|v| v.started)
+            .max()
+            .unwrap_or(SimTime::EPOCH)
+            + seacma_simweb::HOUR;
+        let sources = self.milking_sources(&discovery, crawl_end);
+        let mut vt = VirusTotal::new(self.world.seed() ^ 0x7A);
+        let milking = self.milk(&sources, crawl_end, &mut vt);
+        let new_networks = discover_networks(&self.world, &discovery);
+        PipelineRun { discovery, sources, milking, new_networks }
+    }
+}
+
+/// Crawl end time helper shared by reports.
+pub fn crawl_end(crawl: &CrawlDataset) -> SimTime {
+    crawl.visits.iter().map(|v| v.started).max().unwrap_or(SimTime::EPOCH)
+}
+
+/// Pick the UA set actually exercised in a dataset (for reporting).
+pub fn uas_used(crawl: &CrawlDataset) -> Vec<UaProfile> {
+    let mut uas: Vec<UaProfile> = crawl.visits.iter().map(|v| v.ua).collect();
+    uas.sort_by_key(|u| u.index());
+    uas.dedup();
+    uas
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Summary counters for the discovery phase (used by Figure-2 output).
+pub struct DiscoverySummary {
+    /// Publishers in the reversed pool.
+    pub pool_size: usize,
+    /// Publishers visited.
+    pub visited: usize,
+    /// Publishers whose clicks produced third-party landings.
+    pub with_landings: usize,
+    /// Landing pages captured.
+    pub landings: usize,
+    /// Clusters before θc filtering.
+    pub clusters_total: usize,
+    /// Candidate campaign clusters (θc survivors).
+    pub campaign_clusters: usize,
+    /// Clusters labeled as SEACMA campaigns.
+    pub se_campaigns: usize,
+}
+
+impl DiscoverySummary {
+    /// Computes the summary.
+    pub fn over(d: &DiscoveryOutput) -> Self {
+        Self {
+            pool_size: d.institutional_pool.len() + d.residential_pool.len(),
+            visited: d.crawl.publishers_visited(),
+            with_landings: d.crawl.publishers_with_landings(),
+            landings: d.crawl.landing_count(),
+            clusters_total: d.clusters.total_clusters(),
+            campaign_clusters: d.clusters.campaigns.len(),
+            se_campaigns: d.labels.iter().filter(|l| l.is_campaign()).count(),
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! Report generators: Tables 1–4, the cluster breakdown, the §6 ethics
+//! cost analysis and plain-text table rendering.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use seacma_blacklist::GsbService;
+use seacma_graph::Attribution;
+use seacma_milker::MilkingOutcome;
+use seacma_simweb::categorize::Categorizer;
+use seacma_simweb::{SeCategory, SimDuration, SimTime, SiteCategory, World};
+
+use crate::label::{BenignKind, ClusterLabel};
+use crate::pipeline::{crawl_end, DiscoveryOutput};
+
+/// How long after the crawl the Table-1 GSB lookups are anchored (the
+/// paper kept checking domains throughout the study).
+pub const TABLE1_LOOKUP_DELAY: SimDuration = SimDuration::from_days(12);
+
+// ---------------------------------------------------------------------------
+// Table 1 — SE ad campaign statistics
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// SE category.
+    pub category: SeCategory,
+    /// SE attack instances observed.
+    pub se_attacks: usize,
+    /// Distinct attack domains.
+    pub attack_domains: usize,
+    /// Campaigns (clusters) of the category.
+    pub campaigns: usize,
+    /// Percent of attack domains GSB listed.
+    pub gsb_domain_pct: f64,
+    /// Percent of campaigns with ≥ 1 listed domain.
+    pub gsb_campaign_pct: f64,
+}
+
+/// Builds Table 1 from a discovery output.
+pub fn table1(world: &World, discovery: &DiscoveryOutput) -> Vec<Table1Row> {
+    let landings = discovery.landings();
+    let lookup_t = crawl_end(&discovery.crawl) + TABLE1_LOOKUP_DELAY;
+    let mut gsb = GsbService::new(world);
+
+    // Sample observation time per domain (anchors GSB ground truth).
+    let mut domain_seen_at: HashMap<&str, SimTime> = HashMap::new();
+    for l in &landings {
+        domain_seen_at.entry(l.landing_e2ld.as_str()).or_insert(l.t);
+    }
+
+    let mut rows = Vec::new();
+    for cat in SeCategory::ALL {
+        let mut se_attacks = 0usize;
+        let mut domains: HashSet<&str> = HashSet::new();
+        let mut campaigns = 0usize;
+        let mut campaigns_detected = 0usize;
+        for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
+            if discovery.labels[ci] != ClusterLabel::Campaign(cat) {
+                continue;
+            }
+            campaigns += 1;
+            se_attacks += cluster.len();
+            let mut any_listed = false;
+            for d in &cluster.domains {
+                domains.insert(d.as_str());
+                let t_seen = domain_seen_at.get(d.as_str()).copied().unwrap_or(lookup_t);
+                if gsb.listing_time(d, t_seen).is_some_and(|at| at <= lookup_t) {
+                    any_listed = true;
+                }
+            }
+            if any_listed {
+                campaigns_detected += 1;
+            }
+        }
+        let listed_domains = domains
+            .iter()
+            .filter(|d| {
+                let t_seen = domain_seen_at.get(*d).copied().unwrap_or(lookup_t);
+                gsb.listing_time(d, t_seen).is_some_and(|at| at <= lookup_t)
+            })
+            .count();
+        rows.push(Table1Row {
+            category: cat,
+            se_attacks,
+            attack_domains: domains.len(),
+            campaigns,
+            gsb_domain_pct: pct(listed_domains, domains.len()),
+            gsb_campaign_pct: pct(campaigns_detected, campaigns),
+        });
+    }
+    rows
+}
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.category.name().to_string(),
+                r.se_attacks.to_string(),
+                r.attack_domains.to_string(),
+                r.campaigns.to_string(),
+                format!("{:.1}%", r.gsb_domain_pct),
+                format!("{:.1}%", r.gsb_campaign_pct),
+            ]
+        })
+        .collect();
+    let total_attacks: usize = rows.iter().map(|r| r.se_attacks).sum();
+    let total_domains: usize = rows.iter().map(|r| r.attack_domains).sum();
+    let total_campaigns: usize = rows.iter().map(|r| r.campaigns).sum();
+    body.push(vec![
+        "TOTAL".into(),
+        total_attacks.to_string(),
+        total_domains.to_string(),
+        total_campaigns.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    render_text_table(
+        &["Category", "# SE Attacks", "# Attack Domains", "# Campaigns", "GSB% dom", "GSB% camp"],
+        &body,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — publisher categories
+// ---------------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Site category.
+    pub category: SiteCategory,
+    /// SEACMA-hosting publisher domains in the category.
+    pub publishers: usize,
+    /// Percent of all SEACMA-hosting publishers.
+    pub pct: f64,
+}
+
+/// Builds Table 2: categories of publishers that hosted at least one SE
+/// attack landing.
+pub fn table2(world: &World, discovery: &DiscoveryOutput, top_n: usize) -> Vec<Table2Row> {
+    let landings = discovery.landings();
+    let categorizer = Categorizer::new(world);
+    // Publishers hosting SEACMA ads: those whose clicks landed on a
+    // campaign-cluster member.
+    let mut hosts: HashSet<&str> = HashSet::new();
+    for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
+        if !discovery.labels[ci].is_campaign() {
+            continue;
+        }
+        for &m in &cluster.members {
+            hosts.insert(landings[m].publisher_domain.as_str());
+        }
+    }
+    let total = hosts.len();
+    let mut counts: BTreeMap<SiteCategory, usize> = BTreeMap::new();
+    for h in hosts {
+        *counts.entry(categorizer.categorize(h)).or_default() += 1;
+    }
+    let mut rows: Vec<Table2Row> = counts
+        .into_iter()
+        .map(|(category, publishers)| Table2Row {
+            category,
+            publishers,
+            pct: pct(publishers, total),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.publishers.cmp(&a.publishers));
+    rows.truncate(top_n);
+    rows
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.category.name().to_string(), r.publishers.to_string(), format!("{:.2}", r.pct)]
+        })
+        .collect();
+    render_text_table(&["Category", "# Publisher Domains", "% of Total"], &body)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — SE attacks per ad network
+// ---------------------------------------------------------------------------
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Network name ("Unknown" for unmatched SE attacks).
+    pub network: String,
+    /// Distinct ad-serving domains observed for the network.
+    pub network_domains: usize,
+    /// Landing pages reached through the network's ads.
+    pub landing_pages: usize,
+    /// SE attack pages among them.
+    pub se_pages: usize,
+    /// Percent SE.
+    pub se_pct: f64,
+}
+
+/// Builds Table 3 from discovery attributions.
+pub fn table3(world: &World, discovery: &DiscoveryOutput) -> Vec<Table3Row> {
+    let landings = discovery.landings();
+    let mut landing_count: HashMap<&str, usize> = HashMap::new();
+    let mut se_count: HashMap<&str, usize> = HashMap::new();
+    let mut domains: HashMap<&str, HashSet<String>> = HashMap::new();
+    let mut unknown_se = 0usize;
+
+    // Which landings are members of SE campaign clusters (the pipeline's
+    // own notion of "SE attack page").
+    let mut is_se = vec![false; landings.len()];
+    for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
+        if discovery.labels[ci].is_campaign() {
+            for &m in &cluster.members {
+                is_se[m] = true;
+            }
+        }
+    }
+
+    for (i, att) in discovery.attributions.iter().enumerate() {
+        match att {
+            Attribution::Known(name) => {
+                let name = name.as_str();
+                *landing_count.entry(name_ref(world, name)).or_default() += 1;
+                if is_se[i] {
+                    *se_count.entry(name_ref(world, name)).or_default() += 1;
+                }
+                // Ad-serving domains seen for this network.
+                if let Some(net) = world.networks().iter().find(|n| n.name == name) {
+                    let entry = domains.entry(name_ref(world, name)).or_default();
+                    for u in &landings[i].involved_urls {
+                        if u.contains(&net.url_invariant) {
+                            entry.insert(u.host.clone());
+                        }
+                    }
+                }
+            }
+            Attribution::Unknown => {
+                if is_se[i] {
+                    unknown_se += 1;
+                }
+            }
+        }
+    }
+
+    let mut rows: Vec<Table3Row> = world
+        .networks()
+        .iter()
+        .filter(|n| n.seed_listed)
+        .map(|n| {
+            let name = n.name.as_str();
+            let lp = landing_count.get(name).copied().unwrap_or(0);
+            let se = se_count.get(name).copied().unwrap_or(0);
+            Table3Row {
+                network: n.name.clone(),
+                network_domains: domains.get(name).map_or(0, HashSet::len),
+                landing_pages: lp,
+                se_pages: se,
+                se_pct: pct(se, lp),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.landing_pages.cmp(&a.landing_pages));
+    rows.push(Table3Row {
+        network: "Unknown".into(),
+        network_domains: 0,
+        landing_pages: 0,
+        se_pages: unknown_se,
+        se_pct: 0.0,
+    });
+    rows
+}
+
+fn name_ref<'w>(world: &'w World, name: &str) -> &'w str {
+    world
+        .networks()
+        .iter()
+        .find(|n| n.name == name)
+        .map(|n| n.name.as_str())
+        .expect("attributed name must exist")
+}
+
+/// Renders Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                if r.network == "Unknown" { "-".into() } else { r.network_domains.to_string() },
+                if r.network == "Unknown" { "-".into() } else { r.landing_pages.to_string() },
+                r.se_pages.to_string(),
+                if r.network == "Unknown" { "-".into() } else { format!("{:.2}%", r.se_pct) },
+            ]
+        })
+        .collect();
+    render_text_table(
+        &["Ad network", "# Net domains", "# Landing Pages", "# SE Attack Pages", "% SE"],
+        &body,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — milking
+// ---------------------------------------------------------------------------
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Category group (Scareware and Technical Support are merged, as in
+    /// the paper).
+    pub group: String,
+    /// New domains discovered by milking.
+    pub domains: usize,
+    /// Percent listed by GSB at discovery.
+    pub gsb_init_pct: f64,
+    /// Percent listed by the end of all lookups.
+    pub gsb_final_pct: f64,
+}
+
+/// Builds Table 4 from a milking outcome plus the cluster labels that map
+/// each source's cluster to a category.
+pub fn table4(labels: &[ClusterLabel], milking: &MilkingOutcome) -> Vec<Table4Row> {
+    let group_of = |cat: SeCategory| -> &'static str {
+        match cat {
+            SeCategory::FakeSoftware => "Fake Software",
+            SeCategory::LotteryGift => "Lottery/Gift",
+            SeCategory::ChromeNotifications => "Chrome Notifications",
+            SeCategory::Registration => "Registration",
+            SeCategory::Scareware | SeCategory::TechnicalSupport => "Tech Support/Scareware",
+        }
+    };
+    let order = [
+        "Fake Software",
+        "Lottery/Gift",
+        "Chrome Notifications",
+        "Registration",
+        "Tech Support/Scareware",
+    ];
+    let mut domains: HashMap<&str, usize> = HashMap::new();
+    let mut init: HashMap<&str, usize> = HashMap::new();
+    let mut fin: HashMap<&str, usize> = HashMap::new();
+    let mut total = (0usize, 0usize, 0usize);
+    for d in &milking.discoveries {
+        let Some(cat) = labels.get(d.cluster).and_then(|l| l.category()) else {
+            continue;
+        };
+        let g = group_of(cat);
+        *domains.entry(g).or_default() += 1;
+        if d.gsb_listed_at_discovery {
+            *init.entry(g).or_default() += 1;
+        }
+        if d.gsb_listed_at.is_some() {
+            *fin.entry(g).or_default() += 1;
+        }
+        total.0 += 1;
+        total.1 += usize::from(d.gsb_listed_at_discovery);
+        total.2 += usize::from(d.gsb_listed_at.is_some());
+    }
+    let mut rows: Vec<Table4Row> = order
+        .iter()
+        .map(|g| {
+            let n = domains.get(g).copied().unwrap_or(0);
+            Table4Row {
+                group: g.to_string(),
+                domains: n,
+                gsb_init_pct: pct(init.get(g).copied().unwrap_or(0), n),
+                gsb_final_pct: pct(fin.get(g).copied().unwrap_or(0), n),
+            }
+        })
+        .collect();
+    rows.push(Table4Row {
+        group: "Total".into(),
+        domains: total.0,
+        gsb_init_pct: pct(total.1, total.0),
+        gsb_final_pct: pct(total.2, total.0),
+    });
+    rows
+}
+
+/// Renders Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.clone(),
+                r.domains.to_string(),
+                format!("{:.2}%", r.gsb_init_pct),
+                format!("{:.2}%", r.gsb_final_pct),
+            ]
+        })
+        .collect();
+    render_text_table(&["SE Category", "# Domains", "GSB-init", "GSB-final"], &body)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster breakdown (§4.3)
+// ---------------------------------------------------------------------------
+
+/// Counts of cluster kinds (the paper's "130 clusters → 108 campaigns +
+/// 22 benign (11 parked, 6 stock, 4 shortener, 1 spurious)").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterBreakdown {
+    /// Campaign clusters.
+    pub se_campaigns: usize,
+    /// Parked-domain clusters.
+    pub parked: usize,
+    /// Stock-image clusters.
+    pub stock: usize,
+    /// Shortener clusters.
+    pub shortener: usize,
+    /// Spurious load-error clusters.
+    pub spurious: usize,
+    /// Other benign clusters.
+    pub other: usize,
+}
+
+impl ClusterBreakdown {
+    /// Tallies the labels.
+    pub fn over(labels: &[ClusterLabel]) -> Self {
+        let mut b = ClusterBreakdown::default();
+        for l in labels {
+            match l {
+                ClusterLabel::Campaign(_) => b.se_campaigns += 1,
+                ClusterLabel::Benign(BenignKind::Parked) => b.parked += 1,
+                ClusterLabel::Benign(BenignKind::StockImages) => b.stock += 1,
+                ClusterLabel::Benign(BenignKind::UrlShortener) => b.shortener += 1,
+                ClusterLabel::Benign(BenignKind::SpuriousLoadError) => b.spurious += 1,
+                ClusterLabel::Benign(BenignKind::OtherBenign) => b.other += 1,
+            }
+        }
+        b
+    }
+
+    /// Total clusters labeled.
+    pub fn total(&self) -> usize {
+        self.se_campaigns + self.benign()
+    }
+
+    /// Total benign clusters.
+    pub fn benign(&self) -> usize {
+        self.parked + self.stock + self.shortener + self.spurious + self.other
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ethics cost analysis (§6)
+// ---------------------------------------------------------------------------
+
+/// The §6 advertiser-cost estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EthicsReport {
+    /// Assumed CPM in USD (paper: $4).
+    pub cpm_usd: f64,
+    /// Distinct legitimate (non-SE) advertiser domains reached.
+    pub legit_domains: usize,
+    /// Total clicks that landed on legitimate domains.
+    pub legit_clicks: usize,
+    /// Worst-case domain and its visit count.
+    pub worst: Option<(String, usize)>,
+    /// Mean clicks per legitimate domain.
+    pub mean_clicks: f64,
+}
+
+impl EthicsReport {
+    /// Builds the report over a discovery output.
+    pub fn over(discovery: &DiscoveryOutput) -> EthicsReport {
+        let mut per_domain: HashMap<&str, usize> = HashMap::new();
+        for l in discovery.crawl.landings() {
+            if !l.truth_is_attack {
+                *per_domain.entry(l.landing_e2ld.as_str()).or_default() += 1;
+            }
+        }
+        let legit_clicks: usize = per_domain.values().sum();
+        let worst = per_domain
+            .iter()
+            .max_by_key(|(d, n)| (**n, std::cmp::Reverse(*d)))
+            .map(|(d, n)| (d.to_string(), *n));
+        let legit_domains = per_domain.len();
+        EthicsReport {
+            cpm_usd: 4.0,
+            legit_domains,
+            legit_clicks,
+            worst,
+            mean_clicks: if legit_domains == 0 {
+                0.0
+            } else {
+                legit_clicks as f64 / legit_domains as f64
+            },
+        }
+    }
+
+    /// Estimated worst-case cost to a single advertiser, USD.
+    pub fn worst_cost_usd(&self) -> f64 {
+        self.worst.as_ref().map_or(0.0, |(_, n)| *n as f64 * self.cpm_usd / 1000.0)
+    }
+
+    /// Estimated mean cost per advertiser, USD.
+    pub fn mean_cost_usd(&self) -> f64 {
+        self.mean_clicks * self.cpm_usd / 1000.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSV rendering (machine-readable exports of the same tables)
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// ASCII histograms (figure-style terminal output)
+// ---------------------------------------------------------------------------
+
+/// Renders a horizontal ASCII histogram of `values` over `bins` equal-width
+/// buckets spanning `[min, max]`. Used for the GSB-lag distribution.
+pub fn render_histogram(values: &[f64], bins: usize, min: f64, max: f64, unit: &str) -> String {
+    if values.is_empty() || bins == 0 || max <= min {
+        return String::from("(no data)\n");
+    }
+    let width = (max - min) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v - min) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &n) in counts.iter().enumerate() {
+        let lo = min + i as f64 * width;
+        let hi = lo + width;
+        let bar = "█".repeat(n * 40 / peak);
+        out.push_str(&format!("{lo:>7.1}–{hi:<7.1} {unit} |{bar} {n}\n"));
+    }
+    out
+}
+
+/// Escapes one CSV field.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders rows of fields as CSV with a header line.
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 1 as CSV.
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    render_csv(
+        &["category", "se_attacks", "attack_domains", "campaigns", "gsb_domain_pct", "gsb_campaign_pct"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.category.name().to_string(),
+                    r.se_attacks.to_string(),
+                    r.attack_domains.to_string(),
+                    r.campaigns.to_string(),
+                    format!("{:.2}", r.gsb_domain_pct),
+                    format!("{:.2}", r.gsb_campaign_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Table 3 as CSV.
+pub fn table3_csv(rows: &[Table3Row]) -> String {
+    render_csv(
+        &["network", "network_domains", "landing_pages", "se_pages", "se_pct"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.network_domains.to_string(),
+                    r.landing_pages.to_string(),
+                    r.se_pages.to_string(),
+                    format!("{:.2}", r.se_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Table 4 as CSV.
+pub fn table4_csv(rows: &[Table4Row]) -> String {
+    render_csv(
+        &["group", "domains", "gsb_init_pct", "gsb_final_pct"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.group.clone(),
+                    r.domains.to_string(),
+                    format!("{:.2}", r.gsb_init_pct),
+                    format!("{:.2}", r.gsb_final_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Text-table rendering
+// ---------------------------------------------------------------------------
+
+/// Renders an aligned plain-text table.
+pub fn render_text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep = |w: &Vec<usize>| -> String {
+        let mut s = String::from("+");
+        for width in w {
+            s.push_str(&"-".repeat(width + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = sep(&widths);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&sep(&widths));
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&sep(&widths));
+    out
+}
+
+fn pct(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_alignment() {
+        let t = render_text_table(
+            &["A", "Bee"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{t}");
+        assert!(t.contains("| 333 | 4"));
+    }
+
+    #[test]
+    fn histogram_renders_and_handles_edges() {
+        let h = render_histogram(&[1.0, 2.0, 2.5, 39.0], 4, 0.0, 40.0, "d");
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains('█'));
+        assert_eq!(render_histogram(&[], 4, 0.0, 1.0, "d"), "(no data)\n");
+        assert_eq!(render_histogram(&[1.0], 0, 0.0, 1.0, "d"), "(no data)\n");
+        // Out-of-range values clamp into the last bucket.
+        let h2 = render_histogram(&[100.0], 2, 0.0, 10.0, "d");
+        assert!(h2.lines().last().unwrap().ends_with('1'));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let out = render_csv(&["a", "b"], &[vec!["x,y".into(), "q\"z".into()]]);
+        assert_eq!(out, "a,b\n\"x,y\",\"q\"\"z\"\n");
+    }
+
+    #[test]
+    fn table_csvs_have_headers_and_rows() {
+        let rows = vec![Table4Row {
+            group: "Fake Software".into(),
+            domains: 10,
+            gsb_init_pct: 1.0,
+            gsb_final_pct: 20.0,
+        }];
+        let csv = table4_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "group,domains,gsb_init_pct,gsb_final_pct");
+        assert_eq!(lines.next().unwrap(), "Fake Software,10,1.00,20.00");
+    }
+
+    #[test]
+    fn pct_safe_on_zero() {
+        assert_eq!(pct(0, 0), 0.0);
+        assert_eq!(pct(1, 4), 25.0);
+    }
+
+    #[test]
+    fn breakdown_tallies() {
+        use seacma_simweb::SeCategory;
+        let labels = [
+            ClusterLabel::Campaign(SeCategory::FakeSoftware),
+            ClusterLabel::Campaign(SeCategory::Scareware),
+            ClusterLabel::Benign(BenignKind::Parked),
+            ClusterLabel::Benign(BenignKind::UrlShortener),
+            ClusterLabel::Benign(BenignKind::SpuriousLoadError),
+        ];
+        let b = ClusterBreakdown::over(&labels);
+        assert_eq!(b.se_campaigns, 2);
+        assert_eq!(b.benign(), 3);
+        assert_eq!(b.total(), 5);
+    }
+}

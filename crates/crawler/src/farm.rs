@@ -1,0 +1,228 @@
+//! The parallel crawler farm.
+//!
+//! The paper ran container replicas across five servers plus residential
+//! laptops; here each replica is a worker thread executing
+//! [`visit_publisher`](crate::visit::visit_publisher) jobs. Because every
+//! fetch is a pure function of `(seed, url, client, time)`, the visit
+//! schedule fixes virtual time per job **independently of thread count**:
+//! the farm pretends to have [`CrawlSchedule::VIRTUAL_LANES`] crawlers
+//! running 2-minute sessions back to back, and any number of OS threads
+//! may execute that schedule.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use seacma_browser::BrowserConfig;
+use seacma_simweb::{PublisherId, SimDuration, SimTime, UaProfile, Vantage, World};
+
+use crate::record::{CrawlDataset, SiteVisit};
+use crate::visit::{visit_publisher, CrawlPolicy};
+
+/// Deterministic visit scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CrawlSchedule {
+    /// Virtual start of the crawl.
+    pub start: SimTime,
+    /// Virtual session length per visit.
+    pub session_len: SimDuration,
+    /// Number of virtual crawler lanes executing sessions back to back.
+    /// This — not the OS thread count — fixes the virtual crawl span:
+    /// `n_jobs / lanes × session_len`. The default (8 lanes of 2-minute
+    /// sessions) stretches a paper-scale crawl over several virtual days,
+    /// long enough for campaign domain rotation to manifest in the data
+    /// (the θc filter depends on it).
+    pub lanes: u64,
+}
+
+impl CrawlSchedule {
+    /// Virtual start time of the `idx`-th job in a pass.
+    pub fn job_time(&self, idx: usize) -> SimTime {
+        self.start + self.session_len * (idx as u64 / self.lanes.max(1))
+    }
+
+    /// Virtual end of a pass over `n` jobs.
+    pub fn pass_end(&self, n: usize) -> SimTime {
+        self.job_time(n.saturating_sub(1)) + self.session_len
+    }
+
+    /// Total virtual span of `passes` passes over `n` jobs.
+    pub fn span(&self, n: usize, passes: usize) -> SimDuration {
+        SimDuration((self.pass_end(n) - self.start).minutes() * passes as u64)
+    }
+}
+
+impl Default for CrawlSchedule {
+    fn default() -> Self {
+        Self { start: SimTime::EPOCH, session_len: SimDuration::from_minutes(2), lanes: 8 }
+    }
+}
+
+/// The crawler farm.
+pub struct CrawlFarm<'w> {
+    world: &'w World,
+    workers: usize,
+    policy: CrawlPolicy,
+}
+
+impl<'w> CrawlFarm<'w> {
+    /// Builds a farm with `workers` OS threads (0 ⇒ available parallelism).
+    pub fn new(world: &'w World, workers: usize, policy: CrawlPolicy) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            workers
+        };
+        Self { world, workers, policy }
+    }
+
+    /// Crawls `publishers` once per UA in `uas`, from `vantage`, stealth
+    /// instrumentation on. UA passes run back to back in virtual time
+    /// (the paper avoids revisiting a site with the *same* UA but visits
+    /// it with each different one).
+    pub fn crawl(
+        &self,
+        publishers: &[PublisherId],
+        uas: &[UaProfile],
+        vantage: Vantage,
+        schedule: CrawlSchedule,
+    ) -> CrawlDataset {
+        let mut all: Vec<SiteVisit> = Vec::with_capacity(publishers.len() * uas.len());
+        let mut pass_start = schedule.start;
+        for &ua in uas {
+            let pass_schedule = CrawlSchedule { start: pass_start, ..schedule };
+            let visits = self.crawl_pass(publishers, ua, vantage, pass_schedule);
+            pass_start = pass_schedule.pass_end(publishers.len());
+            all.extend(visits);
+        }
+        CrawlDataset { visits: all }
+    }
+
+    /// One pass: every publisher once with one UA.
+    fn crawl_pass(
+        &self,
+        publishers: &[PublisherId],
+        ua: UaProfile,
+        vantage: Vantage,
+        schedule: CrawlSchedule,
+    ) -> Vec<SiteVisit> {
+        let config = BrowserConfig::instrumented(ua, vantage);
+        let (tx, rx) = channel::unbounded::<usize>();
+        for idx in 0..publishers.len() {
+            tx.send(idx).expect("channel open");
+        }
+        drop(tx);
+
+        let results: Mutex<Vec<(usize, SiteVisit)>> =
+            Mutex::new(Vec::with_capacity(publishers.len()));
+        crossbeam::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let results = &results;
+                let world = self.world;
+                let policy = self.policy;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    while let Ok(idx) = rx.recv() {
+                        let p = &world.publishers()[publishers[idx].0 as usize];
+                        let t = schedule.job_time(idx);
+                        local.push((idx, visit_publisher(world, p, config, t, policy)));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("crawler workers must not panic");
+
+        let mut visits = results.into_inner();
+        visits.sort_by_key(|(idx, _)| *idx);
+        visits.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_simweb::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 41,
+            n_publishers: 150,
+            n_hidden_only_publishers: 0,
+            n_advertisers: 20,
+            campaign_scale: 0.3,
+            error_rate: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn schedule_is_lane_based() {
+        let s = CrawlSchedule::default();
+        assert_eq!(s.job_time(0), SimTime(0));
+        assert_eq!(s.job_time(7), SimTime(0));
+        assert_eq!(s.job_time(8), SimTime(2));
+        assert_eq!(s.job_time(17), SimTime(4));
+        assert!(s.pass_end(18) > s.job_time(17));
+        let wide = CrawlSchedule { lanes: 64, ..Default::default() };
+        assert_eq!(wide.job_time(63), SimTime(0));
+        assert_eq!(wide.job_time(64), SimTime(2));
+    }
+
+    #[test]
+    fn farm_output_is_thread_count_invariant() {
+        let w = world();
+        let pubs: Vec<PublisherId> = w.publishers().iter().map(|p| p.id).take(60).collect();
+        let uas = [UaProfile::ChromeMac];
+        let a = CrawlFarm::new(&w, 1, CrawlPolicy::default()).crawl(
+            &pubs,
+            &uas,
+            Vantage::Residential,
+            CrawlSchedule::default(),
+        );
+        let b = CrawlFarm::new(&w, 8, CrawlPolicy::default()).crawl(
+            &pubs,
+            &uas,
+            Vantage::Residential,
+            CrawlSchedule::default(),
+        );
+        assert_eq!(a, b, "crawl output must not depend on worker count");
+    }
+
+    #[test]
+    fn multi_ua_passes_cover_all_platforms() {
+        let w = world();
+        let pubs: Vec<PublisherId> = w.publishers().iter().map(|p| p.id).take(40).collect();
+        let d = CrawlFarm::new(&w, 4, CrawlPolicy::default()).crawl(
+            &pubs,
+            &UaProfile::ALL,
+            Vantage::Residential,
+            CrawlSchedule::default(),
+        );
+        assert_eq!(d.visits.len(), 40 * 4);
+        // Mobile-only lottery campaigns only show up in the Android pass.
+        let mobile_landings =
+            d.landings().filter(|l| l.ua == UaProfile::ChromeAndroid).count();
+        assert!(mobile_landings > 0);
+        // Later UA passes happen later in virtual time.
+        let t_first = d.visits[0].started;
+        let t_last = d.visits.last().unwrap().started;
+        assert!(t_last > t_first);
+    }
+
+    #[test]
+    fn landings_accumulate_at_scale() {
+        let w = world();
+        let pubs: Vec<PublisherId> = w.publishers().iter().map(|p| p.id).collect();
+        let d = CrawlFarm::new(&w, 0, CrawlPolicy::default()).crawl(
+            &pubs,
+            &[UaProfile::ChromeMac, UaProfile::ChromeAndroid],
+            Vantage::Residential,
+            CrawlSchedule::default(),
+        );
+        assert!(d.landing_count() > 300, "landings: {}", d.landing_count());
+        assert!(d.publishers_with_landings() > 100);
+        let attacks = d.landings().filter(|l| l.truth_is_attack).count();
+        assert!(attacks > 50, "attacks: {attacks}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Single-site visit logic: the click loop.
+
+use serde::{Deserialize, Serialize};
+
+use seacma_browser::{BrowserConfig, BrowserSession, NavError};
+use seacma_graph::{milkable, BacktrackGraph};
+use seacma_simweb::{ClickAction, PublisherSite, SimDuration, SimTime, World};
+use seacma_vision::dhash::dhash128;
+
+use crate::record::{LandingRecord, SiteVisit};
+
+/// Budgets for one publisher visit (paper: "a number of clicks per page,
+/// until a given (tunable) number of ads have been triggered", ~2 minutes
+/// per session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlPolicy {
+    /// Maximum clicks issued per visit.
+    pub max_clicks: u32,
+    /// Stop after this many ads (third-party landings) were exercised.
+    pub max_ads: u32,
+    /// Per-visit time budget in virtual minutes.
+    pub timeout: SimDuration,
+}
+
+impl Default for CrawlPolicy {
+    fn default() -> Self {
+        Self { max_clicks: 8, max_ads: 5, timeout: SimDuration::from_minutes(2) }
+    }
+}
+
+/// Visits one publisher with one browser configuration, returning the
+/// visit record.
+///
+/// The crawl loop mirrors §3.2: load the page, rank elements by rendered
+/// size, click the biggest candidates (each click may be intercepted by a
+/// page-level ad listener), record any third-party landing with its
+/// screenshot hash, involved URLs and milking candidate, then reopen the
+/// browser and reload the publisher for the next interaction.
+pub fn visit_publisher(
+    world: &World,
+    publisher: &PublisherSite,
+    config: BrowserConfig,
+    start: SimTime,
+    policy: CrawlPolicy,
+) -> SiteVisit {
+    let mut visit = SiteVisit {
+        publisher: publisher.id,
+        ua: config.ua,
+        vantage: config.vantage,
+        started: start,
+        landings: Vec::new(),
+        clicks: 0,
+        load_failed: false,
+    };
+    let deadline = start + policy.timeout;
+    let mut session = BrowserSession::new(world, config, start);
+    let pub_url = publisher.url();
+
+    let loaded = match session.navigate(&pub_url) {
+        Ok(l) => l,
+        Err(_) => {
+            visit.load_failed = true;
+            return visit;
+        }
+    };
+    // Candidate elements, biggest first. Page-level ad listeners intercept
+    // clicks regardless of the element, so the element ranking mainly
+    // bounds how many interactions we try.
+    let candidates = loaded.page.elements_by_area().len() as u32;
+    let page = loaded.page;
+
+    let mut click: u32 = 0;
+    while click < policy.max_clicks.min(candidates * 2)
+        && (visit.landings.len() as u32) < policy.max_ads
+        && session.now() < deadline
+    {
+        let action = page
+            .ad_action(click as usize)
+            .cloned()
+            .unwrap_or(ClickAction::None);
+        visit.clicks += 1;
+        click += 1;
+
+        let landed = match session.click(&pub_url, &action) {
+            Ok(Some(l)) => l,
+            Ok(None) => continue,
+            Err(NavError::BrowserLocked) => {
+                session.reopen();
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // Ad-trigger heuristic: third-party landing only.
+        if landed.url.e2ld() == pub_url.e2ld() {
+            continue;
+        }
+        let graph = BacktrackGraph::from_log(session.log());
+        let involved = graph.involved_urls(&landed.url);
+        let candidate = milkable::candidate(&graph, &landed.url);
+        visit.landings.push(LandingRecord {
+            publisher: publisher.id,
+            publisher_domain: publisher.domain.clone(),
+            ua: config.ua,
+            vantage: config.vantage,
+            click_ordinal: click - 1,
+            landing_e2ld: landed.url.e2ld(),
+            dhash: dhash128(&landed.screenshot),
+            truth_is_attack: landed.page.visual.is_attack(),
+            hops: landed.hops,
+            involved_urls: involved,
+            milkable_candidate: candidate,
+            landing_url: landed.url,
+            t: session.now(),
+        });
+        // Interacting with an ad navigated away: reopen and reload
+        // (charged a little virtual time).
+        session.advance(SimDuration::from_minutes(1));
+        session.reopen();
+        if session.navigate(&pub_url).is_err() {
+            break;
+        }
+    }
+    visit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_simweb::{UaProfile, Vantage, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 31,
+            n_publishers: 120,
+            n_hidden_only_publishers: 10,
+            n_advertisers: 25,
+            campaign_scale: 0.3,
+            error_rate: 0.0,
+            ..Default::default()
+        })
+    }
+
+    fn cfg() -> BrowserConfig {
+        BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+    }
+
+    #[test]
+    fn visit_collects_third_party_landings() {
+        let w = world();
+        let mut total = 0;
+        for p in w.publishers().iter().take(40) {
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default());
+            assert!(!v.load_failed);
+            assert!(v.clicks <= CrawlPolicy::default().max_clicks);
+            for l in &v.landings {
+                assert_ne!(l.landing_e2ld, seacma_simweb::e2ld(&p.domain));
+                assert!(!l.involved_urls.is_empty());
+            }
+            total += v.landings.len();
+        }
+        assert!(total > 30, "only {total} landings over 40 sites");
+    }
+
+    #[test]
+    fn ad_budget_is_respected() {
+        let w = world();
+        let policy = CrawlPolicy { max_ads: 2, ..Default::default() };
+        for p in w.publishers().iter().take(20) {
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, policy);
+            assert!(v.landings.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let w = world();
+        let p = &w.publishers()[3];
+        let a = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default());
+        let b = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attack_landings_have_milkable_candidates_when_tds_used() {
+        let w = world();
+        let mut with_candidate = 0;
+        let mut attacks = 0;
+        for p in w.publishers().iter().take(120) {
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default());
+            for l in &v.landings {
+                if l.truth_is_attack {
+                    attacks += 1;
+                    if l.milkable_candidate.is_some() {
+                        with_candidate += 1;
+                    }
+                }
+            }
+        }
+        assert!(attacks > 10, "need attacks to assess ({attacks})");
+        assert!(
+            with_candidate * 2 > attacks,
+            "most attacks should have upstream candidates: {with_candidate}/{attacks}"
+        );
+    }
+
+    #[test]
+    fn stock_automation_still_completes_visits() {
+        // A lockable browser must not hang the crawl loop — it reopens.
+        let w = world();
+        let cfg = BrowserConfig::stock_automation(UaProfile::Ie10Windows, Vantage::Residential);
+        for p in w.publishers().iter().take(30) {
+            let v = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default());
+            assert!(v.clicks > 0 || v.load_failed);
+        }
+    }
+}

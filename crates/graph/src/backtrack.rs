@@ -1,0 +1,323 @@
+//! Backtracking graphs over browser event logs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use seacma_browser::{BrowserEvent, EventLog};
+use seacma_simweb::{RedirectKind, Url};
+
+/// Causal relationship between two URLs in the ad-loading process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Child was reached by a redirect of the given kind from the parent.
+    Redirect(RedirectKind),
+    /// Child opened in a new tab via `window.open` on the parent.
+    WindowOpen,
+    /// Child was navigated to by a click on the parent.
+    UserClick,
+    /// Child is a script included by the parent document.
+    ScriptInclude,
+}
+
+/// One step on a backward path: the URL and the edge that led *to* it from
+/// its child (i.e. how the next-downstream URL was caused by this one).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// URL of this node.
+    pub url: Url,
+    /// Edge connecting this node to the node one step downstream; `None`
+    /// for the starting node.
+    pub via: Option<EdgeKind>,
+}
+
+/// A causal URL graph reconstructed from one browsing session's log.
+///
+/// ```
+/// use seacma_browser::{BrowserEvent, EventLog};
+/// use seacma_graph::{milkable, BacktrackGraph};
+/// use seacma_simweb::{RedirectKind, Url};
+///
+/// let mut log = EventLog::new();
+/// let click = Url::http("srv.adnet.com", "/banners/asd.php?z=1");
+/// let tds = Url::http("findglo210.info", "/go");
+/// let attack = Url::http("live6nmld10.club", "/idx.php");
+/// log.push(BrowserEvent::Redirected { from: click, to: tds.clone(), kind: RedirectKind::Http302 });
+/// log.push(BrowserEvent::Redirected { from: tds, to: attack.clone(), kind: RedirectKind::JsSetTimeout });
+///
+/// let graph = BacktrackGraph::from_log(&log);
+/// // The milkable candidate is the first upstream node off the attack e2LD.
+/// assert_eq!(milkable::candidate(&graph, &attack).unwrap().host, "findglo210.info");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BacktrackGraph {
+    /// `child → (parent, kind)`; last writer wins, which matches "the most
+    /// recent cause" for URLs visited repeatedly in one session.
+    parent: HashMap<Url, (Url, EdgeKind)>,
+    /// `document → scripts it included`.
+    scripts: HashMap<Url, Vec<Url>>,
+}
+
+impl BacktrackGraph {
+    /// Builds the graph from a session log.
+    pub fn from_log(log: &EventLog) -> Self {
+        let mut g = BacktrackGraph::default();
+        for e in log.events() {
+            match e {
+                BrowserEvent::Redirected { from, to, kind } => {
+                    g.parent.insert(to.clone(), (from.clone(), EdgeKind::Redirect(*kind)));
+                }
+                BrowserEvent::TabOpened { opener, url } => {
+                    g.parent.insert(url.clone(), (opener.clone(), EdgeKind::WindowOpen));
+                }
+                BrowserEvent::NavigationStart {
+                    url,
+                    cause: seacma_browser::NavCause::UserClick,
+                    initiator: Some(init),
+                } => {
+                    g.parent.insert(url.clone(), (init.clone(), EdgeKind::UserClick));
+                }
+                BrowserEvent::ScriptLoaded { page, src } => {
+                    g.scripts.entry(page.clone()).or_default().push(src.clone());
+                }
+                _ => {}
+            }
+        }
+        g
+    }
+
+    /// Number of nodes with a known parent.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the graph has no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty() && self.scripts.is_empty()
+    }
+
+    /// Direct parent of a URL, if known.
+    pub fn parent_of(&self, url: &Url) -> Option<(&Url, EdgeKind)> {
+        self.parent.get(url).map(|(p, k)| (p, *k))
+    }
+
+    /// Scripts included by a document.
+    pub fn scripts_of(&self, url: &Url) -> &[Url] {
+        self.scripts.get(url).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The backward path from `start` to the root (the publisher page the
+    /// crawler originally visited), starting node first. Cycles are broken
+    /// by visited-set; the path is capped at 64 steps.
+    pub fn backtrack(&self, start: &Url) -> Vec<PathStep> {
+        let mut path = vec![PathStep { url: start.clone(), via: None }];
+        let mut cur = start.clone();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(cur.clone());
+        while let Some((p, k)) = self.parent_of(&cur) {
+            if !seen.insert(p.clone()) || path.len() >= 64 {
+                break;
+            }
+            path.push(PathStep { url: p.clone(), via: Some(k) });
+            cur = p.clone();
+        }
+        path
+    }
+
+    /// Every URL involved in delivering `start`: the backward path plus all
+    /// scripts included by documents on it. This is the URL set attribution
+    /// scans (§3.6: "for each URL in the ad loading and landing page
+    /// redirection process").
+    pub fn involved_urls(&self, start: &Url) -> Vec<Url> {
+        let mut out = Vec::new();
+        for step in self.backtrack(start) {
+            out.extend(self.scripts_of(&step.url).iter().cloned());
+            out.push(step.url);
+        }
+        out
+    }
+
+    /// Renders the backward path from `start` in Graphviz DOT form
+    /// (figure-3-style output).
+    pub fn to_dot(&self, start: &Url) -> String {
+        let mut s = String::from("digraph backtrack {\n  rankdir=TB;\n");
+        let path = self.backtrack(start);
+        for w in path.windows(2) {
+            let child = &w[0];
+            let parent = &w[1];
+            let label = match parent.via {
+                Some(EdgeKind::Redirect(k)) => format!("{k:?}"),
+                Some(EdgeKind::WindowOpen) => "window.open".to_string(),
+                Some(EdgeKind::UserClick) => "click".to_string(),
+                Some(EdgeKind::ScriptInclude) => "script".to_string(),
+                None => String::new(),
+            };
+            s.push_str(&format!("  \"{}\" -> \"{}\" [label=\"{}\"];\n", parent.url, child.url, label));
+        }
+        for step in &path {
+            for script in self.scripts_of(&step.url) {
+                s.push_str(&format!(
+                    "  \"{}\" -> \"{}\" [label=\"script\", style=dashed];\n",
+                    step.url, script
+                ));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the backward path as indented ASCII (terminal-friendly
+    /// figure 3).
+    pub fn to_ascii(&self, start: &Url) -> String {
+        let path = self.backtrack(start);
+        let mut s = String::new();
+        for (depth, step) in path.iter().rev().enumerate() {
+            let indent = "  ".repeat(depth);
+            let via = match step.via {
+                Some(EdgeKind::Redirect(k)) => format!(" ←[{k:?}]"),
+                Some(EdgeKind::WindowOpen) => " ←[window.open]".to_string(),
+                Some(EdgeKind::UserClick) => " ←[click]".to_string(),
+                Some(EdgeKind::ScriptInclude) => " ←[script]".to_string(),
+                None => String::new(),
+            };
+            s.push_str(&format!("{indent}{}{via}\n", step.url));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_browser::{BrowserEvent, EventLog, NavCause};
+
+    fn u(h: &str, p: &str) -> Url {
+        Url::http(h, p)
+    }
+
+    /// A synthetic log mirroring Figure 3: publisher → (tab) click URL →
+    /// (302) TDS → (JS) attack.
+    fn figure3_log() -> EventLog {
+        let mut log = EventLog::new();
+        let publisher = u("verbeinlaliga.com", "/");
+        let click = u("nsvf17p9.com", "/banners/asd.php?z=1");
+        let tds = u("findglo210.info", "/go");
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        log.push(BrowserEvent::PageLoaded { url: publisher.clone(), title: "pub".into() });
+        log.push(BrowserEvent::ScriptLoaded {
+            page: publisher.clone(),
+            src: u("nsvf17p9.com", "/banners/asd.php.js"),
+        });
+        log.push(BrowserEvent::TabOpened { opener: publisher.clone(), url: click.clone() });
+        log.push(BrowserEvent::Redirected {
+            from: click.clone(),
+            to: tds.clone(),
+            kind: RedirectKind::Http302,
+        });
+        log.push(BrowserEvent::Redirected {
+            from: tds.clone(),
+            to: attack.clone(),
+            kind: RedirectKind::JsSetTimeout,
+        });
+        log.push(BrowserEvent::PageLoaded { url: attack, title: "scam".into() });
+        log
+    }
+
+    #[test]
+    fn backtrack_recovers_full_chain() {
+        let g = BacktrackGraph::from_log(&figure3_log());
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        let path = g.backtrack(&attack);
+        let hosts: Vec<&str> = path.iter().map(|s| s.url.host.as_str()).collect();
+        assert_eq!(
+            hosts,
+            vec!["live6nmld10.club", "findglo210.info", "nsvf17p9.com", "verbeinlaliga.com"]
+        );
+        assert_eq!(path[1].via, Some(EdgeKind::Redirect(RedirectKind::JsSetTimeout)));
+        assert_eq!(path[3].via, Some(EdgeKind::WindowOpen));
+    }
+
+    #[test]
+    fn involved_urls_include_scripts() {
+        let g = BacktrackGraph::from_log(&figure3_log());
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        let urls = g.involved_urls(&attack);
+        assert!(urls.iter().any(|x| x.path.ends_with(".js")), "loader script missing");
+        assert_eq!(urls.len(), 5);
+    }
+
+    #[test]
+    fn user_click_edges_recorded() {
+        let mut log = EventLog::new();
+        let a = u("a.com", "/");
+        let b = u("b.com", "/");
+        log.push(BrowserEvent::NavigationStart {
+            url: b.clone(),
+            cause: NavCause::UserClick,
+            initiator: Some(a.clone()),
+        });
+        let g = BacktrackGraph::from_log(&log);
+        assert_eq!(g.parent_of(&b), Some((&a, EdgeKind::UserClick)));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut log = EventLog::new();
+        let a = u("a.com", "/");
+        let b = u("b.com", "/");
+        log.push(BrowserEvent::Redirected {
+            from: a.clone(),
+            to: b.clone(),
+            kind: RedirectKind::Http302,
+        });
+        log.push(BrowserEvent::Redirected {
+            from: b.clone(),
+            to: a.clone(),
+            kind: RedirectKind::Http302,
+        });
+        let g = BacktrackGraph::from_log(&log);
+        let path = g.backtrack(&a);
+        assert_eq!(path.len(), 2, "cycle must be cut");
+    }
+
+    #[test]
+    fn unknown_start_is_singleton_path() {
+        let g = BacktrackGraph::from_log(&EventLog::new());
+        let path = g.backtrack(&u("nowhere.com", "/"));
+        assert_eq!(path.len(), 1);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn dot_and_ascii_render() {
+        let g = BacktrackGraph::from_log(&figure3_log());
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        let dot = g.to_dot(&attack);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("findglo210.info"));
+        assert!(dot.contains("style=dashed"), "script edges must render dashed");
+        let ascii = g.to_ascii(&attack);
+        assert!(ascii.contains("verbeinlaliga.com"));
+        assert!(ascii.lines().count() >= 4);
+    }
+
+    #[test]
+    fn repeated_visits_keep_most_recent_parent() {
+        let mut log = EventLog::new();
+        let a = u("a.com", "/");
+        let b = u("b.com", "/");
+        let c = u("c.com", "/");
+        log.push(BrowserEvent::Redirected {
+            from: a.clone(),
+            to: c.clone(),
+            kind: RedirectKind::Http302,
+        });
+        log.push(BrowserEvent::Redirected {
+            from: b.clone(),
+            to: c.clone(),
+            kind: RedirectKind::JsLocation,
+        });
+        let g = BacktrackGraph::from_log(&log);
+        assert_eq!(g.parent_of(&c), Some((&b, EdgeKind::Redirect(RedirectKind::JsLocation))));
+    }
+}

@@ -1,0 +1,26 @@
+//! # seacma-graph
+//!
+//! Ad-loading process reconstruction (paper §3.4–§3.6).
+//!
+//! From the instrumented browser's event log this crate rebuilds, for every
+//! SE attack page, the *backtracking graph*: all URLs involved in rendering
+//! the ad and delivering the landing page, connected by causal edges
+//! (script inclusion, clicks, `window.open`, HTTP and JS redirections).
+//! Referrer-chain analysis is insufficient because obfuscated ad code
+//! suppresses referrers; the causal log is not fooled.
+//!
+//! Two analyses run on the graphs:
+//!
+//! * [`milkable::candidates`] — walk backwards from the attack URL until
+//!   the first node hosted off the attack page's e2LD: the campaign's
+//!   longer-lived upstream ("milkable") URL (§3.5).
+//! * [`attribution::Attributor`] — match every URL on the backward path
+//!   (and the scripts hanging off it) against ad-network invariant
+//!   patterns to attribute the ad to the network that served it (§3.6).
+
+pub mod attribution;
+pub mod backtrack;
+pub mod milkable;
+
+pub use attribution::{Attribution, Attributor, NetworkPattern};
+pub use backtrack::{BacktrackGraph, EdgeKind, PathStep};

@@ -1,0 +1,27 @@
+//! # seacma-milker
+//!
+//! Continuous SEACMA campaign tracking ("milking", paper §3.5, §4.2, §4.5).
+//!
+//! SE attack pages live on throw-away domains, but the ad-loading chain
+//! contains longer-lived upstream URLs. After the crawl, the pipeline:
+//!
+//! 1. **validates** each candidate `(URL, UA)` pair by re-visiting it and
+//!    comparing the landing screenshot against the campaign's visual
+//!    representative ([`sources::validate_candidates`]) — matches become
+//!    *milking sources*;
+//! 2. **milks** every source once per 15 virtual minutes for 14 virtual
+//!    days ([`scheduler::Milker`]), recording every never-before-seen
+//!    attack domain;
+//! 3. checks each new domain against the GSB simulator every 30 minutes
+//!    (continuing 12 days past the milking window, plus a final lookup two
+//!    months later) to measure detection rates and listing lag;
+//! 4. interacts with landing pages, harvesting the polymorphic binaries
+//!    and driving the VirusTotal submit → wait → rescan flow.
+
+pub mod downloads;
+pub mod scheduler;
+pub mod sources;
+
+pub use downloads::MilkedFile;
+pub use scheduler::{DomainDiscovery, Milker, MilkingConfig, MilkingOutcome};
+pub use sources::{validate_candidates, MilkingCandidate, MilkingSource};

@@ -1,0 +1,158 @@
+//! Deterministic hashing utilities.
+//!
+//! Every stochastic decision the simulated web makes — does this ad click
+//! cloak, which campaign does this network serve, what is the current attack
+//! domain of campaign 17 — is a *pure function* of the world seed and the
+//! decision's identifying coordinates. This makes `World::fetch` referentially
+//! transparent: crawler workers can run in parallel with no shared RNG state
+//! and milking rounds replay identically for a given seed.
+//!
+//! The mixer is SplitMix64 folded over the input words; it has excellent
+//! avalanche behaviour and is more than strong enough for simulation
+//! purposes (this is not cryptographic code).
+
+/// Mixes a sequence of words into a single 64-bit value.
+pub fn det_hash(words: &[u64]) -> u64 {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in words {
+        state = state.wrapping_add(w).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        state = splitmix64(state);
+    }
+    splitmix64(state)
+}
+
+/// SplitMix64 finalizer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` derived from the hash of `words`.
+pub fn det_f64(words: &[u64]) -> f64 {
+    // 53 mantissa bits.
+    (det_hash(words) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform integer in `[0, n)`. `n` must be nonzero.
+pub fn det_range(words: &[u64], n: u64) -> u64 {
+    assert!(n > 0, "det_range with empty range");
+    // Multiply-shift reduction avoids modulo bias for all practical n.
+    ((u128::from(det_hash(words)) * u128::from(n)) >> 64) as u64
+}
+
+/// Picks an element of `slice` deterministically.
+pub fn det_pick<'a, T>(words: &[u64], slice: &'a [T]) -> &'a T {
+    assert!(!slice.is_empty(), "det_pick from empty slice");
+    &slice[det_range(words, slice.len() as u64) as usize]
+}
+
+/// Bernoulli draw with probability `p`.
+pub fn det_bool(words: &[u64], p: f64) -> bool {
+    det_f64(words) < p
+}
+
+/// Picks an index according to `weights` (need not be normalized).
+pub fn det_weighted(words: &[u64], weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "det_weighted with no weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "det_weighted with zero total weight");
+    let mut x = det_f64(words) * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Hashes a string to a word, for mixing names into decision coordinates.
+pub fn str_word(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a 64
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_sensitive() {
+        assert_eq!(det_hash(&[1, 2, 3]), det_hash(&[1, 2, 3]));
+        assert_ne!(det_hash(&[1, 2, 3]), det_hash(&[1, 2, 4]));
+        assert_ne!(det_hash(&[1, 2, 3]), det_hash(&[3, 2, 1]));
+        assert_ne!(det_hash(&[]), det_hash(&[0]));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        for i in 0..1000 {
+            let x = det_f64(&[42, i]);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| det_f64(&[7, i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        for i in 0..1000 {
+            assert!(det_range(&[i], 7) < 7);
+        }
+        // All 7 values reachable.
+        let mut seen = [false; 7];
+        for i in 0..200 {
+            seen[det_range(&[i], 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_zero_panics() {
+        det_range(&[1], 0);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for i in 0..4000 {
+            counts[det_weighted(&[9, i], &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio} not ≈ 3");
+    }
+
+    #[test]
+    fn bool_probability() {
+        let hits = (0..10_000).filter(|&i| det_bool(&[3, i], 0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn str_word_distinguishes() {
+        assert_ne!(str_word("popads.net"), str_word("popcash.net"));
+        assert_eq!(str_word("a"), str_word("a"));
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let v = [10, 20, 30];
+        for i in 0..50 {
+            assert!(v.contains(det_pick(&[i], &v)));
+        }
+    }
+}

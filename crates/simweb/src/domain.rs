@@ -1,0 +1,85 @@
+//! Effective second-level domain (e2LD) extraction.
+//!
+//! The clustering step pairs every screenshot with the e2LD of the page it
+//! was taken on (paper §3.3), using Mozilla's Public Suffix List. We embed
+//! the subset of the PSL relevant to the simulated ecosystem, including the
+//! multi-label suffixes that make naive "last two labels" extraction wrong
+//! (`co.uk`, `com.br`, …), so the logic is exercised the same way the real
+//! system exercises the full list.
+
+/// Multi-label public suffixes known to the extractor. Single-label TLDs
+/// (com, net, club, …) need no table: any final label is a public suffix.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "net.br", "com.au", "net.au", "co.jp",
+    "ne.jp", "or.jp", "co.in", "net.in", "com.mx", "com.ar", "com.tr", "co.za", "com.cn",
+    "com.tw", "co.kr", "com.sg", "com.hk", "co.nz", "com.pl", "com.ru",
+];
+
+/// Extracts the effective second-level domain of a hostname.
+///
+/// `a.b.example.co.uk` → `example.co.uk`; `x.evil.club` → `evil.club`;
+/// a bare suffix (`co.uk`, `com`) or the empty string is returned unchanged.
+pub fn e2ld(host: &str) -> String {
+    let host = host.trim_end_matches('.').to_ascii_lowercase();
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 1 {
+        return host;
+    }
+    // Longest-match against multi-label suffixes.
+    for take in (2..=3.min(labels.len())).rev() {
+        let suffix = labels[labels.len() - take..].join(".");
+        if MULTI_LABEL_SUFFIXES.contains(&suffix.as_str()) {
+            return if labels.len() > take {
+                labels[labels.len() - take - 1..].join(".")
+            } else {
+                suffix
+            };
+        }
+    }
+    labels[labels.len() - 2..].join(".")
+}
+
+/// True if `host` equals or is a subdomain of `apex`'s e2LD.
+pub fn same_site(host: &str, apex: &str) -> bool {
+    e2ld(host) == e2ld(apex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tld() {
+        assert_eq!(e2ld("evil.club"), "evil.club");
+        assert_eq!(e2ld("www.evil.club"), "evil.club");
+        assert_eq!(e2ld("a.b.c.evil.club"), "evil.club");
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        assert_eq!(e2ld("shop.example.co.uk"), "example.co.uk");
+        assert_eq!(e2ld("example.co.uk"), "example.co.uk");
+        assert_eq!(e2ld("deep.sub.site.com.br"), "site.com.br");
+    }
+
+    #[test]
+    fn bare_suffix_and_degenerate() {
+        assert_eq!(e2ld("co.uk"), "co.uk");
+        assert_eq!(e2ld("com"), "com");
+        assert_eq!(e2ld(""), "");
+        assert_eq!(e2ld("localhost"), "localhost");
+    }
+
+    #[test]
+    fn case_and_trailing_dot_normalized() {
+        assert_eq!(e2ld("WWW.Evil.CLUB."), "evil.club");
+    }
+
+    #[test]
+    fn same_site_checks() {
+        assert!(same_site("cdn.pub.com", "pub.com"));
+        assert!(same_site("pub.com", "www.pub.com"));
+        assert!(!same_site("pub.com", "attacker.com"));
+        assert!(!same_site("a.co.uk", "b.co.uk"));
+    }
+}

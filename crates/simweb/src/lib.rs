@@ -1,0 +1,59 @@
+//! # seacma-simweb
+//!
+//! A deterministic, seeded synthetic web ecosystem that stands in for the
+//! live web in the SEACMA reproduction (Vadrevu & Perdisci, IMC 2019).
+//!
+//! The paper's measurement pipeline observes the web only through a narrow
+//! interface: fetch a URL with a given client profile (user agent, IP
+//! vantage, automation fingerprint) at a given time, and receive back a page
+//! (with scripts, clickable elements, a rendered appearance, page-locking
+//! behaviours, downloads) or a redirect. This crate implements that
+//! interface over a generated world containing:
+//!
+//! * **publisher sites** embedding low-tier ad-network code snippets
+//!   (categories follow Table 2 of the paper),
+//! * **ad networks** — the 11 seed networks of Table 3 plus three
+//!   "unknown" networks discoverable through attribution — with rotating
+//!   code-hosting domains, URL/JS invariant patterns, IP cloaking
+//!   (Propeller/Clickadu serve benign ads to non-residential vantage) and
+//!   `navigator.webdriver` anti-bot checks,
+//! * **SE attack campaigns** of the six categories of Table 1, hosted on
+//!   frequently rotating throw-away domains behind a longer-lived
+//!   traffic-distribution ("milkable") layer,
+//! * **benign advertisers** and the paper's clustering confounders (parked
+//!   domains, stock-image adult pages, ad-based URL shorteners),
+//! * a **PublicWWW-like source-code search engine** and a **WebPulse-like
+//!   categorizer**.
+//!
+//! Every response is a pure function of `(world seed, url, client profile,
+//! sim time)`, so crawling is embarrassingly parallel and milking rounds are
+//! reproducible.
+
+pub mod adnet;
+pub mod campaign;
+pub mod categorize;
+pub mod client;
+pub mod det;
+pub mod domain;
+pub mod host;
+pub mod names;
+pub mod page;
+pub mod payload;
+pub mod publisher;
+pub mod search;
+pub mod time;
+pub mod url;
+pub mod visual;
+pub mod world;
+
+pub use adnet::{AdNetworkId, AdNetworkSpec};
+pub use campaign::{CampaignId, SeCampaign, SeCategory};
+pub use client::{ClientProfile, OsClass, UaProfile, Vantage};
+pub use domain::e2ld;
+pub use host::{HostResponse, RedirectKind};
+pub use page::{ClickAction, Element, ElementKind, LockTactic, Page};
+pub use payload::{FileFormat, FilePayload};
+pub use publisher::{PublisherId, PublisherSite, SiteCategory};
+pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE};
+pub use url::Url;
+pub use world::{World, WorldConfig};

@@ -1,0 +1,136 @@
+//! Deterministic generation of realistic domain labels.
+//!
+//! SEACMA infrastructure uses machine-generated throw-away names
+//! (`wduygininqbu.com`, `live6nmld10.club`, `findglo210.info`, …) while
+//! publishers and benign advertisers use pronounceable word compounds. Both
+//! styles are generated deterministically from hash words so any component
+//! can re-derive a name from its coordinates without global state.
+
+use crate::det::{det_hash, det_range};
+
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "st", "tr", "ch", "gl", "pl", "cr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io"];
+
+const WORDS_A: &[&str] = &[
+    "stream", "movie", "sport", "live", "free", "flix", "video", "play", "watch", "tube",
+    "media", "game", "anime", "serie", "film", "tv", "cast", "gol", "futbol", "drama",
+    "manga", "music", "song", "torrent", "down", "load", "file", "share", "host", "cloud",
+    "blog", "news", "daily", "tech", "soft", "crack", "mod", "apk", "hack", "tips",
+];
+const WORDS_B: &[&str] = &[
+    "hub", "zone", "land", "spot", "box", "center", "world", "city", "site", "point",
+    "base", "place", "mania", "plus", "pro", "max", "hq", "online", "now", "club",
+    "link", "gate", "portal", "arena", "star", "king", "nest", "wave", "verse", "dock",
+];
+
+/// TLD pools by "trust tier". Throw-away attack domains live in cheap TLDs.
+pub const CHEAP_TLDS: &[&str] = &["club", "info", "xyz", "top", "site", "online", "icu", "pw"];
+/// TLDs used by publishers and benign advertisers.
+pub const COMMON_TLDS: &[&str] = &["com", "net", "org", "io", "tv", "me", "co"];
+
+/// A random consonant-vowel gibberish label, like ad networks' rotating
+/// code-hosting domains (`nsvf17p9`, `enynwkvdb`).
+pub fn gibberish_label(words: &[u64], min_syllables: usize, max_syllables: usize) -> String {
+    debug_assert!(min_syllables >= 1 && max_syllables >= min_syllables);
+    let n = min_syllables as u64
+        + det_range(&[det_hash(words), 0], (max_syllables - min_syllables + 1) as u64);
+    let mut s = String::new();
+    for i in 0..n {
+        let h = det_hash(&[det_hash(words), 1, i]);
+        s.push_str(CONSONANTS[(h % CONSONANTS.len() as u64) as usize]);
+        s.push_str(VOWELS[((h >> 16) % VOWELS.len() as u64) as usize]);
+    }
+    // Many real throwaway names carry a numeric suffix (findglo210, relsta60).
+    let h = det_hash(&[det_hash(words), 2]);
+    if h % 3 != 0 {
+        s.push_str(&format!("{}", h % 1000));
+    }
+    s
+}
+
+/// A pronounceable compound label for publishers/advertisers
+/// (`streamhub`, `moviezone24`).
+pub fn compound_label(words: &[u64]) -> String {
+    let h = det_hash(words);
+    let a = WORDS_A[(h % WORDS_A.len() as u64) as usize];
+    let b = WORDS_B[((h >> 16) % WORDS_B.len() as u64) as usize];
+    let mut s = format!("{a}{b}");
+    if (h >> 32) % 4 == 0 {
+        s.push_str(&format!("{}", (h >> 40) % 100));
+    }
+    s
+}
+
+/// A throw-away attack/TDS domain on a cheap TLD.
+pub fn throwaway_domain(words: &[u64]) -> String {
+    let label = gibberish_label(words, 2, 4);
+    let tld = CHEAP_TLDS[(det_hash(&[det_hash(words), 3]) % CHEAP_TLDS.len() as u64) as usize];
+    format!("{label}.{tld}")
+}
+
+/// A publisher/advertiser domain on a common TLD.
+pub fn common_domain(words: &[u64]) -> String {
+    let label = compound_label(words);
+    let tld = COMMON_TLDS[(det_hash(&[det_hash(words), 4]) % COMMON_TLDS.len() as u64) as usize];
+    format!("{label}.{tld}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(throwaway_domain(&[1, 2]), throwaway_domain(&[1, 2]));
+        assert_eq!(common_domain(&[5]), common_domain(&[5]));
+    }
+
+    #[test]
+    fn names_are_mostly_distinct() {
+        let names: HashSet<String> = (0..1000).map(|i| throwaway_domain(&[7, i])).collect();
+        assert!(names.len() > 950, "too many collisions: {}", names.len());
+    }
+
+    #[test]
+    fn throwaway_uses_cheap_tld() {
+        for i in 0..100 {
+            let d = throwaway_domain(&[9, i]);
+            let tld = d.rsplit('.').next().unwrap();
+            assert!(CHEAP_TLDS.contains(&tld), "unexpected tld in {d}");
+        }
+    }
+
+    #[test]
+    fn common_uses_common_tld() {
+        for i in 0..100 {
+            let d = common_domain(&[11, i]);
+            let tld = d.rsplit('.').next().unwrap();
+            assert!(COMMON_TLDS.contains(&tld), "unexpected tld in {d}");
+        }
+    }
+
+    #[test]
+    fn labels_are_dns_safe() {
+        for i in 0..200 {
+            let d = throwaway_domain(&[13, i]);
+            assert!(
+                d.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'),
+                "non-dns char in {d}"
+            );
+            assert!(d.len() < 64);
+        }
+    }
+
+    #[test]
+    fn gibberish_syllable_bounds() {
+        for i in 0..50 {
+            let l = gibberish_label(&[15, i], 2, 2);
+            // 2 syllables of at most 4 chars each + up to 3 digits.
+            assert!(l.len() >= 4 && l.len() <= 11, "odd length {}: {l}", l.len());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Downloadable file payloads.
+//!
+//! Fake-software and scareware attack pages respond to interaction with a
+//! file download (Windows PE or macOS DMG in the paper, §4.5). The binaries
+//! are *highly polymorphic*: of 9,476 milked files only 1,203 were already
+//! known to VirusTotal. We model a payload as a member of a per-campaign
+//! *family* whose content hash is re-randomized per serving.
+
+use serde::{Deserialize, Serialize};
+
+use crate::det::det_hash;
+
+/// Container format of a served binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileFormat {
+    /// Windows Portable Executable.
+    Pe,
+    /// macOS disk image.
+    Dmg,
+    /// Browser extension package.
+    Crx,
+}
+
+/// A concrete downloaded file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilePayload {
+    /// Malware family — shared by all downloads of one campaign.
+    pub family: u64,
+    /// Content hash of this serving. Polymorphism means the hash is fresh
+    /// for most servings; a fraction repeats (already-known samples).
+    pub sha: u128,
+    /// Container format.
+    pub format: FileFormat,
+}
+
+/// Probability that a served sample reuses a previously-distributed hash
+/// (and is therefore already known to VirusTotal). Calibrated to the
+/// paper's 1,203 / 9,476 ≈ 12.7 %.
+pub const KNOWN_SAMPLE_RATE: f64 = 0.127;
+
+impl FilePayload {
+    /// Derives the payload served by campaign `family` at serving
+    /// coordinates `words`. With probability [`KNOWN_SAMPLE_RATE`] the
+    /// sample is drawn from a small pool of "old" hashes (already seen in
+    /// the wild); otherwise the hash is unique to this serving.
+    pub fn serve(family: u64, format: FileFormat, words: &[u64]) -> FilePayload {
+        let mut w = vec![family, 0xF11E];
+        w.extend_from_slice(words);
+        let h = det_hash(&w);
+        let reuse = (h % 1000) as f64 / 1000.0;
+        let sha = if reuse < KNOWN_SAMPLE_RATE {
+            // One of 16 well-known variants of the family.
+            let idx = h >> 32 & 0xF;
+            (u128::from(family) << 64) | u128::from(det_hash(&[family, 0x01D, idx]))
+        } else {
+            let low = h ^ det_hash(&[h, 0x901F]);
+            (u128::from(family) << 64) | u128::from(low)
+        };
+        FilePayload { family, sha, format }
+    }
+
+    /// Whether the hash belongs to the family's "old variant" pool.
+    pub fn is_known_variant(&self) -> bool {
+        (0..16).any(|idx| {
+            self.sha == (u128::from(self.family) << 64) | u128::from(det_hash(&[self.family, 0x01D, idx]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_is_deterministic() {
+        let a = FilePayload::serve(7, FileFormat::Pe, &[1, 2, 3]);
+        let b = FilePayload::serve(7, FileFormat::Pe, &[1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn polymorphism_rate_matches_calibration() {
+        let known = (0..20_000u64)
+            .map(|i| FilePayload::serve(3, FileFormat::Pe, &[i]))
+            .filter(FilePayload::is_known_variant)
+            .count();
+        let rate = known as f64 / 20_000.0;
+        assert!(
+            (rate - KNOWN_SAMPLE_RATE).abs() < 0.02,
+            "known-sample rate {rate} departs from calibration"
+        );
+    }
+
+    #[test]
+    fn fresh_hashes_are_unique() {
+        use std::collections::HashSet;
+        let fresh: Vec<FilePayload> = (0..5000u64)
+            .map(|i| FilePayload::serve(9, FileFormat::Dmg, &[i]))
+            .filter(|p| !p.is_known_variant())
+            .collect();
+        let hashes: HashSet<u128> = fresh.iter().map(|p| p.sha).collect();
+        assert_eq!(hashes.len(), fresh.len(), "fresh polymorphic hashes collided");
+    }
+
+    #[test]
+    fn family_is_embedded_in_hash() {
+        let p = FilePayload::serve(42, FileFormat::Pe, &[0]);
+        assert_eq!((p.sha >> 64) as u64, 42);
+    }
+
+    #[test]
+    fn different_families_never_share_hashes() {
+        let a = FilePayload::serve(1, FileFormat::Pe, &[5]);
+        let b = FilePayload::serve(2, FileFormat::Pe, &[5]);
+        assert_ne!(a.sha, b.sha);
+    }
+}

@@ -1,0 +1,125 @@
+//! PublicWWW-style source-code search.
+//!
+//! The paper "reverses" ad-network invariant patterns into publisher lists
+//! by querying publicwww.com, a source-code search engine (§3.1: 93,427
+//! publishers from 11 networks; §4.4: 8,981 more from the three newly
+//! discovered networks). This module provides the same operation over the
+//! simulated publishers' page sources.
+
+use crate::publisher::PublisherId;
+use crate::world::World;
+
+/// A source-code search engine over the world's publisher pages.
+pub struct SourceSearch<'w> {
+    world: &'w World,
+}
+
+impl<'w> SourceSearch<'w> {
+    /// Builds a search engine over `world`.
+    pub fn new(world: &'w World) -> Self {
+        Self { world }
+    }
+
+    /// Returns the publishers whose page source contains `pattern`,
+    /// in id order.
+    pub fn search(&self, pattern: &str) -> Vec<PublisherId> {
+        self.world
+            .publishers()
+            .iter()
+            .filter(|p| self.world.publisher_source(p.id).contains(pattern))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Returns the union of publishers matching *any* of `patterns`,
+    /// deduplicated, in id order — how the seed crawl pool is assembled
+    /// from the 11 networks' invariants.
+    pub fn search_any(&self, patterns: &[&str]) -> Vec<PublisherId> {
+        let mut out: Vec<PublisherId> = self
+            .world
+            .publishers()
+            .iter()
+            .filter(|p| {
+                let src = self.world.publisher_source(p.id);
+                patterns.iter().any(|pat| src.contains(pat))
+            })
+            .map(|p| p.id)
+            .collect();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn small_world() -> World {
+        World::generate(WorldConfig {
+            n_publishers: 300,
+            n_hidden_only_publishers: 40,
+            n_advertisers: 20,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn seed_invariants_find_only_their_publishers() {
+        let w = small_world();
+        let search = SourceSearch::new(&w);
+        let net = &w.networks()[0];
+        let hits = search.search(&net.js_invariant);
+        assert!(!hits.is_empty());
+        for pid in &hits {
+            let p = &w.publishers()[pid.0 as usize];
+            assert!(p.networks.contains(&net.id), "{} matched without embedding", p.domain);
+        }
+        // Completeness: every embedder is found.
+        let embedders = w.publishers().iter().filter(|p| p.networks.contains(&net.id)).count();
+        assert_eq!(hits.len(), embedders);
+    }
+
+    #[test]
+    fn union_search_covers_seed_pool() {
+        let w = small_world();
+        let search = SourceSearch::new(&w);
+        let patterns: Vec<String> = w
+            .networks()
+            .iter()
+            .filter(|n| n.seed_listed)
+            .map(|n| n.js_invariant.clone())
+            .collect();
+        let pats: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let hits = search.search_any(&pats);
+        // All non-hidden-only publishers embed ≥1 seed network.
+        assert_eq!(hits.len() as u32, w.config().n_publishers);
+    }
+
+    #[test]
+    fn hidden_only_publishers_not_in_seed_pool() {
+        let w = small_world();
+        let search = SourceSearch::new(&w);
+        let patterns: Vec<String> = w
+            .networks()
+            .iter()
+            .filter(|n| n.seed_listed)
+            .map(|n| n.js_invariant.clone())
+            .collect();
+        let pats: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let hits = search.search_any(&pats);
+        let hidden_start = w.config().n_publishers;
+        assert!(hits.iter().all(|p| p.0 < hidden_start));
+        // But the hidden networks' own invariants do find them.
+        let hidden_net = w.networks().iter().find(|n| !n.seed_listed).unwrap();
+        let hidden_hits = search.search(&hidden_net.js_invariant);
+        assert!(hidden_hits.iter().any(|p| p.0 >= hidden_start));
+    }
+
+    #[test]
+    fn nonsense_pattern_finds_nothing() {
+        let w = small_world();
+        let search = SourceSearch::new(&w);
+        assert!(search.search("zzz_does_not_exist_zzz").is_empty());
+    }
+}

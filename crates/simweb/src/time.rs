@@ -1,0 +1,170 @@
+//! Simulated time.
+//!
+//! All temporal behaviour in the ecosystem — attack-domain rotation, GSB
+//! detection latency, milking cadence ("once every 15 minutes" for 14 days),
+//! the 12-day lookup tail and the "after 2 months" final lookup — runs on a
+//! virtual clock measured in minutes, so a multi-week measurement executes
+//! in seconds of wall time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in minutes since the world epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in minutes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+/// One simulated minute.
+pub const MINUTE: SimDuration = SimDuration(1);
+/// One simulated hour.
+pub const HOUR: SimDuration = SimDuration(60);
+/// One simulated day.
+pub const DAY: SimDuration = SimDuration(24 * 60);
+
+impl SimTime {
+    /// The world epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Minutes since the epoch.
+    pub fn minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch.
+    pub fn days(self) -> u64 {
+        self.0 / DAY.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Builds a duration from minutes.
+    pub const fn from_minutes(m: u64) -> Self {
+        SimDuration(m)
+    }
+
+    /// Builds a duration from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 60)
+    }
+
+    /// Builds a duration from days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 24 * 60)
+    }
+
+    /// The duration in minutes.
+    pub fn minutes(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / DAY.0 as f64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / DAY.0;
+        let h = (self.0 % DAY.0) / 60;
+        let m = self.0 % 60;
+        write!(f, "d{d}+{h:02}:{m:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= DAY.0 {
+            write!(f, "{:.1}d", self.as_days())
+        } else if self.0 >= 60 {
+            write!(f, "{:.1}h", self.0 as f64 / 60.0)
+        } else {
+            write!(f, "{}m", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::EPOCH + SimDuration::from_days(2) + HOUR * 3;
+        assert_eq!(t.minutes(), 2 * 1440 + 180);
+        assert_eq!(t.days(), 2);
+        assert_eq!((t - SimTime::EPOCH).minutes(), t.minutes());
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(200);
+        assert_eq!(a.since(b).minutes(), 0);
+        assert_eq!(b.since(a).minutes(), 100);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime(0).to_string(), "d0+00:00");
+        assert_eq!((SimTime::EPOCH + DAY + HOUR + MINUTE).to_string(), "d1+01:01");
+        assert_eq!(SimDuration::from_minutes(45).to_string(), "45m");
+        assert_eq!(SimDuration::from_hours(3).to_string(), "3.0h");
+        assert_eq!(SimDuration::from_days(7).to_string(), "7.0d");
+    }
+
+    #[test]
+    fn duration_constructors_consistent() {
+        assert_eq!(SimDuration::from_days(1), DAY);
+        assert_eq!(SimDuration::from_hours(24), DAY);
+        assert_eq!(SimDuration::from_minutes(60), HOUR);
+        assert_eq!(DAY.as_days(), 1.0);
+    }
+}

@@ -1,0 +1,789 @@
+//! The generated web ecosystem and its hosting logic.
+//!
+//! [`World::generate`] builds the full cast — ad networks, campaigns,
+//! publishers, benign advertisers, clustering confounders — from a single
+//! seed. [`World::fetch`] then resolves any URL for a given client profile
+//! and simulated time, emitting exactly one hop (page or redirect) per
+//! call. Responses are pure functions of `(seed, url, client, time)`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::adnet::{standard_networks, AdNetworkId, AdNetworkSpec};
+use crate::campaign::{CampaignId, SeCampaign, SeCategory};
+use crate::client::ClientProfile;
+use crate::det::{det_bool, det_f64, det_hash, det_range, det_weighted, str_word};
+use crate::host::{HostResponse, RedirectKind};
+use crate::names::{common_domain, gibberish_label, throwaway_domain};
+use crate::page::{ClickAction, Element, ElementKind, Page};
+use crate::payload::FilePayload;
+use crate::publisher::{PublisherId, PublisherSite, SiteCategory};
+use crate::time::SimTime;
+use crate::url::Url;
+use crate::visual::VisualTemplate;
+
+/// Parameters of world generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; one seed ⇒ byte-identical world and measurements.
+    pub seed: u64,
+    /// Number of publisher sites that embed at least one *seed-listed* ad
+    /// network (the PublicWWW-reversible pool; paper: 93,427).
+    pub n_publishers: u32,
+    /// Additional publishers that embed only hidden networks (discovered
+    /// later via the new-ad-network loop; paper: 8,981).
+    pub n_hidden_only_publishers: u32,
+    /// Number of benign advertiser sites.
+    pub n_advertisers: u32,
+    /// Multiplier on the paper's per-category campaign counts (1.0 ⇒ 108
+    /// campaigns).
+    pub campaign_scale: f64,
+    /// Probability that a benign ad click lands on a clustering confounder
+    /// (parked page, stock-image adult lure, URL-shortener interstitial).
+    pub confounder_rate: f64,
+    /// Probability that a landing-page load fails blank (the paper's one
+    /// spurious cluster).
+    pub error_rate: f64,
+    /// Fraction of publishers whose ad code is gone by crawl time (stale
+    /// search-index entries; drives the visited-vs-productive gap).
+    pub stale_fraction: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EAC_A201,
+            n_publishers: 8000,
+            n_hidden_only_publishers: 800,
+            n_advertisers: 400,
+            campaign_scale: 1.0,
+            confounder_rate: 0.08,
+            error_rate: 0.0015,
+            stale_fraction: 0.35,
+        }
+    }
+}
+
+/// A clustering confounder hosted on many unrelated domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Confounder {
+    Parked { provider: u16 },
+    StockAdult { image: u16 },
+    Shortener { service: u16 },
+}
+
+/// Number of distinct parking-provider layouts (the paper found 11 parked
+/// clusters).
+pub const PARKED_PROVIDERS: u16 = 11;
+/// Number of stock adult images (6 clusters in the paper).
+pub const STOCK_IMAGES: u16 = 6;
+/// Number of shortener services × layout variants (4 clusters).
+pub const SHORTENER_SERVICES: u16 = 4;
+
+/// The generated ecosystem.
+///
+/// ```
+/// use seacma_simweb::{ClientProfile, UaProfile, Vantage, SimTime, World, WorldConfig};
+///
+/// let world = World::generate(WorldConfig {
+///     n_publishers: 50,
+///     n_hidden_only_publishers: 5,
+///     n_advertisers: 10,
+///     ..Default::default()
+/// });
+/// let client = ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Residential);
+/// let publisher = world.publishers().iter().find(|p| !p.stale).unwrap();
+/// let page = world
+///     .fetch(&publisher.url(), &client, SimTime::EPOCH)
+///     .page()
+///     .expect("publishers serve pages")
+///     .clone();
+/// assert!(!page.ad_click_chain.is_empty(), "ad listeners are armed");
+/// ```
+pub struct World {
+    config: WorldConfig,
+    networks: Vec<AdNetworkSpec>,
+    campaigns: Vec<SeCampaign>,
+    publishers: Vec<PublisherSite>,
+    advertiser_domains: Vec<String>,
+    advertiser_weights: Vec<f64>,
+    pub_by_domain: HashMap<String, PublisherId>,
+    net_by_code_domain: HashMap<String, AdNetworkId>,
+    campaign_by_tds: HashMap<String, CampaignId>,
+    campaign_by_landing: HashMap<String, CampaignId>,
+    advertiser_by_domain: HashMap<String, u32>,
+    confounder_by_domain: HashMap<String, Confounder>,
+    /// Sorted confounder domains for deterministic weighted picks.
+    confounder_domains: Vec<String>,
+    /// Ad-exchange hosts (syndication hop between network and TDS).
+    exchange_domains: Vec<String>,
+}
+
+impl World {
+    /// Generates a world from the given configuration.
+    pub fn generate(config: WorldConfig) -> World {
+        let seed = config.seed;
+        let networks = standard_networks();
+
+        // --- campaigns -----------------------------------------------------
+        let mut campaigns = Vec::new();
+        for cat in SeCategory::ALL {
+            let count =
+                ((f64::from(cat.paper_campaign_count()) * config.campaign_scale).round() as u32)
+                    .max(1);
+            for k in 0..count {
+                let id = CampaignId(campaigns.len() as u32);
+                let cid = u64::from(id.0);
+                let milkable = det_f64(&[seed, 0x317B, cid]) < cat.milkable_fraction();
+                let tds_domain = milkable.then(|| {
+                    // TDS domains live on .info/.club style cheap TLDs but
+                    // persist for the whole measurement.
+                    throwaway_domain(&[seed, 0x7D5_D0, cid])
+                });
+                let landing_path = format!(
+                    "/{}/idx.php",
+                    gibberish_label(&[seed, 0x1A_7D1F, cid], 2, 3)
+                );
+                campaigns.push(SeCampaign {
+                    id,
+                    category: cat,
+                    skin: k as u16,
+                    family: 1000 + cid,
+                    tds_domain,
+                    tds_path: format!("/{}", gibberish_label(&[seed, 0x7D5_A7, cid], 1, 2)),
+                    landing_path,
+                    weight: 0.5 + det_f64(&[seed, 0x3E16, cid]),
+                });
+            }
+        }
+
+        // --- publishers ----------------------------------------------------
+        let cat_weights: Vec<f64> = SiteCategory::ALL.iter().map(|c| c.weight()).collect();
+        let seed_ids: Vec<AdNetworkId> =
+            networks.iter().filter(|n| n.seed_listed).map(|n| n.id).collect();
+        let seed_vols: Vec<f64> =
+            networks.iter().filter(|n| n.seed_listed).map(|n| n.volume_weight).collect();
+        let hidden_ids: Vec<AdNetworkId> =
+            networks.iter().filter(|n| !n.seed_listed).map(|n| n.id).collect();
+
+        let total_pubs = config.n_publishers + config.n_hidden_only_publishers;
+        let mut publishers = Vec::with_capacity(total_pubs as usize);
+        let mut pub_by_domain = HashMap::with_capacity(total_pubs as usize);
+        for i in 0..total_pubs {
+            let pid = u64::from(i);
+            // Retry on name collision: domains must be unique.
+            let mut attempt = 0u64;
+            let domain = loop {
+                let d = common_domain(&[seed, 0x9B_B1, pid, attempt]);
+                if !pub_by_domain.contains_key(&d) {
+                    break d;
+                }
+                attempt += 1;
+            };
+            let category =
+                SiteCategory::ALL[det_weighted(&[seed, 0xCA7, pid], &cat_weights)];
+            // Paper §4.3: 52 of 11,341 SEACMA publishers in the top 10,000,
+            // 4 in the top 1,000.
+            let rank = if det_f64(&[seed, 0x9A_2A, pid]) < 0.006 {
+                Some(1 + det_range(&[seed, 0x9A_2B, pid], 10_000) as u32)
+            } else {
+                None
+            };
+            let hidden_only = i >= config.n_publishers;
+            let mut nets = Vec::new();
+            if hidden_only {
+                nets.push(pick_hidden(&networks, &hidden_ids, category, &[seed, 0x41D, pid]));
+            } else {
+                // 1–3 seed networks, volume-weighted; greedy sites stack
+                // several (paper §3.2).
+                let n_nets = 1 + det_weighted(&[seed, 0x92E, pid], &[0.55, 0.33, 0.12]);
+                for j in 0..n_nets {
+                    let idx =
+                        det_weighted(&[seed, 0x92F, pid, j as u64], &seed_vols);
+                    let id = seed_ids[idx];
+                    if !nets.contains(&id) {
+                        nets.push(id);
+                    }
+                }
+                // Some seed-pool publishers additionally run a hidden
+                // network — the source of "unknown" attributions.
+                if det_f64(&[seed, 0x930, pid]) < 0.30 {
+                    let h = pick_hidden(&networks, &hidden_ids, category, &[seed, 0x931, pid]);
+                    if !nets.contains(&h) {
+                        nets.push(h);
+                    }
+                }
+            }
+            let site = PublisherSite {
+                id: PublisherId(i),
+                domain: domain.clone(),
+                category,
+                rank,
+                networks: nets,
+                stale: det_f64(&[seed, 0x57A1E, pid]) < config.stale_fraction,
+            };
+            pub_by_domain.insert(domain, site.id);
+            publishers.push(site);
+        }
+
+        // --- benign advertisers ---------------------------------------------
+        let mut advertiser_domains = Vec::with_capacity(config.n_advertisers as usize);
+        let mut advertiser_by_domain = HashMap::new();
+        let mut advertiser_weights = Vec::with_capacity(config.n_advertisers as usize);
+        for i in 0..config.n_advertisers {
+            let mut attempt = 0u64;
+            let domain = loop {
+                let d = common_domain(&[seed, 0xAD_BE, u64::from(i), attempt]);
+                if !advertiser_by_domain.contains_key(&d) && !pub_by_domain.contains_key(&d) {
+                    break d;
+                }
+                attempt += 1;
+            };
+            advertiser_by_domain.insert(domain.clone(), i);
+            advertiser_domains.push(domain);
+            // Zipf-ish: a few advertisers absorb most benign clicks, which
+            // is what makes the worst-case ethics cost (~1,209 hits on one
+            // domain) emerge.
+            advertiser_weights.push(1.0 / f64::from(i + 1).powf(0.9));
+        }
+
+        // --- ad network code domains ----------------------------------------
+        let mut net_by_code_domain = HashMap::new();
+        for n in &networks {
+            for slot in 0..n.code_domain_pool {
+                net_by_code_domain.insert(n.code_domain(seed, slot), n.id);
+            }
+        }
+
+        // --- campaign lookup tables ------------------------------------------
+        let mut campaign_by_tds = HashMap::new();
+        let mut campaign_by_landing = HashMap::new();
+        for c in &campaigns {
+            if let Some(d) = &c.tds_domain {
+                campaign_by_tds.insert(d.clone(), c.id);
+            }
+            let prev = campaign_by_landing.insert(c.landing_path.clone(), c.id);
+            assert!(prev.is_none(), "landing-path collision between campaigns");
+        }
+
+        // --- confounder domains ----------------------------------------------
+        let mut confounder_by_domain = HashMap::new();
+        for i in 0..260u64 {
+            let d = throwaway_domain(&[seed, 0x9A_12D, i]);
+            confounder_by_domain
+                .insert(d, Confounder::Parked { provider: (i % u64::from(PARKED_PROVIDERS)) as u16 });
+        }
+        for i in 0..60u64 {
+            let d = throwaway_domain(&[seed, 0x57_0C4, i]);
+            confounder_by_domain
+                .insert(d, Confounder::StockAdult { image: (i % u64::from(STOCK_IMAGES)) as u16 });
+        }
+        for i in 0..48u64 {
+            let d = throwaway_domain(&[seed, 0x5407, i]);
+            confounder_by_domain
+                .insert(d, Confounder::Shortener { service: (i % u64::from(SHORTENER_SERVICES)) as u16 });
+        }
+
+        let mut confounder_domains: Vec<String> = confounder_by_domain.keys().cloned().collect();
+        confounder_domains.sort();
+
+        // --- ad exchanges ------------------------------------------------------
+        let exchange_domains: Vec<String> = (0..6u64)
+            .map(|i| {
+                format!("{}.com", gibberish_label(&[seed, 0xE8_C4A, i], 2, 3))
+            })
+            .collect();
+
+        World {
+            config,
+            networks,
+            campaigns,
+            publishers,
+            advertiser_domains,
+            advertiser_weights,
+            pub_by_domain,
+            net_by_code_domain,
+            campaign_by_tds,
+            campaign_by_landing,
+            advertiser_by_domain,
+            confounder_by_domain,
+            confounder_domains,
+            exchange_domains,
+        }
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The world seed.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// All ad networks (seed-listed first).
+    pub fn networks(&self) -> &[AdNetworkSpec] {
+        &self.networks
+    }
+
+    /// All SE campaigns (ground truth).
+    pub fn campaigns(&self) -> &[SeCampaign] {
+        &self.campaigns
+    }
+
+    /// All publisher sites.
+    pub fn publishers(&self) -> &[PublisherSite] {
+        &self.publishers
+    }
+
+    /// Looks up a publisher by domain.
+    pub fn publisher_by_domain(&self, domain: &str) -> Option<&PublisherSite> {
+        self.pub_by_domain.get(domain).map(|id| &self.publishers[id.0 as usize])
+    }
+
+    /// Looks up a campaign by id.
+    pub fn campaign(&self, id: CampaignId) -> &SeCampaign {
+        &self.campaigns[id.0 as usize]
+    }
+
+    /// The ad network owning a code domain, if any (ground truth the
+    /// attribution step must recover from URL patterns alone).
+    pub fn network_of_code_domain(&self, domain: &str) -> Option<AdNetworkId> {
+        self.net_by_code_domain.get(domain).copied()
+    }
+
+    /// Ground truth: the campaign whose *current or past* attack domain is
+    /// `domain` near time `t`, if any. Used only for evaluation, never by
+    /// the pipeline itself.
+    pub fn campaign_of_attack_domain(&self, domain: &str, t: SimTime) -> Option<CampaignId> {
+        for c in &self.campaigns {
+            let e_now = c.epoch(t);
+            let lo = e_now.saturating_sub(SeCampaign::PARKED_GRACE_EPOCHS);
+            for e in lo..=e_now {
+                for shard in 0..c.category.parallel_shards() {
+                    if c.attack_domain_at_epoch(self.seed(), e, shard) == domain {
+                        return Some(c.id);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The publisher page source (markup + ad loader snippets) as indexed
+    /// by the PublicWWW-style search engine. Time-independent.
+    pub fn publisher_source(&self, id: PublisherId) -> String {
+        let p = &self.publishers[id.0 as usize];
+        let mut s = format!("<html><title>{}</title>\n", p.domain);
+        for nid in &p.networks {
+            let n = &self.networks[nid.0 as usize];
+            s.push_str(&n.loader_snippet(self.seed(), p.word()));
+            s.push('\n');
+        }
+        s.push_str("</html>\n");
+        s
+    }
+
+    /// Resolves one hop of `url` for `client` at time `t`.
+    pub fn fetch(&self, url: &Url, client: &ClientProfile, t: SimTime) -> HostResponse {
+        // Transient blank loads (spurious-cluster source) can hit any
+        // document fetch.
+        let uw = str_word(&url.to_string());
+        if det_bool(&[self.seed(), 0xE44, uw, t.minutes() / 30], self.config.error_rate) {
+            return HostResponse::Page(Box::new(Page::bare(
+                url.clone(),
+                "",
+                VisualTemplate::LoadError,
+            )));
+        }
+
+        if let Some(&pid) = self.pub_by_domain.get(&url.host) {
+            return self.serve_publisher(pid, url, client, t);
+        }
+        if let Some(&nid) = self.net_by_code_domain.get(&url.host) {
+            return self.serve_ad_click(nid, url, client, t);
+        }
+        if let Some(&cid) = self.campaign_by_tds.get(&url.host) {
+            return self.serve_tds(cid, url, client, t);
+        }
+        if let Some(&cid) = self.campaign_by_landing.get(&url.path) {
+            return self.serve_attack(cid, url, client, t);
+        }
+        if self.exchange_domains.contains(&url.host) {
+            return self.serve_exchange(url, client, t);
+        }
+        if let Some(&adv) = self.advertiser_by_domain.get(&url.host) {
+            return self.serve_advertiser(adv, url);
+        }
+        if let Some(&conf) = self.confounder_by_domain.get(&url.host) {
+            return self.serve_confounder(conf, url);
+        }
+        HostResponse::NxDomain
+    }
+
+    // --- hosting handlers ----------------------------------------------------
+
+    fn serve_publisher(
+        &self,
+        pid: PublisherId,
+        url: &Url,
+        _client: &ClientProfile,
+        t: SimTime,
+    ) -> HostResponse {
+        let p = &self.publishers[pid.0 as usize];
+        let seed = self.seed();
+        let pw = p.word();
+        // Stale entries in the search index: the live page carries no ad
+        // code any more.
+        let networks: &[crate::adnet::AdNetworkId] = if p.stale { &[] } else { &p.networks };
+
+        // Content elements: a grid of thumbnails/iframes of varying size.
+        let n_els = 4 + det_range(&[seed, 0xE15, pw], 6) as usize;
+        let mut elements = Vec::with_capacity(n_els + 1);
+        for j in 0..n_els {
+            let h = det_hash(&[seed, 0xE16, pw, j as u64]);
+            let kind = if h % 4 == 0 { ElementKind::Iframe } else { ElementKind::Image };
+            elements.push(Element {
+                kind,
+                width: 120 + (h >> 8) as u32 % 600,
+                height: 90 + (h >> 24) as u32 % 400,
+                action: ClickAction::None,
+            });
+        }
+        // The transparent full-page overlay div injected by pop-under
+        // networks (Fig. 1 of the paper): present iff the site runs at
+        // least one network, rendered as a page-sized element.
+        if !networks.is_empty() {
+            elements.push(Element {
+                kind: ElementKind::Div,
+                width: 1366,
+                height: 768,
+                action: ClickAction::None,
+            });
+        }
+
+        // Ad listeners: click k triggers network k mod n. Greedy sites thus
+        // serve several networks' pop-ups in sequence (§3.2).
+        let mut chain = Vec::new();
+        for k in 0..(networks.len() * 2) {
+            let n = &self.networks[networks[k % networks.len()].0 as usize];
+            chain.push(ClickAction::OpenTab(n.click_url(seed, pw, t.days(), k as u32)));
+        }
+
+        let scripts = networks
+            .iter()
+            .map(|nid| {
+                let n = &self.networks[nid.0 as usize];
+                let slot = n.active_slot(seed, pw, t.days());
+                crate::page::Script {
+                    src: Url::http(n.code_domain(seed, slot), format!("{}.js", n.url_invariant)),
+                    source: n.loader_snippet(seed, pw),
+                }
+            })
+            .collect();
+
+        let mut page = Page::bare(
+            url.clone(),
+            p.domain.clone(),
+            VisualTemplate::PublisherHome { style: pw },
+        );
+        page.elements = elements;
+        page.scripts = scripts;
+        page.ad_click_chain = chain;
+        HostResponse::Page(Box::new(page))
+    }
+
+    fn serve_ad_click(
+        &self,
+        nid: AdNetworkId,
+        url: &Url,
+        client: &ClientProfile,
+        t: SimTime,
+    ) -> HostResponse {
+        let n = &self.networks[nid.0 as usize];
+        // Script fetches (the loader itself) just serve JS — modelled as a
+        // refusal to navigate (no document).
+        if url.query.contains("t=js") {
+            return HostResponse::Refused;
+        }
+        let seed = self.seed();
+        let qw = str_word(&url.query);
+        // Ad rotation: the same click URL serves different inventory over
+        // time (2-hour buckets). This is why upstream TDS URLs milk
+        // reliably while re-querying an ad network's click URL does not.
+        let mut words = vec![seed, 0xC11C_0, u64::from(nid.0), qw, t.minutes() / 120];
+        words.extend_from_slice(&client.det_words());
+
+        let serves_se = n.serves_se_to(client) && det_bool(&words, n.se_rate);
+        if serves_se {
+            if let Some(c) = self.pick_campaign(n, client, &words) {
+                let shard =
+                    det_range(&[seed, 0x54A2D, u64::from(c.id.0), qw], u64::from(c.category.parallel_shards()))
+                        as u8;
+                if n.uses_exchange {
+                    // Syndication: one more hop through an exchange whose
+                    // bid-response URL encodes the winning creative.
+                    let xd = &self.exchange_domains
+                        [det_range(&[seed, 0xE8_C4B, qw], self.exchange_domains.len() as u64) as usize];
+                    let b = u64::from(c.id.0) ^ (seed & 0xFFFF);
+                    return HostResponse::Redirect {
+                        to: Url::http(xd.clone(), format!("/xch/rtb?b={b:x}&s={shard}")),
+                        kind: RedirectKind::Http302,
+                    };
+                }
+                return match c.tds_url(shard) {
+                    Some(tds) => HostResponse::Redirect { to: tds, kind: RedirectKind::Http302 },
+                    None => HostResponse::Redirect {
+                        to: c.attack_url(seed, t, shard),
+                        kind: RedirectKind::JsLocation,
+                    },
+                };
+            }
+        }
+        // Benign path: confounder or advertiser. Each decision below draws
+        // from a freshly-salted hash — reusing the branch-selection hash
+        // for the pick would confine picks to the slice of hash space
+        // that survived the branch.
+        words.push(0xBE19);
+        if det_bool(&words, self.config.confounder_rate) {
+            let mut pick = words.clone();
+            pick.push(0xC0F);
+            let d = &self.confounder_domains
+                [det_range(&pick, self.confounder_domains.len() as u64) as usize];
+            return HostResponse::Redirect {
+                to: Url::http(d.clone(), "/"),
+                kind: RedirectKind::Http302,
+            };
+        }
+        let mut pick = words.clone();
+        pick.push(0xADF);
+        let adv = det_weighted(&pick, &self.advertiser_weights);
+        HostResponse::Redirect {
+            to: Url::http(self.advertiser_domains[adv].clone(), "/offer"),
+            kind: RedirectKind::Http302,
+        }
+    }
+
+    /// Picks a campaign compatible with the client, weighted by category
+    /// traffic share × campaign weight. Returns `None` when no campaign
+    /// targets this platform (e.g. nothing may remain for some desktop
+    /// draws in a lottery-heavy slice).
+    fn pick_campaign(
+        &self,
+        n: &AdNetworkSpec,
+        client: &ClientProfile,
+        words: &[u64],
+    ) -> Option<&SeCampaign> {
+        let _ = n; // all networks draw from the global campaign inventory
+        let eligible: Vec<&SeCampaign> = self
+            .campaigns
+            .iter()
+            .filter(|c| c.category.targets(client.ua))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = eligible
+            .iter()
+            .map(|c| {
+                let cat_n = c.category.paper_campaign_count() as f64 * self.config.campaign_scale;
+                c.category.traffic_share() * c.weight / cat_n.max(1.0)
+            })
+            .collect();
+        let mut w = words.to_vec();
+        w.push(0x91C4);
+        Some(eligible[det_weighted(&w, &weights)])
+    }
+
+    /// Resolves an exchange bid-response URL: decode the winning campaign
+    /// and forward to its TDS (or straight to the attack page).
+    fn serve_exchange(&self, url: &Url, _client: &ClientProfile, t: SimTime) -> HostResponse {
+        if url.path != "/xch/rtb" {
+            return HostResponse::NxDomain;
+        }
+        let mut cid: Option<u64> = None;
+        let mut shard: u8 = 0;
+        for kv in url.query.split('&') {
+            if let Some(v) = kv.strip_prefix("b=") {
+                cid = u64::from_str_radix(v, 16).ok().map(|b| b ^ (self.seed() & 0xFFFF));
+            }
+            if let Some(v) = kv.strip_prefix("s=") {
+                shard = v.parse().unwrap_or(0);
+            }
+        }
+        let Some(cid) = cid else { return HostResponse::NxDomain };
+        if cid >= self.campaigns.len() as u64 {
+            return HostResponse::NxDomain;
+        }
+        let c = &self.campaigns[cid as usize];
+        let shard = shard % c.category.parallel_shards().max(1);
+        match c.tds_url(shard) {
+            Some(tds) => HostResponse::Redirect { to: tds, kind: RedirectKind::Http302 },
+            None => HostResponse::Redirect {
+                to: c.attack_url(self.seed(), t, shard),
+                kind: RedirectKind::JsLocation,
+            },
+        }
+    }
+
+    fn serve_tds(
+        &self,
+        cid: CampaignId,
+        url: &Url,
+        _client: &ClientProfile,
+        t: SimTime,
+    ) -> HostResponse {
+        let c = self.campaign(cid);
+        // TDS paths are stable; an unknown path on the TDS domain 404s.
+        if url.path != c.tds_path {
+            return HostResponse::NxDomain;
+        }
+        let shard: u8 = url
+            .query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix("s="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let shard = shard % c.category.parallel_shards().max(1);
+        HostResponse::Redirect {
+            to: c.attack_url(self.seed(), t, shard),
+            kind: RedirectKind::JsSetTimeout,
+        }
+    }
+
+    fn serve_attack(
+        &self,
+        cid: CampaignId,
+        url: &Url,
+        client: &ClientProfile,
+        t: SimTime,
+    ) -> HostResponse {
+        let c = self.campaign(cid);
+        let seed = self.seed();
+        // Validate the domain against current and recent epochs.
+        let e_now = c.epoch(t);
+        let mut matched: Option<u64> = None;
+        let lo = e_now.saturating_sub(SeCampaign::PARKED_GRACE_EPOCHS);
+        'outer: for e in (lo..=e_now).rev() {
+            for shard in 0..c.category.parallel_shards() {
+                if c.attack_domain_at_epoch(seed, e, shard) == url.host {
+                    matched = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        match matched {
+            Some(e) if e == e_now => HostResponse::Page(Box::new(self.attack_page(c, url, client, t))),
+            Some(_) => {
+                // Expired epoch: throw-away domain dropped; registrar
+                // parking page takes over.
+                let provider = (str_word(&url.e2ld()) % u64::from(PARKED_PROVIDERS)) as u16;
+                HostResponse::Page(Box::new(Page::bare(
+                    url.clone(),
+                    "domain parked",
+                    VisualTemplate::Parked { provider },
+                )))
+            }
+            None => HostResponse::NxDomain,
+        }
+    }
+
+    fn attack_page(&self, c: &SeCampaign, url: &Url, client: &ClientProfile, t: SimTime) -> Page {
+        let seed = self.seed();
+        let mut page = Page::bare(url.clone(), c.category.name(), c.template());
+        page.locking = c.category.lock_tactics().to_vec();
+        page.notification_prompt = matches!(c.category, SeCategory::ChromeNotifications);
+        page.scam_phone = c.scam_phone(seed, t);
+        page.survey_gateway = c.survey_gateway(seed, t);
+        // Polymorphism granularity: every rotated attack domain serves a
+        // freshly-packed binary per platform, but repeat visits to one
+        // domain return the same file — so milked-file counts track
+        // discovered domains (paper: 9,476 files vs 2,042 new domains
+        // across per-UA milking sources).
+        let _ = t;
+        let payload = c.category.serves_download().then(|| {
+            FilePayload::serve(
+                c.family,
+                c.payload_format(client.ua),
+                &[seed, str_word(&url.host), client.ua.index()],
+            )
+        });
+        // One big call-to-action element; interacting with it is what the
+        // milker does to elicit downloads / permission grants.
+        let action = if let Some(p) = payload {
+            page.auto_download = Some(p);
+            ClickAction::Download(p)
+        } else if page.notification_prompt {
+            ClickAction::AllowNotifications
+        } else {
+            ClickAction::None
+        };
+        page.elements = vec![Element {
+            kind: ElementKind::Button,
+            width: 400,
+            height: 120,
+            action,
+        }];
+        page
+    }
+
+    fn serve_advertiser(&self, adv: u32, url: &Url) -> HostResponse {
+        let mut page = Page::bare(
+            url.clone(),
+            format!("advertiser {adv}"),
+            VisualTemplate::BenignLanding { style: det_hash(&[self.seed(), 0xAD_57, u64::from(adv)]) },
+        );
+        page.elements = vec![Element {
+            kind: ElementKind::Image,
+            width: 728,
+            height: 90,
+            action: ClickAction::None,
+        }];
+        HostResponse::Page(Box::new(page))
+    }
+
+    fn serve_confounder(&self, conf: Confounder, url: &Url) -> HostResponse {
+        let visual = match conf {
+            Confounder::Parked { provider } => VisualTemplate::Parked { provider },
+            Confounder::StockAdult { image } => VisualTemplate::StockAdult { image },
+            Confounder::Shortener { service } => VisualTemplate::ShortenerFrame { service },
+        };
+        let mut page = Page::bare(url.clone(), "…", visual);
+        if let Confounder::Shortener { .. } = conf {
+            // "Skip ad" eventually navigates to an advertiser.
+            let adv = det_range(&[self.seed(), 0x5C1B, str_word(&url.host)], self.advertiser_domains.len() as u64)
+                as usize;
+            page.elements = vec![Element {
+                kind: ElementKind::Button,
+                width: 160,
+                height: 48,
+                action: ClickAction::Navigate(Url::http(
+                    self.advertiser_domains[adv].clone(),
+                    "/offer",
+                )),
+            }];
+        }
+        HostResponse::Page(Box::new(page))
+    }
+}
+
+/// Picks a hidden network appropriate to the publisher's category
+/// (Ero Advertising only runs on adult sites).
+fn pick_hidden(
+    networks: &[AdNetworkSpec],
+    hidden_ids: &[AdNetworkId],
+    category: SiteCategory,
+    words: &[u64],
+) -> AdNetworkId {
+    let eligible: Vec<AdNetworkId> = hidden_ids
+        .iter()
+        .copied()
+        .filter(|id| {
+            let n = &networks[id.0 as usize];
+            !n.adult_focused || category.is_adult()
+        })
+        .collect();
+    *crate::det::det_pick(words, &eligible)
+}

@@ -1,0 +1,346 @@
+//! End-to-end tests of the world hosting logic: publisher → ad click →
+//! TDS → attack page chains, cloaking, domain rotation and parking.
+
+use seacma_simweb::{
+    ClientProfile, HostResponse, Page, SeCategory, SimTime, UaProfile, Url, Vantage, World,
+    WorldConfig, DAY,
+};
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        seed: 7,
+        n_publishers: 400,
+        n_hidden_only_publishers: 40,
+        n_advertisers: 30,
+        campaign_scale: 0.5,
+        ..Default::default()
+    })
+}
+
+fn resident() -> ClientProfile {
+    ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Residential)
+}
+
+/// Follows redirects until a page is served (or hop budget exhausted).
+fn follow(world: &World, mut url: Url, client: &ClientProfile, t: SimTime) -> Option<(Url, Page)> {
+    for _ in 0..8 {
+        match world.fetch(&url, client, t) {
+            HostResponse::Page(p) => return Some((url, *p)),
+            HostResponse::Redirect { to, .. } => url = to,
+            HostResponse::NxDomain | HostResponse::Refused => return None,
+        }
+    }
+    None
+}
+
+#[test]
+fn world_generation_is_deterministic() {
+    let a = world();
+    let b = world();
+    assert_eq!(a.publishers().len(), b.publishers().len());
+    for (pa, pb) in a.publishers().iter().zip(b.publishers()) {
+        assert_eq!(pa, pb);
+    }
+    assert_eq!(a.campaigns(), b.campaigns());
+}
+
+#[test]
+fn publisher_page_has_ads_and_scripts() {
+    let w = world();
+    let p = w.publishers().iter().find(|p| !p.stale).unwrap();
+    let resp = w.fetch(&p.url(), &resident(), SimTime::EPOCH);
+    let page = resp.page().expect("publisher must serve a page");
+    assert!(!page.ad_click_chain.is_empty(), "ad listeners must be armed");
+    assert_eq!(page.scripts.len(), p.networks.len());
+    assert!(!page.elements.is_empty());
+    // The loader sources carry the network JS invariants.
+    for (nid, script) in p.networks.iter().zip(&page.scripts) {
+        let n = &w.networks()[nid.0 as usize];
+        assert!(script.source.contains(&n.js_invariant));
+    }
+}
+
+#[test]
+fn ad_clicks_eventually_reach_an_se_attack() {
+    let w = world();
+    let client = resident();
+    let t = SimTime::EPOCH;
+    let mut attacks = 0;
+    let mut landings = 0;
+    for p in w.publishers().iter().take(300) {
+        let page = match w.fetch(&p.url(), &client, t) {
+            HostResponse::Page(p) => p,
+            _ => continue,
+        };
+        for action in &page.ad_click_chain {
+            let target = match action {
+                seacma_simweb::ClickAction::OpenTab(u) => u.clone(),
+                seacma_simweb::ClickAction::Navigate(u) => u.clone(),
+                _ => continue,
+            };
+            if let Some((final_url, landing)) = follow(&w, target, &client, t) {
+                landings += 1;
+                if landing.visual.is_attack() {
+                    attacks += 1;
+                    // Ground truth must agree.
+                    assert!(
+                        w.campaign_of_attack_domain(&final_url.host, t).is_some(),
+                        "attack page on unknown domain {final_url}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(landings > 100, "only {landings} landings");
+    let rate = attacks as f64 / landings as f64;
+    // Aggregate SE rate should be in the ballpark of Table 3 (≈ 33 %
+    // overall for residential stealthy clients).
+    assert!((0.15..0.60).contains(&rate), "SE rate {rate} out of band ({attacks}/{landings})");
+}
+
+#[test]
+fn cloaked_networks_serve_no_se_from_institutional_space() {
+    let w = world();
+    let inst = ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Institutional);
+    let t = SimTime::EPOCH;
+    let cloakers: Vec<_> =
+        w.networks().iter().filter(|n| n.cloaks_nonresidential).map(|n| n.id).collect();
+    let mut checked = 0;
+    for p in w.publishers() {
+        for (k, nid) in p.networks.iter().enumerate() {
+            if !cloakers.contains(nid) {
+                continue;
+            }
+            let n = &w.networks()[nid.0 as usize];
+            let click = n.click_url(w.seed(), p.word(), 0, k as u32);
+            if let Some((_, landing)) = follow(&w, click, &inst, t) {
+                checked += 1;
+                assert!(
+                    !landing.visual.is_attack(),
+                    "cloaker {} served SE attack to institutional client",
+                    n.name
+                );
+            }
+        }
+    }
+    assert!(checked > 50, "only {checked} cloaked clicks checked");
+}
+
+#[test]
+fn tds_urls_keep_yielding_fresh_attack_domains() {
+    let w = world();
+    let client = resident();
+    let c = w
+        .campaigns()
+        .iter()
+        .find(|c| c.tds_domain.is_some() && c.category == SeCategory::FakeSoftware)
+        .expect("some milkable fake-software campaign");
+    let tds = c.tds_url(0).unwrap();
+    let mut domains = std::collections::HashSet::new();
+    let mut t = SimTime::EPOCH;
+    for _ in 0..(14 * 24 * 4) {
+        if let HostResponse::Redirect { to, .. } = w.fetch(&tds, &client, t) {
+            domains.insert(to.host.clone());
+            // The redirect target must serve the campaign's attack page.
+            let resp = w.fetch(&to, &client, t);
+            let page = resp.page().expect("fresh attack domain must resolve");
+            assert_eq!(page.visual, c.template());
+        }
+        t += seacma_simweb::SimDuration::from_minutes(15);
+    }
+    // FakeSoftware rotates every 10h ⇒ ~34 domains in 14 days.
+    assert!(
+        (25..=45).contains(&domains.len()),
+        "{} domains milked in 14 days",
+        domains.len()
+    );
+}
+
+#[test]
+fn expired_attack_domains_park_then_vanish() {
+    let w = world();
+    let client = resident();
+    let c = &w.campaigns()[0];
+    let t0 = SimTime::EPOCH + DAY;
+    let url = c.attack_url(w.seed(), t0, 0);
+    // Live now.
+    assert!(w.fetch(&url, &client, t0).page().is_some());
+    // One rotation later: parked placeholder.
+    let t1 = t0 + c.category.rotation_period() + seacma_simweb::HOUR;
+    let resp = w.fetch(&url, &client, t1);
+    let page = resp.page().expect("grace period serves parking page");
+    assert!(
+        matches!(page.visual, seacma_simweb::visual::VisualTemplate::Parked { .. }),
+        "expected parked page, got {:?}",
+        page.visual
+    );
+    // Far beyond the grace period: NXDOMAIN.
+    let t2 = t0 + c.category.rotation_period() * 40;
+    assert!(matches!(w.fetch(&url, &client, t2), HostResponse::NxDomain));
+}
+
+#[test]
+fn lottery_campaigns_only_serve_mobile() {
+    let w = world();
+    let t = SimTime::EPOCH;
+    let desktop = resident();
+    // Walk many ad clicks with a desktop UA; none may land on Lottery.
+    for p in w.publishers().iter().take(200) {
+        let page = match w.fetch(&p.url(), &desktop, t) {
+            HostResponse::Page(p) => p,
+            _ => continue,
+        };
+        for action in &page.ad_click_chain {
+            if let seacma_simweb::ClickAction::OpenTab(u) = action {
+                if let Some((_, landing)) = follow(&w, u.clone(), &desktop, t) {
+                    assert!(
+                        !matches!(
+                            landing.visual,
+                            seacma_simweb::visual::VisualTemplate::Lottery { .. }
+                        ),
+                        "desktop client reached a lottery page"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_publishers_serve_no_ads() {
+    let w = world();
+    let client = resident();
+    let p = w.publishers().iter().find(|p| p.stale).expect("some stale publishers");
+    let resp = w.fetch(&p.url(), &client, SimTime::EPOCH);
+    let page = resp.page().expect("stale publishers still serve content");
+    assert!(page.ad_click_chain.is_empty(), "stale site must arm no ads");
+    assert!(page.scripts.is_empty());
+    // But the search index still carries its (stale) snippets.
+    assert!(!w.publisher_source(p.id).is_empty());
+}
+
+#[test]
+fn fetch_is_a_pure_function() {
+    let w = world();
+    let client = resident();
+    let t = SimTime(1234);
+    for p in w.publishers().iter().take(20) {
+        let a = w.fetch(&p.url(), &client, t);
+        let b = w.fetch(&p.url(), &client, t);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn unknown_domains_nx() {
+    let w = world();
+    let u = Url::http("no-such-domain-anywhere.example", "/");
+    assert!(matches!(w.fetch(&u, &resident(), SimTime::EPOCH), HostResponse::NxDomain));
+}
+
+#[test]
+fn attack_pages_carry_category_behaviours() {
+    let w = world();
+    let client = ClientProfile::stealthy(UaProfile::Ie10Windows, Vantage::Residential);
+    let t = SimTime::EPOCH;
+    for c in w.campaigns() {
+        if !c.category.targets(client.ua) {
+            continue;
+        }
+        let url = c.attack_url(w.seed(), t, 0);
+        let resp = w.fetch(&url, &client, t);
+        let page = match resp.page() {
+            Some(p) => p.clone(),
+            None => continue, // transient load-error injection
+        };
+        if matches!(page.visual, seacma_simweb::visual::VisualTemplate::LoadError) {
+            continue;
+        }
+        assert_eq!(page.visual, c.template());
+        match c.category {
+            SeCategory::FakeSoftware | SeCategory::Scareware => {
+                assert!(page.auto_download.is_some(), "{:?} must serve a download", c.category);
+                assert!(page.is_locking() || c.category == SeCategory::FakeSoftware);
+            }
+            SeCategory::ChromeNotifications => {
+                assert!(page.notification_prompt);
+            }
+            SeCategory::TechnicalSupport => {
+                assert!(page.is_locking(), "tech-support pages lock the browser");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn downloads_are_polymorphic_per_domain_but_stable_per_visit() {
+    let w = world();
+    let client = ClientProfile::stealthy(UaProfile::Ie10Windows, Vantage::Residential);
+    let c = w
+        .campaigns()
+        .iter()
+        .find(|c| c.category == SeCategory::FakeSoftware)
+        .unwrap();
+    let mut per_domain: std::collections::HashMap<String, std::collections::HashSet<u128>> =
+        std::collections::HashMap::new();
+    let mut t = SimTime::EPOCH;
+    for _ in 0..(14 * 48) {
+        let url = c.attack_url(w.seed(), t, 0);
+        if let HostResponse::Page(p) = w.fetch(&url, &client, t) {
+            if let Some(d) = p.auto_download {
+                per_domain.entry(url.host.clone()).or_default().insert(d.sha);
+            }
+        }
+        t += seacma_simweb::SimDuration::from_minutes(30);
+    }
+    assert!(per_domain.len() > 10, "rotation should yield many domains");
+    // Stable per domain…
+    for (d, hashes) in &per_domain {
+        assert_eq!(hashes.len(), 1, "domain {d} served several hashes");
+    }
+    // …but fresh across domains.
+    let all: std::collections::HashSet<u128> =
+        per_domain.values().flatten().copied().collect();
+    assert!(
+        all.len() as f64 > per_domain.len() as f64 * 0.8,
+        "binaries must differ across rotated domains"
+    );
+}
+
+#[test]
+fn exchange_networks_add_a_syndication_hop() {
+    let w = world();
+    let client = resident();
+    let t = SimTime::EPOCH;
+    let exchange_net = w.networks().iter().find(|n| n.uses_exchange).unwrap();
+    let direct_net = w
+        .networks()
+        .iter()
+        .find(|n| !n.uses_exchange && n.seed_listed && !n.cloaks_nonresidential)
+        .unwrap();
+
+    let count_hops = |net: &seacma_simweb::AdNetworkSpec| -> Option<usize> {
+        // Find a click that resolves to an SE chain and count its hops.
+        for i in 0..400u64 {
+            let mut url = net.click_url(w.seed(), i * 37, 0, 0);
+            let mut hops = 0;
+            loop {
+                match w.fetch(&url, &client, t) {
+                    HostResponse::Redirect { to, .. } => {
+                        hops += 1;
+                        url = to;
+                    }
+                    HostResponse::Page(p) if p.visual.is_attack() => return Some(hops),
+                    _ => break,
+                }
+            }
+        }
+        None
+    };
+
+    let xh = count_hops(exchange_net).expect("exchange network serves SE");
+    let dh = count_hops(direct_net).expect("direct network serves SE");
+    assert!(xh > dh, "exchange chain ({xh} hops) must be longer than direct ({dh})");
+    assert!(xh >= 3, "click -> exchange -> tds -> attack");
+}

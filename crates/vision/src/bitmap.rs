@@ -1,0 +1,316 @@
+//! Grayscale screenshot bitmaps.
+//!
+//! The paper's crawlers capture full-page screenshots through DevTools. Our
+//! simulated browser renders each page's *visual template* into a small
+//! grayscale raster. 128×80 is plenty: the perceptual hash downsamples to
+//! 17×8 anyway, and the clustering only needs near-duplicate structure to
+//! survive, not pixel fidelity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default screenshot width used by the simulated browser.
+pub const DEFAULT_WIDTH: usize = 128;
+/// Default screenshot height used by the simulated browser.
+pub const DEFAULT_HEIGHT: usize = 80;
+
+/// A row-major 8-bit grayscale image.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap({}x{})", self.width, self.height)
+    }
+}
+
+impl Bitmap {
+    /// Creates an all-black bitmap.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "bitmap dimensions must be nonzero");
+        Self { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Creates a bitmap from raw row-major pixels.
+    ///
+    /// # Panics
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        assert!(width > 0 && height > 0, "bitmap dimensions must be nonzero");
+        Self { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pixel buffer, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored so that
+    /// procedural drawing code does not need edge checks.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = value;
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[x, x+w) × [y, y+h)`, clipped to the
+    /// image bounds.
+    pub fn fill_rect(&mut self, x: usize, y: usize, w: usize, h: usize, value: u8) {
+        let x1 = (x + w).min(self.width);
+        let y1 = (y + h).min(self.height);
+        for yy in y.min(self.height)..y1 {
+            let row = yy * self.width;
+            self.pixels[row + x.min(self.width)..row + x1].fill(value);
+        }
+    }
+
+    /// Draws a 1-pixel rectangle outline, clipped to bounds.
+    pub fn stroke_rect(&mut self, x: usize, y: usize, w: usize, h: usize, value: u8) {
+        if w == 0 || h == 0 {
+            return;
+        }
+        self.fill_rect(x, y, w, 1, value);
+        self.fill_rect(x, y + h.saturating_sub(1), w, 1, value);
+        self.fill_rect(x, y, 1, h, value);
+        self.fill_rect(x + w.saturating_sub(1), y, 1, h, value);
+    }
+
+    /// Draws horizontal "text" bars: a crude stand-in for lines of text that
+    /// gives pages with different copy different gradients.
+    pub fn text_block(&mut self, x: usize, y: usize, w: usize, lines: usize, value: u8) {
+        for i in 0..lines {
+            let yy = y + i * 3;
+            // Vary line length so the block is not a uniform rectangle.
+            let lw = w - (i * 7) % (w / 2 + 1);
+            self.fill_rect(x, yy, lw, 1, value);
+        }
+    }
+
+    /// Area-averaged downsample to `(nw, nh)`. Used by the perceptual hash.
+    pub fn resize(&self, nw: usize, nh: usize) -> Bitmap {
+        assert!(nw > 0 && nh > 0, "resize dimensions must be nonzero");
+        let mut out = Bitmap::new(nw, nh);
+        for oy in 0..nh {
+            let y0 = oy * self.height / nh;
+            let y1 = (((oy + 1) * self.height).div_ceil(nh)).max(y0 + 1).min(self.height);
+            for ox in 0..nw {
+                let x0 = ox * self.width / nw;
+                let x1 = (((ox + 1) * self.width).div_ceil(nw)).max(x0 + 1).min(self.width);
+                let mut sum: u32 = 0;
+                let mut n: u32 = 0;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        sum += u32::from(self.pixels[y * self.width + x]);
+                        n += 1;
+                    }
+                }
+                out.pixels[oy * nw + ox] = (sum / n.max(1)) as u8;
+            }
+        }
+        out
+    }
+
+    /// Adds deterministic per-pixel noise with the given amplitude, keyed by
+    /// `seed`. Models the small visual differences (timestamps, rotating
+    /// product names, localized strings) between instances of one campaign.
+    pub fn perturb(&mut self, seed: u64, amplitude: u8) {
+        if amplitude == 0 {
+            return;
+        }
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for p in &mut self.pixels {
+            // xorshift64* — cheap, deterministic, good enough for noise.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let delta = (state % (2 * u64::from(amplitude) + 1)) as i16 - i16::from(amplitude);
+            *p = (i16::from(*p) + delta).clamp(0, 255) as u8;
+        }
+    }
+
+    /// Mean absolute per-pixel difference; `None` if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &Bitmap) -> Option<f64> {
+        if self.width != other.width || self.height != other.height {
+            return None;
+        }
+        let total: u64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| u64::from(a.abs_diff(*b)))
+            .sum();
+        Some(total as f64 / self.pixels.len() as f64)
+    }
+
+    /// Serializes to binary PGM (P5) — used by the figure-5/6 screenshot
+    /// gallery binary so the campaign imagery can be inspected with any
+    /// image viewer.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Renders the bitmap as ASCII art (one char per pixel block), useful in
+    /// terminal demos and golden tests.
+    pub fn to_ascii(&self, cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let rows = (cols * self.height / self.width).max(1);
+        let small = self.resize(cols, rows);
+        let mut s = String::with_capacity((cols + 1) * rows);
+        for y in 0..rows {
+            for x in 0..cols {
+                let v = small.get(x, y) as usize * (RAMP.len() - 1) / 255;
+                s.push(RAMP[v] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let b = Bitmap::new(4, 3);
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.height(), 3);
+        assert!(b.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_panic() {
+        let _ = Bitmap::new(0, 4);
+    }
+
+    #[test]
+    fn from_pixels_roundtrip() {
+        let b = Bitmap::from_pixels(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(b.get(0, 0), 1);
+        assert_eq!(b.get(1, 0), 2);
+        assert_eq!(b.get(0, 1), 3);
+        assert_eq!(b.get(1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_pixels_len_mismatch_panics() {
+        let _ = Bitmap::from_pixels(2, 2, vec![0; 3]);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut b = Bitmap::new(4, 4);
+        b.fill_rect(2, 2, 10, 10, 200);
+        assert_eq!(b.get(3, 3), 200);
+        assert_eq!(b.get(1, 1), 0);
+    }
+
+    #[test]
+    fn set_out_of_bounds_ignored() {
+        let mut b = Bitmap::new(2, 2);
+        b.set(5, 5, 255); // must not panic
+        assert!(b.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn stroke_rect_outline_only() {
+        let mut b = Bitmap::new(8, 8);
+        b.stroke_rect(1, 1, 6, 6, 255);
+        assert_eq!(b.get(1, 1), 255);
+        assert_eq!(b.get(6, 6), 255);
+        assert_eq!(b.get(3, 3), 0, "interior must stay empty");
+    }
+
+    #[test]
+    fn resize_preserves_constant_image() {
+        let b = Bitmap::from_pixels(8, 8, vec![77; 64]);
+        let s = b.resize(3, 3);
+        assert!(s.pixels().iter().all(|&p| p == 77));
+    }
+
+    #[test]
+    fn resize_upscale_works() {
+        let b = Bitmap::from_pixels(2, 1, vec![0, 255]);
+        let s = b.resize(4, 2);
+        assert_eq!(s.get(0, 0), 0);
+        assert_eq!(s.get(3, 1), 255);
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_bounded() {
+        let base = Bitmap::from_pixels(16, 16, vec![128; 256]);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.perturb(42, 10);
+        b.perturb(42, 10);
+        assert_eq!(a, b);
+        let diff = base.mean_abs_diff(&a).unwrap();
+        assert!(diff <= 10.0, "noise amplitude exceeded: {diff}");
+        let mut c = base.clone();
+        c.perturb(43, 10);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn perturb_zero_amplitude_is_identity() {
+        let mut a = Bitmap::from_pixels(4, 4, (0..16).collect());
+        let orig = a.clone();
+        a.perturb(7, 0);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn mean_abs_diff_dimension_mismatch() {
+        let a = Bitmap::new(2, 2);
+        let b = Bitmap::new(3, 2);
+        assert!(a.mean_abs_diff(&b).is_none());
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let b = Bitmap::new(5, 4);
+        let pgm = b.to_pgm();
+        assert!(pgm.starts_with(b"P5\n5 4\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n5 4\n255\n".len() + 20);
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let b = Bitmap::new(64, 32);
+        let art = b.to_ascii(16);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 16));
+    }
+}

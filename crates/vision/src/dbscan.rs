@@ -1,0 +1,180 @@
+//! Generic DBSCAN (density-based spatial clustering of applications with
+//! noise).
+//!
+//! The paper clusters `(dhash, e2LD)` pairs with DBSCAN using
+//! `eps = 0.1` (normalized Hamming distance) and `MinPts = 3`. This module
+//! provides a faithful, allocation-conscious DBSCAN over an arbitrary
+//! pairwise distance function, so it can also be reused for the eps/θc
+//! ablation benches.
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius: points within distance `<= eps` are neighbours.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a point
+    /// to be a *core* point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    /// The paper's settings: `eps = 0.1`, `MinPts = 3`.
+    fn default() -> Self {
+        Self { eps: 0.1, min_pts: 3 }
+    }
+}
+
+/// Cluster assignment for one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Point does not belong to any dense region.
+    Noise,
+    /// Member of cluster `id` (ids are contiguous from 0).
+    Cluster(usize),
+}
+
+impl Label {
+    /// The cluster id, if any.
+    pub fn cluster_id(self) -> Option<usize> {
+        match self {
+            Label::Cluster(id) => Some(id),
+            Label::Noise => None,
+        }
+    }
+}
+
+/// Runs DBSCAN over `n` points with pairwise distance `dist`.
+///
+/// Returns one [`Label`] per point. Border points are assigned to the first
+/// core point that reaches them (classic DBSCAN order-dependence; with the
+/// tight eps used for perceptual hashes this is immaterial because clusters
+/// are well separated).
+///
+/// Complexity is O(n²) distance evaluations — the same regime as the paper,
+/// which clustered ~200k screenshots offline.
+pub fn dbscan<F>(n: usize, params: DbscanParams, mut dist: F) -> Vec<Label>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+
+    let mut labels = vec![UNVISITED; n];
+    let mut next_cluster = 0usize;
+    let mut queue: Vec<usize> = Vec::new();
+
+    let neighbours = |p: usize, dist: &mut F| -> Vec<usize> {
+        (0..n).filter(|&q| dist(p, q) <= params.eps).collect()
+    };
+
+    for p in 0..n {
+        if labels[p] != UNVISITED {
+            continue;
+        }
+        let nb = neighbours(p, &mut dist);
+        if nb.len() < params.min_pts {
+            labels[p] = NOISE;
+            continue;
+        }
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[p] = cid;
+        queue.clear();
+        queue.extend(nb.into_iter().filter(|&q| q != p));
+        while let Some(q) = queue.pop() {
+            if labels[q] == NOISE {
+                labels[q] = cid; // border point
+                continue;
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cid;
+            let qn = neighbours(q, &mut dist);
+            if qn.len() >= params.min_pts {
+                queue.extend(qn.into_iter().filter(|&r| labels[r] == UNVISITED || labels[r] == NOISE));
+            }
+        }
+    }
+
+    labels
+        .into_iter()
+        .map(|l| if l == NOISE || l == UNVISITED { Label::Noise } else { Label::Cluster(l) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d1(points: &[f64]) -> impl FnMut(usize, usize) -> f64 + '_ {
+        move |a, b| (points[a] - points[b]).abs()
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(0, DbscanParams::default(), |_, _| 0.0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_with_minpts_over_one() {
+        let labels = dbscan(1, DbscanParams { eps: 1.0, min_pts: 2 }, |_, _| 0.0);
+        assert_eq!(labels, vec![Label::Noise]);
+    }
+
+    #[test]
+    fn single_point_cluster_with_minpts_one() {
+        let labels = dbscan(1, DbscanParams { eps: 1.0, min_pts: 1 }, |_, _| 0.0);
+        assert_eq!(labels, vec![Label::Cluster(0)]);
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let labels = dbscan(pts.len(), DbscanParams { eps: 0.5, min_pts: 3 }, d1(&pts));
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(labels.iter().all(|l| matches!(l, Label::Cluster(_))));
+    }
+
+    #[test]
+    fn sparse_points_are_noise() {
+        let pts = [0.0, 5.0, 10.0, 15.0];
+        let labels = dbscan(pts.len(), DbscanParams { eps: 1.0, min_pts: 2 }, d1(&pts));
+        assert!(labels.iter().all(|&l| l == Label::Noise));
+    }
+
+    #[test]
+    fn chain_expansion_reaches_transitively() {
+        // Points 0.0, 0.4, 0.8, ... each within eps of the next: DBSCAN's
+        // density-reachability must merge the whole chain into one cluster.
+        let pts: Vec<f64> = (0..10).map(|i| i as f64 * 0.4).collect();
+        let labels = dbscan(pts.len(), DbscanParams { eps: 0.5, min_pts: 2 }, d1(&pts));
+        let first = labels[0];
+        assert!(matches!(first, Label::Cluster(_)));
+        assert!(labels.iter().all(|&l| l == first));
+    }
+
+    #[test]
+    fn border_point_attaches_to_cluster() {
+        // Dense blob at 0 plus one point at 0.9 reachable from the blob edge
+        // but itself not core.
+        let pts = [0.0, 0.05, 0.1, 0.55];
+        let labels = dbscan(pts.len(), DbscanParams { eps: 0.5, min_pts: 3 }, d1(&pts));
+        assert_eq!(labels[3], labels[0], "border point must join the cluster");
+    }
+
+    #[test]
+    fn cluster_ids_are_contiguous() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 20.0, 20.1, 20.2];
+        let labels = dbscan(pts.len(), DbscanParams { eps: 0.5, min_pts: 3 }, d1(&pts));
+        let mut ids: Vec<usize> = labels.iter().filter_map(|l| l.cluster_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,181 @@
+//! 128-bit difference hash (dhash).
+//!
+//! The paper (§3.3) computes "a perceptual hash, specifically a 128 bit
+//! *difference hash* (dhash)" on every landing-page screenshot, following the
+//! Hacker Factor construction: downscale, then record for each pixel whether
+//! it is brighter than its right neighbour. We use a 17×8 luminance grid
+//! (17 columns ⇒ 16 horizontal gradients per row × 8 rows = 128 bits).
+//! Near-duplicate images — the same SE attack with rotated domain names,
+//! timestamps or localized strings — differ in only a few bits.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::bitmap::Bitmap;
+
+/// Number of gradient columns (downscale width is `HASH_COLS + 1`).
+pub const HASH_COLS: usize = 16;
+/// Number of gradient rows.
+pub const HASH_ROWS: usize = 8;
+/// Total hash width in bits.
+pub const HASH_BITS: u32 = (HASH_COLS * HASH_ROWS) as u32;
+
+/// A 128-bit perceptual difference hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Dhash(pub u128);
+
+impl fmt::Debug for Dhash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dhash({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Dhash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Dhash {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Dhash> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Dhash)
+    }
+}
+
+/// Computes the 128-bit difference hash of an image.
+///
+/// The bit at position `row * 16 + col` (bit 0 = most significant) is set
+/// iff the downsampled pixel `(col, row)` is strictly brighter than
+/// `(col + 1, row)`.
+///
+/// ```
+/// use seacma_vision::bitmap::Bitmap;
+/// use seacma_vision::dhash::{dhash128, hamming};
+///
+/// // A textured page (real screenshots are never flat-black).
+/// let mut page = Bitmap::new(128, 80);
+/// for y in 0..80 {
+///     for x in 0..128 {
+///         page.set(x, y, ((x * 3 + y * 2) % 230) as u8);
+///     }
+/// }
+/// page.fill_rect(20, 20, 60, 30, 240);
+/// let mut near_duplicate = page.clone();
+/// near_duplicate.perturb(42, 4); // per-instance noise
+///
+/// let d = hamming(dhash128(&page), dhash128(&near_duplicate));
+/// assert!(d <= 12, "near-duplicates stay inside the DBSCAN eps ball");
+/// ```
+pub fn dhash128(image: &Bitmap) -> Dhash {
+    let small = image.resize(HASH_COLS + 1, HASH_ROWS);
+    let mut bits: u128 = 0;
+    for row in 0..HASH_ROWS {
+        for col in 0..HASH_COLS {
+            bits <<= 1;
+            if small.get(col, row) > small.get(col + 1, row) {
+                bits |= 1;
+            }
+        }
+    }
+    Dhash(bits)
+}
+
+/// Hamming distance between two hashes, in bits (0..=128).
+#[inline]
+pub fn hamming(a: Dhash, b: Dhash) -> u32 {
+    (a.0 ^ b.0).count_ones()
+}
+
+/// Hamming distance normalized to `[0, 1]` — the distance the paper feeds
+/// to DBSCAN with `eps = 0.1` (i.e. at most 12 of 128 differing bits).
+#[inline]
+pub fn normalized_hamming(a: Dhash, b: Dhash) -> f64 {
+    f64::from(hamming(a, b)) / f64::from(HASH_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Bitmap;
+
+    fn gradient_image() -> Bitmap {
+        let mut b = Bitmap::new(64, 32);
+        for y in 0..32 {
+            for x in 0..64 {
+                b.set(x, y, ((x * 4 + y) % 256) as u8);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn constant_image_hashes_to_zero() {
+        let b = Bitmap::from_pixels(32, 32, vec![100; 1024]);
+        assert_eq!(dhash128(&b).0, 0);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let b = gradient_image();
+        assert_eq!(dhash128(&b), dhash128(&b));
+    }
+
+    #[test]
+    fn hash_is_scale_invariant() {
+        let b = gradient_image();
+        let big = b.resize(128, 64);
+        let d = hamming(dhash128(&b), dhash128(&big));
+        assert!(d <= 8, "resizing shifted {d} bits");
+    }
+
+    #[test]
+    fn small_noise_small_distance() {
+        let b = gradient_image();
+        let mut noisy = b.clone();
+        noisy.perturb(7, 6);
+        let d = hamming(dhash128(&b), dhash128(&noisy));
+        assert!(d <= 12, "noise moved hash too far: {d} bits");
+    }
+
+    #[test]
+    fn different_structures_far_apart() {
+        // Left-bright vs right-bright: opposite gradients.
+        let mut a = Bitmap::new(34, 8);
+        let mut b = Bitmap::new(34, 8);
+        for y in 0..8 {
+            for x in 0..34 {
+                a.set(x, y, (255 - x * 7) as u8);
+                b.set(x, y, (x * 7) as u8);
+            }
+        }
+        let d = hamming(dhash128(&a), dhash128(&b));
+        assert!(d >= 100, "opposite gradients should differ in most bits, got {d}");
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(Dhash(0), Dhash(0)), 0);
+        assert_eq!(hamming(Dhash(0), Dhash(u128::MAX)), 128);
+        assert_eq!(hamming(Dhash(0b1011), Dhash(0b0001)), 2);
+    }
+
+    #[test]
+    fn normalized_hamming_range() {
+        assert_eq!(normalized_hamming(Dhash(0), Dhash(u128::MAX)), 1.0);
+        assert_eq!(normalized_hamming(Dhash(5), Dhash(5)), 0.0);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let h = Dhash(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let s = h.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Dhash::parse(&s), Some(h));
+        assert_eq!(Dhash::parse("xyz"), None);
+        assert_eq!(Dhash::parse(&s[..31]), None);
+    }
+}

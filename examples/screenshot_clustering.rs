@@ -1,0 +1,95 @@
+//! Screenshot clustering on its own: feed a labeled batch of synthetic
+//! landing-page screenshots to the dhash + DBSCAN + θc pipeline and score
+//! the result against ground truth — the core algorithmic contribution,
+//! isolated from the crawling machinery. Useful as a template for running
+//! the clustering stage over *real* screenshot corpora.
+//!
+//! ```sh
+//! cargo run --release --example screenshot_clustering
+//! ```
+
+use seacma_core::simweb::visual::VisualTemplate;
+use seacma_core::vision::cluster::{cluster_screenshots, ClusterParams, ScreenshotPoint};
+use seacma_core::vision::dhash::dhash128;
+
+struct Sample {
+    point: ScreenshotPoint,
+    truth: &'static str,
+}
+
+fn batch() -> Vec<Sample> {
+    let mut out = Vec::new();
+    let mut add = |truth: &'static str, template: VisualTemplate, copies: usize, domains: usize| {
+        for i in 0..copies {
+            let shot = template.render(0xBEE5 + i as u64);
+            out.push(Sample {
+                point: ScreenshotPoint::new(
+                    dhash128(&shot),
+                    format!("{truth}-{}.club", i % domains),
+                ),
+                truth,
+            });
+        }
+    };
+    // Three SE campaigns on many rotating domains…
+    add("techsupport", VisualTemplate::TechSupport { skin: 0 }, 30, 9);
+    add("fakeflash", VisualTemplate::FakeSoftware { skin: 4 }, 40, 12);
+    add("lottery", VisualTemplate::Lottery { skin: 2 }, 25, 7);
+    // …a benign campaign pinned to two domains (θc must drop it)…
+    add("benign-brand", VisualTemplate::BenignLanding { style: 11 }, 30, 2);
+    // …and diverse one-off benign pages (noise).
+    for i in 0..40u64 {
+        let t = VisualTemplate::BenignLanding { style: 1000 + i };
+        out.push(Sample {
+            point: ScreenshotPoint::new(
+                dhash128(&t.render(i)),
+                format!("one-off-{i}.com"),
+            ),
+            truth: "benign-misc",
+        });
+    }
+    out
+}
+
+fn main() {
+    let samples = batch();
+    let points: Vec<ScreenshotPoint> = samples.iter().map(|s| s.point.clone()).collect();
+    let params = ClusterParams::default();
+    println!(
+        "clustering {} screenshots (eps={}, MinPts={}, θc={}) …\n",
+        points.len(),
+        params.eps,
+        params.min_pts,
+        params.theta_c
+    );
+    let result = cluster_screenshots(&points, params);
+
+    println!(
+        "{} campaign clusters, {} θc-filtered, {} noise points\n",
+        result.campaigns.len(),
+        result.filtered.len(),
+        result.noise
+    );
+    for (i, c) in result.campaigns.iter().enumerate() {
+        // Purity against ground truth.
+        let mut votes = std::collections::HashMap::new();
+        for &m in &c.members {
+            *votes.entry(samples[m].truth).or_insert(0usize) += 1;
+        }
+        let (label, n) = votes.iter().max_by_key(|(_, n)| **n).unwrap();
+        println!(
+            "campaign {i}: {} shots over {} domains — majority '{label}' (purity {:.0}%)",
+            c.len(),
+            c.domain_count(),
+            100.0 * *n as f64 / c.len() as f64
+        );
+    }
+    for c in &result.filtered {
+        let truth = samples[c.members[0]].truth;
+        println!(
+            "filtered by θc: {} shots on only {} domains ('{truth}') — benign ads don't rotate domains",
+            c.len(),
+            c.domain_count()
+        );
+    }
+}
