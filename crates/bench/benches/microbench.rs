@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks for the pipeline's hot paths: perceptual
-//! hashing, clustering, page rendering, world generation, crawl visits,
+//! Microbenchmarks for the pipeline's hot paths: perceptual hashing,
+//! clustering, page rendering, world generation, crawl visits,
 //! backtracking-graph construction, attribution matching and milking
-//! rounds.
+//! rounds. Runs on the in-tree `seacma_util::bench` harness; pass
+//! `--json PATH` for machine-readable results, `--quick` for a smoke run
+//! (which is also what `cargo test` does to this target).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seacma_util::bench::{Bench, BenchmarkId, Throughput};
+use seacma_util::bench_main;
 
 use seacma_browser::{BrowserConfig, BrowserSession};
 use seacma_crawler::{visit_publisher, CrawlPolicy};
@@ -25,7 +28,7 @@ fn small_world() -> World {
     })
 }
 
-fn bench_dhash(c: &mut Criterion) {
+fn bench_dhash(c: &mut Bench) {
     let mut g = c.benchmark_group("dhash");
     let shot = VisualTemplate::TechSupport { skin: 1 }.render(7);
     g.throughput(Throughput::Elements(1));
@@ -38,7 +41,7 @@ fn bench_dhash(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_render(c: &mut Criterion) {
+fn bench_render(c: &mut Bench) {
     let mut g = c.benchmark_group("render");
     for (name, t) in [
         ("tech_support", VisualTemplate::TechSupport { skin: 2 }),
@@ -56,7 +59,7 @@ fn bench_render(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_dbscan(c: &mut Criterion) {
+fn bench_dbscan(c: &mut Bench) {
     let mut g = c.benchmark_group("clustering");
     g.sample_size(10);
     for n in [500usize, 2000, 8000] {
@@ -80,7 +83,7 @@ fn bench_dbscan(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_world_gen(c: &mut Criterion) {
+fn bench_world_gen(c: &mut Bench) {
     let mut g = c.benchmark_group("world");
     g.sample_size(10);
     for n in [500u32, 2000] {
@@ -97,7 +100,7 @@ fn bench_world_gen(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_crawl(c: &mut Criterion) {
+fn bench_crawl(c: &mut Bench) {
     let world = small_world();
     let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
     let mut g = c.benchmark_group("crawl");
@@ -118,7 +121,7 @@ fn bench_crawl(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_graph_and_attribution(c: &mut Criterion) {
+fn bench_graph_and_attribution(c: &mut Bench) {
     let world = small_world();
     let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
     // Produce one session log with several ad chains.
@@ -156,7 +159,7 @@ fn bench_graph_and_attribution(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_milking_session(c: &mut Criterion) {
+fn bench_milking_session(c: &mut Bench) {
     let world = small_world();
     let campaign = world
         .campaigns()
@@ -179,14 +182,12 @@ fn bench_milking_session(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
+bench_main!(
     bench_dhash,
     bench_render,
     bench_dbscan,
     bench_world_gen,
     bench_crawl,
     bench_graph_and_attribution,
-    bench_milking_session
+    bench_milking_session,
 );
-criterion_main!(benches);

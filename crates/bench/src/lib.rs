@@ -1,8 +1,8 @@
 //! # seacma-bench
 //!
 //! The benchmark/experiment harness: one binary per table and figure of
-//! the paper's evaluation (see `src/bin/`), plus criterion
-//! microbenchmarks (see `benches/`).
+//! the paper's evaluation (see `src/bin/`), plus microbenchmarks on the
+//! in-tree `seacma_util::bench` harness (see `benches/`).
 //!
 //! Every binary accepts the same flags:
 //!

@@ -11,13 +11,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_simweb::det::{det_f64, str_word};
 use seacma_simweb::{SeCategory, SimDuration, SimTime, World};
 
 /// Per-category GSB behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GsbParams {
     /// Probability that a domain of this category is *ever* listed.
     pub p_detect: f64,
@@ -45,7 +45,7 @@ impl GsbParams {
 }
 
 /// Result of a GSB lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GsbVerdict {
     /// Domain is on the blacklist at lookup time.
     Listed,
@@ -265,3 +265,5 @@ mod tests {
         assert_eq!(gsb.lookup(&w.publishers()[0].domain, far), GsbVerdict::NotListed);
     }
 }
+impl_json_struct!(GsbParams { p_detect, spread_days });
+impl_json_enum!(GsbVerdict { Listed, NotListed });

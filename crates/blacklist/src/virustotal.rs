@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_simweb::det::{det_range, det_weighted};
 use seacma_simweb::{FilePayload, SimDuration, SimTime};
@@ -26,7 +26,7 @@ pub const LABELS: [&str; 5] = ["Trojan", "Adware", "PUP", "Downloader", "Riskwar
 const LABEL_WEIGHTS: [f64; 5] = [0.34, 0.30, 0.24, 0.07, 0.05];
 
 /// One multi-AV scan report.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanReport {
     /// File hash the report describes.
     pub sha: u128,
@@ -230,3 +230,4 @@ mod tests {
         );
     }
 }
+impl_json_struct!(ScanReport { sha, detections, total_engines, label, scanned_at });

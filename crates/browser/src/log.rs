@@ -7,12 +7,12 @@
 //! traces — are what makes backtracking graphs and ad attribution possible,
 //! because obfuscated ad code suppresses referrers (§3.4).
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_simweb::{FilePayload, LockTactic, RedirectKind, Url};
 
 /// Why a navigation started.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NavCause {
     /// Address-bar / crawler-initiated load.
     Initial,
@@ -25,7 +25,7 @@ pub enum NavCause {
 }
 
 /// One instrumented browser event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BrowserEvent {
     /// A navigation began toward `url`.
     NavigationStart {
@@ -98,7 +98,7 @@ pub enum BrowserEvent {
 }
 
 /// An append-only event log for one browsing session.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLog {
     events: Vec<BrowserEvent>,
 }
@@ -200,3 +200,21 @@ mod tests {
         assert_eq!(log.downloads().count(), 1);
     }
 }
+impl_json_enum!(NavCause {
+    Initial,
+    UserClick,
+    Redirect(RedirectKind),
+    WindowOpen,
+});
+impl_json_enum!(BrowserEvent {
+    NavigationStart { url: Url, cause: NavCause, initiator: Option<Url> },
+    PageLoaded { url: Url, title: String },
+    Redirected { from: Url, to: Url, kind: RedirectKind },
+    ScriptLoaded { page: Url, src: Url },
+    JsApiCall { page: Url, api: String },
+    LockBypassed { page: Url, tactic: LockTactic },
+    TabOpened { opener: Url, url: Url },
+    DownloadTriggered { page: Url, payload: FilePayload },
+    NotificationPrompt { page: Url },
+});
+impl_json_struct!(EventLog { events });

@@ -6,7 +6,7 @@
 //! log, and a virtual clock. Navigation follows redirect chains hop by
 //! hop, logging everything the paper's instrumented Chromium logs.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_simweb::{
     det::{det_hash, str_word},
@@ -22,7 +22,7 @@ use crate::log::{BrowserEvent, EventLog, NavCause};
 pub const MAX_REDIRECTS: usize = 12;
 
 /// Browser instrumentation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BrowserConfig {
     /// Emulated browser/OS.
     pub ua: UaProfile,
@@ -505,3 +505,4 @@ mod tests {
         assert_eq!(s.now(), SimTime(102));
     }
 }
+impl_json_struct!(BrowserConfig { ua, vantage, stealth, bypass_locks, capture_screenshots });

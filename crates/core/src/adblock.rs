@@ -11,12 +11,12 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_simweb::{SimTime, Url, World};
 
 /// A domain-based ad filter list.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FilterList {
     domains: HashSet<String>,
 }
@@ -59,7 +59,7 @@ impl FilterList {
 }
 
 /// Per-network result of the ad-blocker experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdblockResult {
     /// Network name.
     pub network: String,
@@ -151,3 +151,5 @@ mod tests {
         }
     }
 }
+impl_json_struct!(FilterList { domains });
+impl_json_struct!(AdblockResult { network, sampled, blocked_fraction });

@@ -1,6 +1,6 @@
 //! Pipeline configuration.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_crawler::{CrawlPolicy, CrawlSchedule};
 use seacma_milker::MilkingConfig;
@@ -8,7 +8,7 @@ use seacma_simweb::{UaProfile, WorldConfig};
 use seacma_vision::cluster::ClusterParams;
 
 /// Everything that parameterizes one end-to-end measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// World generation parameters (seed, scale).
     pub world: WorldConfig,
@@ -104,3 +104,14 @@ mod tests {
         assert!(s.milking.duration < d.milking.duration);
     }
 }
+impl_json_struct!(PipelineConfig {
+    world,
+    crawl,
+    schedule,
+    uas,
+    workers,
+    residential_visit_fraction,
+    clustering,
+    milking,
+    max_milking_sources,
+});

@@ -7,7 +7,7 @@
 //! template of a cluster's members tells us whether the cluster is an SE
 //! campaign (and of which category) or one of the benign confounders.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_enum;
 
 use seacma_crawler::LandingRecord;
 use seacma_simweb::visual::VisualTemplate;
@@ -15,7 +15,7 @@ use seacma_simweb::{ClientProfile, SeCategory, World};
 use seacma_vision::cluster::ScreenshotCluster;
 
 /// Kinds of non-SEACMA clusters the paper found among its 22 benign ones.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BenignKind {
     /// Parked/expired domains sharing a registrar placeholder (11 in the
     /// paper).
@@ -31,7 +31,7 @@ pub enum BenignKind {
 }
 
 /// Ground-truth label of one screenshot cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusterLabel {
     /// A SEACMA campaign of the given category.
     Campaign(SeCategory),
@@ -135,3 +135,14 @@ mod tests {
         assert_eq!(b.category(), None);
     }
 }
+impl_json_enum!(BenignKind {
+    Parked,
+    StockImages,
+    UrlShortener,
+    SpuriousLoadError,
+    OtherBenign,
+});
+impl_json_enum!(ClusterLabel {
+    Campaign(SeCategory),
+    Benign(BenignKind),
+});

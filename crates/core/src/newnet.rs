@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_graph::{Attribution, NetworkPattern};
 use seacma_simweb::search::SourceSearch;
@@ -24,7 +24,7 @@ use crate::pipeline::DiscoveryOutput;
 pub const MIN_TOKEN_SUPPORT: usize = 5;
 
 /// Result of the discovery loop.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NewNetworkDiscovery {
     /// Unknown SE attacks examined.
     pub unknown_attacks: usize,
@@ -160,3 +160,4 @@ mod tests {
         assert!(!is_generic_token("/eroadv/"));
     }
 }
+impl_json_struct!(NewNetworkDiscovery { unknown_attacks, new_patterns, new_publishers });

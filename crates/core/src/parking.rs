@@ -12,7 +12,7 @@
 //! The detector re-visits a cluster's representative landing and scores
 //! structural features — it never consults the simulator's ground truth.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_browser::{BrowserConfig, BrowserSession};
 use seacma_crawler::LandingRecord;
@@ -20,7 +20,7 @@ use seacma_simweb::{ElementKind, Page, Vantage, World};
 use seacma_vision::cluster::ScreenshotCluster;
 
 /// Structural features extracted from a landing page.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParkingFeatures {
     /// Page includes no scripts at all (live sites — publishers, ads,
     /// attacks — always load something).
@@ -156,3 +156,4 @@ mod tests {
         assert!(!ParkingFeatures::of(&page).is_parked());
     }
 }
+impl_json_struct!(ParkingFeatures { no_scripts, no_interactive, placeholder_title, inert });

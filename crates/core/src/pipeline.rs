@@ -1,6 +1,6 @@
 //! The end-to-end pipeline (Figure 2).
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_blacklist::{GsbService, VirusTotal};
 use seacma_crawler::{CrawlDataset, CrawlFarm, LandingRecord};
@@ -294,7 +294,7 @@ pub fn uas_used(crawl: &CrawlDataset) -> Vec<UaProfile> {
     uas
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 /// Summary counters for the discovery phase (used by Figure-2 output).
 pub struct DiscoverySummary {
     /// Publishers in the reversed pool.
@@ -327,3 +327,12 @@ impl DiscoverySummary {
         }
     }
 }
+impl_json_struct!(DiscoverySummary {
+    pool_size,
+    visited,
+    with_landings,
+    landings,
+    clusters_total,
+    campaign_clusters,
+    se_campaigns,
+});

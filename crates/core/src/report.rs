@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_blacklist::GsbService;
 use seacma_graph::Attribution;
@@ -23,7 +23,7 @@ pub const TABLE1_LOOKUP_DELAY: SimDuration = SimDuration::from_days(12);
 // ---------------------------------------------------------------------------
 
 /// One row of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// SE category.
     pub category: SeCategory,
@@ -131,7 +131,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 // ---------------------------------------------------------------------------
 
 /// One row of Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Site category.
     pub category: SiteCategory,
@@ -191,7 +191,7 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 // ---------------------------------------------------------------------------
 
 /// One row of Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Network name ("Unknown" for unmatched SE attacks).
     pub network: String,
@@ -312,7 +312,7 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 // ---------------------------------------------------------------------------
 
 /// One row of Table 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Category group (Scareware and Technical Support are merged, as in
     /// the paper).
@@ -407,7 +407,7 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 
 /// Counts of cluster kinds (the paper's "130 clusters → 108 campaigns +
 /// 22 benign (11 parked, 6 stock, 4 shortener, 1 spurious)").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterBreakdown {
     /// Campaign clusters.
     pub se_campaigns: usize,
@@ -456,7 +456,7 @@ impl ClusterBreakdown {
 // ---------------------------------------------------------------------------
 
 /// The §6 advertiser-cost estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EthicsReport {
     /// Assumed CPM in USD (paper: $4).
     pub cpm_usd: f64,
@@ -736,3 +736,16 @@ mod tests {
         assert_eq!(b.total(), 5);
     }
 }
+impl_json_struct!(Table1Row {
+    category,
+    se_attacks,
+    attack_domains,
+    campaigns,
+    gsb_domain_pct,
+    gsb_campaign_pct,
+});
+impl_json_struct!(Table2Row { category, publishers, pct });
+impl_json_struct!(Table3Row { network, network_domains, landing_pages, se_pages, se_pct });
+impl_json_struct!(Table4Row { group, domains, gsb_init_pct, gsb_final_pct });
+impl_json_struct!(ClusterBreakdown { se_campaigns, parked, stock, shortener, spurious, other });
+impl_json_struct!(EthicsReport { cpm_usd, legit_domains, legit_clicks, worst, mean_clicks });

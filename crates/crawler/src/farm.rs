@@ -9,8 +9,9 @@
 //! running 2-minute sessions back to back, and any number of OS threads
 //! may execute that schedule.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::{mpsc, Mutex};
+
+use seacma_util::impl_json_struct;
 
 use seacma_browser::BrowserConfig;
 use seacma_simweb::{PublisherId, SimDuration, SimTime, UaProfile, Vantage, World};
@@ -19,7 +20,7 @@ use crate::record::{CrawlDataset, SiteVisit};
 use crate::visit::{visit_publisher, CrawlPolicy};
 
 /// Deterministic visit scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrawlSchedule {
     /// Virtual start of the crawl.
     pub start: SimTime,
@@ -106,34 +107,42 @@ impl<'w> CrawlFarm<'w> {
         schedule: CrawlSchedule,
     ) -> Vec<SiteVisit> {
         let config = BrowserConfig::instrumented(ua, vantage);
-        let (tx, rx) = channel::unbounded::<usize>();
+        // Job queue: std's mpsc receiver is single-consumer, so workers
+        // share it behind a mutex. Each recv is one job index; contention
+        // is negligible next to a visit's cost.
+        let (tx, rx) = mpsc::channel::<usize>();
         for idx in 0..publishers.len() {
             tx.send(idx).expect("channel open");
         }
         drop(tx);
+        let rx = Mutex::new(rx);
 
         let results: Mutex<Vec<(usize, SiteVisit)>> =
             Mutex::new(Vec::with_capacity(publishers.len()));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.workers {
-                let rx = rx.clone();
+                let rx = &rx;
                 let results = &results;
                 let world = self.world;
                 let policy = self.policy;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
-                    while let Ok(idx) = rx.recv() {
+                    loop {
+                        // Hold the lock only for the dequeue, not the visit.
+                        let idx = match rx.lock().expect("queue lock").recv() {
+                            Ok(idx) => idx,
+                            Err(_) => break,
+                        };
                         let p = &world.publishers()[publishers[idx].0 as usize];
                         let t = schedule.job_time(idx);
                         local.push((idx, visit_publisher(world, p, config, t, policy)));
                     }
-                    results.lock().extend(local);
+                    results.lock().expect("results lock").extend(local);
                 });
             }
-        })
-        .expect("crawler workers must not panic");
+        });
 
-        let mut visits = results.into_inner();
+        let mut visits = results.into_inner().expect("no worker panicked");
         visits.sort_by_key(|(idx, _)| *idx);
         visits.into_iter().map(|(_, v)| v).collect()
     }
@@ -226,3 +235,4 @@ mod tests {
         assert!(attacks > 50, "attacks: {attacks}");
     }
 }
+impl_json_struct!(CrawlSchedule { start, session_len, lanes });

@@ -1,12 +1,12 @@
 //! Crawl output records.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_simweb::{PublisherId, RedirectKind, SimTime, UaProfile, Url, Vantage};
 use seacma_vision::dhash::Dhash;
 
 /// One third-party landing page reached by clicking on a publisher page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LandingRecord {
     /// Publisher the click happened on.
     pub publisher: PublisherId,
@@ -40,7 +40,7 @@ pub struct LandingRecord {
 }
 
 /// The outcome of visiting one publisher with one UA.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiteVisit {
     /// Publisher visited.
     pub publisher: PublisherId,
@@ -59,7 +59,7 @@ pub struct SiteVisit {
 }
 
 /// The full crawl output.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CrawlDataset {
     /// All visits, in schedule order.
     pub visits: Vec<SiteVisit>,
@@ -184,3 +184,20 @@ mod tests {
         assert_eq!(a.publishers_visited(), 2);
     }
 }
+impl_json_struct!(LandingRecord {
+    publisher,
+    publisher_domain,
+    ua,
+    vantage,
+    click_ordinal,
+    landing_url,
+    landing_e2ld,
+    dhash,
+    hops,
+    involved_urls,
+    milkable_candidate,
+    t,
+    truth_is_attack,
+});
+impl_json_struct!(SiteVisit { publisher, ua, vantage, started, landings, clicks, load_failed });
+impl_json_struct!(CrawlDataset { visits });

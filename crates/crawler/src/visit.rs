@@ -1,6 +1,6 @@
 //! Single-site visit logic: the click loop.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_browser::{BrowserConfig, BrowserSession, NavError};
 use seacma_graph::{milkable, BacktrackGraph};
@@ -12,7 +12,7 @@ use crate::record::{LandingRecord, SiteVisit};
 /// Budgets for one publisher visit (paper: "a number of clicks per page,
 /// until a given (tunable) number of ads have been triggered", ~2 minutes
 /// per session).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrawlPolicy {
     /// Maximum clicks issued per visit.
     pub max_clicks: u32,
@@ -214,3 +214,4 @@ mod tests {
         }
     }
 }
+impl_json_struct!(CrawlPolicy { max_clicks, max_ads, timeout });

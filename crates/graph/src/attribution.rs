@@ -7,14 +7,14 @@
 //! attacks are the raw material for discovering new ad networks (the paper
 //! found Ero Advertising, Yllix and AdCenter this way, §4.4).
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_simweb::Url;
 
 use crate::backtrack::BacktrackGraph;
 
 /// One network's invariant pattern set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkPattern {
     /// Network name.
     pub name: String,
@@ -23,7 +23,7 @@ pub struct NetworkPattern {
 }
 
 /// Attribution verdict for one SE attack.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Attribution {
     /// Attack delivered by a known network.
     Known(String),
@@ -183,3 +183,8 @@ mod tests {
         assert_eq!(at.attribute_urls(none.iter()), Attribution::Unknown);
     }
 }
+impl_json_struct!(NetworkPattern { name, url_invariant });
+impl_json_enum!(Attribution {
+    Known(String),
+    Unknown,
+});

@@ -2,13 +2,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_browser::{BrowserEvent, EventLog};
 use seacma_simweb::{RedirectKind, Url};
 
 /// Causal relationship between two URLs in the ad-loading process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Child was reached by a redirect of the given kind from the parent.
     Redirect(RedirectKind),
@@ -22,7 +22,7 @@ pub enum EdgeKind {
 
 /// One step on a backward path: the URL and the edge that led *to* it from
 /// its child (i.e. how the next-downstream URL was caused by this one).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathStep {
     /// URL of this node.
     pub url: Url,
@@ -49,7 +49,7 @@ pub struct PathStep {
 /// // The milkable candidate is the first upstream node off the attack e2LD.
 /// assert_eq!(milkable::candidate(&graph, &attack).unwrap().host, "findglo210.info");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BacktrackGraph {
     /// `child → (parent, kind)`; last writer wins, which matches "the most
     /// recent cause" for URLs visited repeatedly in one session.
@@ -321,3 +321,11 @@ mod tests {
         assert_eq!(g.parent_of(&c), Some((&b, EdgeKind::Redirect(RedirectKind::JsLocation))));
     }
 }
+impl_json_enum!(EdgeKind {
+    Redirect(RedirectKind),
+    WindowOpen,
+    UserClick,
+    ScriptInclude,
+});
+impl_json_struct!(PathStep { url, via });
+impl_json_struct!(BacktrackGraph { parent, scripts });

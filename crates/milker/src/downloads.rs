@@ -1,12 +1,12 @@
 //! Milked file downloads and the VirusTotal pipeline.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_blacklist::ScanReport;
 use seacma_simweb::{FilePayload, SimTime, Url};
 
 /// One file harvested by interacting with a milked SE attack page.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MilkedFile {
     /// The payload served.
     pub payload: FilePayload,
@@ -37,7 +37,7 @@ impl MilkedFile {
 }
 
 /// Aggregate statistics over a batch of milked files (the §4.5 numbers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DownloadStats {
     /// Total files milked.
     pub total: usize,
@@ -101,3 +101,5 @@ mod tests {
         assert!(!f.detected_by_at_least(1));
     }
 }
+impl_json_struct!(MilkedFile { payload, page, t, known_at_submit, initial, final_report });
+impl_json_struct!(DownloadStats { total, known_at_submit, finally_malicious, flagged_15_plus });

@@ -7,7 +7,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_blacklist::{GsbService, VirusTotal};
 use seacma_browser::{BrowserConfig, BrowserSession};
@@ -18,7 +18,7 @@ use crate::downloads::MilkedFile;
 use crate::sources::{MilkingSource, MATCH_THRESHOLD};
 
 /// Milking cadence and measurement windows (§4.2, §4.5 defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MilkingConfig {
     /// Period between visits to one source.
     pub period: SimDuration,
@@ -48,7 +48,7 @@ impl Default for MilkingConfig {
 }
 
 /// A never-before-seen attack domain discovered through milking.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainDiscovery {
     /// The new attack domain.
     pub domain: String,
@@ -75,7 +75,7 @@ impl DomainDiscovery {
 }
 
 /// Complete output of a milking run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MilkingOutcome {
     /// Total milking sessions executed.
     pub sessions: u64,
@@ -439,3 +439,29 @@ mod tests {
         assert!(out.mean_gsb_lag_days().is_none());
     }
 }
+impl_json_struct!(MilkingConfig {
+    period,
+    duration,
+    lookup_interval,
+    lookup_tail,
+    final_lookup_after,
+    vt_rescan_after,
+});
+impl_json_struct!(DomainDiscovery {
+    domain,
+    landing_url,
+    source_idx,
+    cluster,
+    first_seen,
+    gsb_listed_at_discovery,
+    gsb_listed_at,
+});
+impl_json_struct!(MilkingOutcome {
+    sessions,
+    discoveries,
+    files,
+    timelines,
+    scam_phones,
+    survey_gateways,
+    notification_grants,
+});

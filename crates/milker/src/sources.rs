@@ -6,7 +6,7 @@
 //! re-visits each `(URL, UA)` candidate and compares the landing
 //! screenshot's dhash against the campaign's visual representative.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use seacma_browser::{BrowserConfig, BrowserSession};
 use seacma_simweb::{SimTime, UaProfile, Url, Vantage, World};
@@ -18,7 +18,7 @@ pub const MATCH_THRESHOLD: u32 = 12;
 
 /// A candidate upstream URL, paired with the UA that originally elicited
 /// it and the visual representative of its campaign cluster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MilkingCandidate {
     /// The upstream URL to re-visit.
     pub url: Url,
@@ -31,7 +31,7 @@ pub struct MilkingCandidate {
 }
 
 /// A validated milking source.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MilkingSource {
     /// The upstream URL.
     pub url: Url,
@@ -187,3 +187,5 @@ mod tests {
         assert!(validate_candidates(&w, cands, SimTime::EPOCH).is_empty());
     }
 }
+impl_json_struct!(MilkingCandidate { url, ua, cluster, reference });
+impl_json_struct!(MilkingSource { url, ua, cluster, reference });

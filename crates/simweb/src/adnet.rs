@@ -7,7 +7,7 @@
 //! ad clicks that lead to SE attacks (col 5), its relative traffic volume
 //! (col 3), its cloaking policy and its anti-bot behaviour.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_newtype, impl_json_struct};
 
 use crate::client::{ClientProfile, Vantage};
 use crate::det::{det_hash, str_word};
@@ -15,13 +15,11 @@ use crate::names::gibberish_label;
 use crate::url::Url;
 
 /// Identifier of an ad network within a world.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AdNetworkId(pub u16);
 
 /// Static description of one ad network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdNetworkSpec {
     /// Network id (index into the world's network table).
     pub id: AdNetworkId,
@@ -341,3 +339,19 @@ mod tests {
         assert_ne!(n.code_domain(1, 5), n.code_domain(1, 6));
     }
 }
+impl_json_newtype!(AdNetworkId);
+impl_json_struct!(AdNetworkSpec {
+    id,
+    name,
+    seed_listed,
+    code_domain_pool,
+    url_invariant,
+    js_invariant,
+    se_rate,
+    volume_weight,
+    cloaks_nonresidential,
+    checks_webdriver,
+    blocked_by_adblock,
+    adult_focused,
+    uses_exchange,
+});

@@ -6,7 +6,7 @@
 //! categories, their campaign counts and their rotation behaviour are
 //! calibrated to Tables 1 and 4 of the paper.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_newtype, impl_json_struct};
 
 use crate::client::{OsClass, UaProfile};
 use crate::det::det_hash;
@@ -18,13 +18,11 @@ use crate::url::Url;
 use crate::visual::VisualTemplate;
 
 /// Identifier of a campaign within a world.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CampaignId(pub u32);
 
 /// The six SE attack categories the measurement discovered (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SeCategory {
     /// Fake Flash/Java updates, fake macOS media players.
     FakeSoftware,
@@ -171,7 +169,7 @@ impl std::fmt::Display for SeCategory {
 }
 
 /// One SE attack campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeCampaign {
     /// Campaign id (index into the world's campaign table).
     pub id: CampaignId,
@@ -406,3 +404,22 @@ mod tests {
         assert_eq!(c.payload_format(UaProfile::ChromeAndroid), FileFormat::Crx);
     }
 }
+impl_json_newtype!(CampaignId);
+impl_json_enum!(SeCategory {
+    FakeSoftware,
+    Registration,
+    LotteryGift,
+    ChromeNotifications,
+    Scareware,
+    TechnicalSupport,
+});
+impl_json_struct!(SeCampaign {
+    id,
+    category,
+    skin,
+    family,
+    tds_domain,
+    tds_path,
+    landing_path,
+    weight,
+});

@@ -7,11 +7,11 @@
 //! Chromium so `navigator.webdriver` no longer betrays DevTools automation.
 //! All three axes are captured here and threaded through every fetch.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 use std::fmt;
 
 /// Operating-system class the client claims to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OsClass {
     /// Desktop macOS.
     MacOs,
@@ -22,7 +22,7 @@ pub enum OsClass {
 }
 
 /// The four Browser/OS combinations used in the measurement (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UaProfile {
     /// Chrome 66 on macOS.
     ChromeMac,
@@ -112,7 +112,7 @@ impl fmt::Display for UaProfile {
 }
 
 /// The network position requests originate from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vantage {
     /// University/institution address space.
     Institutional,
@@ -137,7 +137,7 @@ impl Vantage {
 }
 
 /// Everything a server-side cloaking check can observe about the client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClientProfile {
     /// Emulated browser/OS combination.
     pub ua: UaProfile,
@@ -216,3 +216,7 @@ mod tests {
         assert_ne!(p.det_words(), n.det_words());
     }
 }
+impl_json_enum!(OsClass { MacOs, Android, Windows });
+impl_json_enum!(UaProfile { ChromeMac, ChromeAndroid, Ie10Windows, Edge12Windows });
+impl_json_enum!(Vantage { Institutional, Residential, Cloud, TorExit });
+impl_json_struct!(ClientProfile { ua, vantage, webdriver_visible });

@@ -5,7 +5,7 @@
 //! every navigation — §3.4 lists the redirection mechanisms observed in the
 //! wild, all of which the simulator emits).
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_enum;
 
 use crate::page::Page;
 use crate::url::Url;
@@ -13,7 +13,7 @@ use crate::url::Url;
 /// How a redirect hop is implemented. The paper's backtracking graphs must
 /// capture all of these because obfuscated ad code suppresses referrers,
 /// making HTTP-level analysis insufficient (§3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RedirectKind {
     /// HTTP 301 Moved Permanently.
     Http301,
@@ -38,7 +38,7 @@ impl RedirectKind {
 }
 
 /// One resolution hop for a URL.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HostResponse {
     /// A document was served.
     Page(Box<Page>),
@@ -106,3 +106,17 @@ mod tests {
         assert!(HostResponse::NxDomain.page().is_none());
     }
 }
+impl_json_enum!(RedirectKind {
+    Http301,
+    Http302,
+    MetaRefresh,
+    JsLocation,
+    JsPushState,
+    JsSetTimeout,
+});
+impl_json_enum!(HostResponse {
+    Page(Box<Page>),
+    Redirect { to: Url, kind: RedirectKind },
+    NxDomain,
+    Refused,
+});

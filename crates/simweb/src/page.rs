@@ -6,14 +6,14 @@
 //! search and attribution), its visual appearance, its page-locking
 //! behaviour, notification prompts and interaction-triggered downloads.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use crate::payload::FilePayload;
 use crate::url::Url;
 use crate::visual::VisualTemplate;
 
 /// Kind of a DOM element relevant to the click heuristics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElementKind {
     /// `<img>`.
     Image,
@@ -26,7 +26,7 @@ pub enum ElementKind {
 }
 
 /// What happens when an element (or the page) is clicked.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ClickAction {
     /// Nothing observable.
     None,
@@ -44,7 +44,7 @@ pub enum ClickAction {
 /// modal dialog loops, repeated authentication prompts and
 /// `onbeforeunload` handlers. The instrumented browser bypasses all of
 /// them; a non-instrumented session stalls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockTactic {
     /// `alert()`/`confirm()` called in a loop.
     ModalDialogLoop,
@@ -55,7 +55,7 @@ pub enum LockTactic {
 }
 
 /// A rendered DOM element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Element {
     /// Element kind.
     pub kind: ElementKind,
@@ -77,7 +77,7 @@ impl Element {
 }
 
 /// A script included by the page.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Script {
     /// URL the script was fetched from.
     pub src: Url,
@@ -87,7 +87,7 @@ pub struct Script {
 }
 
 /// A document as served to one client at one time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Page {
     /// The URL this page was served from.
     pub url: Url,
@@ -233,3 +233,27 @@ mod tests {
         assert!(p.is_locking());
     }
 }
+impl_json_enum!(ElementKind { Image, Iframe, Div, Button });
+impl_json_enum!(ClickAction {
+    None,
+    OpenTab(Url),
+    Navigate(Url),
+    Download(FilePayload),
+    AllowNotifications,
+});
+impl_json_enum!(LockTactic { ModalDialogLoop, AuthDialogStorm, OnBeforeUnload });
+impl_json_struct!(Element { kind, width, height, action });
+impl_json_struct!(Script { src, source });
+impl_json_struct!(Page {
+    url,
+    title,
+    elements,
+    scripts,
+    visual,
+    ad_click_chain,
+    locking,
+    notification_prompt,
+    auto_download,
+    scam_phone,
+    survey_gateway,
+});

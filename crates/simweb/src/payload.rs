@@ -6,12 +6,12 @@
 //! known to VirusTotal. We model a payload as a member of a per-campaign
 //! *family* whose content hash is re-randomized per serving.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use crate::det::det_hash;
 
 /// Container format of a served binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FileFormat {
     /// Windows Portable Executable.
     Pe,
@@ -22,7 +22,7 @@ pub enum FileFormat {
 }
 
 /// A concrete downloaded file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FilePayload {
     /// Malware family — shared by all downloads of one campaign.
     pub family: u64,
@@ -115,3 +115,5 @@ mod tests {
         assert_ne!(a.sha, b.sha);
     }
 }
+impl_json_enum!(FileFormat { Pe, Dmg, Crx });
+impl_json_struct!(FilePayload { family, sha, format });

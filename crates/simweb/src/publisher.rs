@@ -5,20 +5,18 @@
 //! Table 2 of the paper; popularity ranks include a handful of top-1,000
 //! and top-10,000 sites (§4.3).
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_newtype, impl_json_struct};
 
 use crate::adnet::AdNetworkId;
 use crate::det::str_word;
 use crate::url::Url;
 
 /// Identifier of a publisher within a world.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PublisherId(pub u32);
 
 /// Topical categories of publisher sites (Table 2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SiteCategory {
     Suspicious,
     Pornography,
@@ -134,7 +132,7 @@ impl std::fmt::Display for SiteCategory {
 }
 
 /// One publisher website.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PublisherSite {
     /// Publisher id (index into the world's publisher table).
     pub id: PublisherId,
@@ -206,3 +204,27 @@ mod tests {
         assert_eq!(p.word(), str_word("streamhub.tv"));
     }
 }
+impl_json_newtype!(PublisherId);
+impl_json_enum!(SiteCategory {
+    Suspicious,
+    Pornography,
+    WebHosting,
+    Entertainment,
+    PersonalSites,
+    MaliciousSources,
+    DynamicDns,
+    Technology,
+    Piracy,
+    Games,
+    TvVideoStreams,
+    Phishing,
+    Business,
+    AdultMature,
+    Sports,
+    Education,
+    SocialNetworking,
+    Placeholders,
+    Health,
+    DailyLiving,
+});
+impl_json_struct!(PublisherSite { id, domain, category, rank, networks, stale });

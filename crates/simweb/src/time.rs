@@ -6,20 +6,16 @@
 //! virtual clock measured in minutes, so a multi-week measurement executes
 //! in seconds of wall time.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_newtype;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in minutes since the world epoch.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in minutes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 /// One simulated minute.
@@ -168,3 +164,5 @@ mod tests {
         assert_eq!(DAY.as_days(), 1.0);
     }
 }
+impl_json_newtype!(SimTime);
+impl_json_newtype!(SimDuration);

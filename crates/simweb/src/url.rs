@@ -5,14 +5,14 @@
 //! bookkeeping. The simulated web only needs scheme, host, path and query —
 //! there is no fragment or userinfo traffic in the ecosystem.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 use std::fmt;
 use std::str::FromStr;
 
 use crate::domain::e2ld;
 
 /// A parsed `http(s)` URL.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Url {
     /// `http` or `https`.
     pub scheme: String,
@@ -174,5 +174,15 @@ mod tests {
     fn path_and_query_forms() {
         assert_eq!(Url::http("a.com", "/p").path_and_query(), "/p");
         assert_eq!(Url::http("a.com", "/p?q=1").path_and_query(), "/p?q=1");
+    }
+}
+impl_json_struct!(Url { scheme, host, path, query });
+
+impl seacma_util::json::JsonKey for Url {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(k: &str) -> Result<Self, seacma_util::json::JsonError> {
+        k.parse().map_err(|e: ParseUrlError| seacma_util::json::JsonError::msg(e.to_string()))
     }
 }

@@ -10,7 +10,7 @@
 //! (parked pages, stock adult images, URL-shortener interstitials, failed
 //! loads) are modelled as shared templates across unrelated domains.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_enum;
 
 use seacma_vision::bitmap::{Bitmap, DEFAULT_HEIGHT, DEFAULT_WIDTH};
 
@@ -22,7 +22,7 @@ use crate::det::{det_hash, det_range, str_word};
 pub const INSTANCE_NOISE: u8 = 5;
 
 /// What a rendered page looks like.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VisualTemplate {
     /// Fake Flash/Java/media-player update dialog (Fake Software category).
     FakeSoftware { skin: u16 },
@@ -451,3 +451,17 @@ mod tests {
         assert_eq!(t.render(42), t.render(42));
     }
 }
+impl_json_enum!(VisualTemplate {
+    FakeSoftware { skin: u16 },
+    Scareware { skin: u16 },
+    TechSupport { skin: u16 },
+    Lottery { skin: u16 },
+    ChromeNotification { skin: u16 },
+    Registration { skin: u16 },
+    Parked { provider: u16 },
+    StockAdult { image: u16 },
+    ShortenerFrame { service: u16 },
+    LoadError,
+    BenignLanding { style: u64 },
+    PublisherHome { style: u64 },
+});

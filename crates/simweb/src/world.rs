@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::{impl_json_enum, impl_json_struct};
 
 use crate::adnet::{standard_networks, AdNetworkId, AdNetworkSpec};
 use crate::campaign::{CampaignId, SeCampaign, SeCategory};
@@ -24,7 +24,7 @@ use crate::url::Url;
 use crate::visual::VisualTemplate;
 
 /// Parameters of world generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldConfig {
     /// Master seed; one seed ⇒ byte-identical world and measurements.
     pub seed: u64,
@@ -66,7 +66,7 @@ impl Default for WorldConfig {
 }
 
 /// A clustering confounder hosted on many unrelated domains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Confounder {
     Parked { provider: u16 },
     StockAdult { image: u16 },
@@ -787,3 +787,18 @@ fn pick_hidden(
         .collect();
     *crate::det::det_pick(words, &eligible)
 }
+impl_json_struct!(WorldConfig {
+    seed,
+    n_publishers,
+    n_hidden_only_publishers,
+    n_advertisers,
+    campaign_scale,
+    confounder_rate,
+    error_rate,
+    stale_fraction,
+});
+impl_json_enum!(Confounder {
+    Parked { provider: u16 },
+    StockAdult { image: u16 },
+    Shortener { service: u16 },
+});

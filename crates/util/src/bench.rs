@@ -1,0 +1,330 @@
+//! A wall-clock microbenchmark harness.
+//!
+//! Replaces `criterion` for this workspace: warm up, run batched samples,
+//! report min/mean/median/p95 nanoseconds per iteration, and optionally
+//! dump every result as JSON (`--json PATH`). The API intentionally
+//! mirrors the criterion surface the benches already used
+//! ([`Bench::benchmark_group`], [`Group::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`]) so a bench file
+//! ports by swapping imports and the `bench_main!` footer.
+//!
+//! Run modes:
+//!
+//! * `cargo bench` — full measurement (default ~50 samples per bench).
+//! * `cargo test --benches` / any run with `--test` in the args — each
+//!   bench body executes exactly once as a smoke test, so benches stay
+//!   compiling *and* running under the tier-1 test command.
+//! * `--quick` — same single-iteration smoke mode, explicitly.
+
+use std::time::{Duration, Instant};
+
+use crate::json::{ToJson, Value};
+
+/// Wall-time budget per benchmark in full mode.
+const TARGET_TOTAL: Duration = Duration::from_millis(600);
+/// Warmup budget per benchmark in full mode.
+const WARMUP: Duration = Duration::from_millis(80);
+
+/// Throughput annotation, echoed into results (criterion-compatible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A `group/param` benchmark identifier (criterion-compatible).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/function` name.
+    pub name: String,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Arithmetic mean over samples.
+    pub mean_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Elements or bytes per iteration, when annotated.
+    pub throughput: Option<u64>,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("iters".into(), self.iters.to_json()),
+            ("min_ns".into(), self.min_ns.to_json()),
+            ("mean_ns".into(), self.mean_ns.to_json()),
+            ("median_ns".into(), self.median_ns.to_json()),
+            ("p95_ns".into(), self.p95_ns.to_json()),
+            ("throughput".into(), self.throughput.to_json()),
+        ])
+    }
+}
+
+/// The harness: collects results across groups, prints a line per bench,
+/// and writes the JSON report on [`Bench::finish`].
+#[derive(Debug)]
+pub struct Bench {
+    quick: bool,
+    json_path: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// A harness configured from `std::env::args()`.
+    ///
+    /// Recognized flags: `--quick` (single-iteration smoke mode), `--json
+    /// PATH` (write results as a JSON array). Harness flags passed by
+    /// `cargo test`/`cargo bench` (`--test`, `--bench`, filters…) are
+    /// accepted and ignored, except `--test` which implies `--quick`.
+    pub fn from_args() -> Self {
+        let mut quick = false;
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" | "--test" => quick = true,
+                "--json" => json_path = args.next(),
+                _ => {}
+            }
+        }
+        Bench { quick, json_path, results: Vec::new() }
+    }
+
+    /// A fresh full-measurement harness (for tests of the harness itself).
+    pub fn new() -> Self {
+        Bench { quick: false, json_path: None, results: Vec::new() }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Measured results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the summary and writes the JSON report, if requested.
+    pub fn finish(self) {
+        if let Some(path) = &self.json_path {
+            let report = Value::Arr(self.results.iter().map(ToJson::to_json).collect());
+            if let Err(e) = std::fs::write(path, crate::json::to_string_pretty(&report)) {
+                eprintln!("bench: cannot write {path}: {e}");
+            }
+        }
+        if self.quick {
+            println!("bench: smoke mode — every bench body ran once");
+        }
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    throughput: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Sets how many timed samples to take (criterion-compatible).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Annotates per-iteration throughput (criterion-compatible).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Runs one benchmark; the closure drives a [`Bencher`].
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            quick: self.bench.quick,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let result = b.into_result(name, self.throughput);
+        println!(
+            "{:<40} median {:>12.1} ns/iter  p95 {:>12.1} ns/iter  ({} iters)",
+            result.name, result.median_ns, result.p95_ns, result.iters
+        );
+        self.bench.results.push(result);
+    }
+
+    /// Runs one parameterized benchmark (criterion-compatible).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id.name.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for criterion compatibility; groups flush
+    /// eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`. In smoke mode `f` runs once; otherwise it is warmed
+    /// up, then timed in batches sized so one batch lasts roughly
+    /// `TARGET_TOTAL / sample_size`.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        if self.quick {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.samples_ns = vec![0.0];
+            return;
+        }
+
+        // Warmup + calibration: count how many iterations fit in WARMUP.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.sample_size;
+        let batch = ((TARGET_TOTAL.as_secs_f64() / samples as f64 / est_per_iter) as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+        self.iters = batch * samples as u64;
+    }
+
+    fn into_result(mut self, name: String, throughput: Option<u64>) -> BenchResult {
+        assert!(!self.samples_ns.is_empty(), "bench body never called Bencher::iter");
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples_ns.len();
+        let pct = |p: f64| self.samples_ns[((n - 1) as f64 * p) as usize];
+        BenchResult {
+            name,
+            iters: self.iters,
+            min_ns: self.samples_ns[0],
+            mean_ns: self.samples_ns.iter().sum::<f64>() / n as f64,
+            median_ns: pct(0.5),
+            p95_ns: pct(0.95),
+            throughput,
+        }
+    }
+}
+
+/// Declares the bench binary's `main`: each listed function receives
+/// `&mut Bench`, and the harness parses CLI flags and writes the report.
+/// Drop-in for the `criterion_group!` + `criterion_main!` pair.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Bench::from_args();
+            $( $func(&mut harness); )+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_stats() {
+        let mut h = Bench::new();
+        {
+            let mut g = h.benchmark_group("unit");
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("noop_sum", |b| {
+                let mut x = 0u64;
+                b.iter(|| {
+                    x = x.wrapping_add(1);
+                    x
+                })
+            });
+            g.finish();
+        }
+        let r = &h.results()[0];
+        assert_eq!(r.name, "unit/noop_sum");
+        assert!(r.iters > 0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert_eq!(r.throughput, Some(1));
+    }
+
+    #[test]
+    fn benchmark_id_renders_group_slash_param() {
+        assert_eq!(BenchmarkId::new("dbscan", 500).name, "dbscan/500");
+    }
+
+    #[test]
+    fn results_serialize_to_json() {
+        let r = BenchResult {
+            name: "g/f".into(),
+            iters: 10,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            median_ns: 2.0,
+            p95_ns: 3.0,
+            throughput: None,
+        };
+        let v = crate::json::parse(&crate::json::to_string(&r)).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("g/f"));
+        assert!(v.get("throughput").unwrap().is_null());
+    }
+}

@@ -1,0 +1,239 @@
+//! A tiny deterministic property-testing harness.
+//!
+//! Replaces `proptest` for this workspace's needs: run a property over a
+//! few hundred pseudo-random inputs drawn from a seeded generator. Unlike
+//! proptest there is **no shrinking** and **no persistence file** — every
+//! case is a pure function of its index, so a failure report ("case 17")
+//! is already a minimal, stable reproduction recipe. That mirrors the
+//! simulation substrate's determinism contract: same seed, same bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use seacma_util::forall;
+//!
+//! forall!(64, |rng| {
+//!     let a = rng.u64();
+//!     let b = rng.below(100);
+//!     assert!(b < 100);
+//!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//! });
+//! ```
+
+/// Default number of cases run by [`forall!`](crate::forall) when no count
+/// is given. Matches proptest's default.
+pub const DEFAULT_CASES: u64 = 256;
+
+/// A deterministic generator: a SplitMix64 stream seeded per test case.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// The next 128 random bits.
+    pub fn u128(&mut self) -> u128 {
+        (u128::from(self.u64()) << 64) | u128::from(self.u64())
+    }
+
+    /// The next 8 random bits.
+    pub fn u8(&mut self) -> u8 {
+        (self.u64() >> 56) as u8
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below with empty range");
+        // Multiply-shift reduction: unbiased for all practical n.
+        ((u128::from(self.u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; the range must be non-empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range with empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`; the range must be non-empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Rng::range_u64 with empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniformly chosen element of `slice`.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Rng::pick from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+
+    /// A random byte from `charset` (which must be non-empty ASCII).
+    pub fn char_of(&mut self, charset: &str) -> char {
+        *self.pick(charset.as_bytes()) as char
+    }
+
+    /// A string of length drawn from `[min_len, max_len]`, each character
+    /// uniform over `charset` — the harness's stand-in for proptest's
+    /// regex-literal strategies like `"[a-z0-9]{1,8}"`.
+    pub fn string_of(&mut self, charset: &str, min_len: usize, max_len: usize) -> String {
+        let len = self.range(min_len, max_len + 1);
+        (0..len).map(|_| self.char_of(charset)).collect()
+    }
+
+    /// A `Vec` with `[min_len, max_len]` elements drawn by `gen`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.range(min_len, max_len + 1);
+        (0..len).map(|_| gen(self)).collect()
+    }
+}
+
+/// Lowercase ASCII letters.
+pub const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+/// Lowercase ASCII letters and digits.
+pub const LOWER_DIGITS: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+/// ASCII digits.
+pub const DIGITS: &str = "0123456789";
+
+/// Runs `property` against `cases` deterministic generator streams.
+///
+/// Each case `i` gets a generator seeded as a pure function of `i`, so a
+/// failing case number is a complete reproduction recipe. On failure the
+/// case number is printed and the panic is re-raised (so `cargo test`
+/// reports the original assertion message too).
+pub fn forall(cases: u64, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::new(0x5EAC_A001_u64.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng)
+        }));
+        if let Err(panic) = outcome {
+            eprintln!("forall: property failed at case {case} of {cases}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Property-test entry point: `forall!(|rng| { ... })` runs the body
+/// [`DEFAULT_CASES`] times; `forall!(N, |rng| { ... })` runs it `N` times.
+/// The body receives `rng: &mut Rng` and asserts with the ordinary
+/// `assert!` family.
+///
+/// # Examples
+///
+/// ```
+/// use seacma_util::forall;
+/// use seacma_util::prop::LOWER;
+///
+/// forall!(|rng| {
+///     let s = rng.string_of(LOWER, 1, 8);
+///     assert!(!s.is_empty() && s.len() <= 8);
+///     assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+/// });
+/// ```
+#[macro_export]
+macro_rules! forall {
+    (|$rng:ident| $body:expr) => {
+        $crate::prop::forall($crate::prop::DEFAULT_CASES, |$rng: &mut $crate::prop::Rng| {
+            $body
+        })
+    };
+    ($cases:expr, |$rng:ident| $body:expr) => {
+        $crate::prop::forall($cases, |$rng: &mut $crate::prop::Rng| $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        assert_ne!(Rng::new(1).u64(), Rng::new(2).u64());
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let x = rng.range(2, 5);
+            assert!((2..5).contains(&x));
+            let f = rng.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_covers_the_range() {
+        let mut rng = Rng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..300 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn string_of_respects_charset_and_len() {
+        let mut rng = Rng::new(9);
+        for _ in 0..200 {
+            let s = rng.string_of(LOWER_DIGITS, 1, 9);
+            assert!((1..=9).contains(&s.len()));
+            assert!(s.chars().all(|c| LOWER_DIGITS.contains(c)));
+        }
+    }
+
+    #[test]
+    fn forall_runs_all_cases() {
+        let mut n = 0u64;
+        forall(40, |_| n += 1);
+        assert_eq!(n, 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forall_propagates_failures() {
+        forall(10, |rng| assert!(rng.u64() % 2 == 0, "odd draw"));
+    }
+}

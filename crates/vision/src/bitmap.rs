@@ -6,7 +6,7 @@
 //! 17×8 anyway, and the clustering only needs near-duplicate structure to
 //! survive, not pixel fidelity.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 use std::fmt;
 
 /// Default screenshot width used by the simulated browser.
@@ -15,7 +15,7 @@ pub const DEFAULT_WIDTH: usize = 128;
 pub const DEFAULT_HEIGHT: usize = 80;
 
 /// A row-major 8-bit grayscale image.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Bitmap {
     width: usize,
     height: usize,
@@ -314,3 +314,4 @@ mod tests {
         assert!(lines.iter().all(|l| l.len() == 16));
     }
 }
+impl_json_struct!(Bitmap { width, height, pixels });

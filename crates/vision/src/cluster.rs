@@ -9,14 +9,14 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_struct;
 
 use crate::dbscan::{dbscan, DbscanParams, Label};
 use crate::dhash::{normalized_hamming, Dhash};
 
 /// One screenshot observation: the perceptual hash plus the effective
 /// second-level domain of the page it was taken on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScreenshotPoint {
     /// 128-bit difference hash of the screenshot.
     pub dhash: Dhash,
@@ -34,7 +34,7 @@ impl ScreenshotPoint {
 
 /// Clustering parameters (paper defaults: `eps = 0.1`, `min_pts = 3`,
 /// `theta_c = 5`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterParams {
     /// DBSCAN neighbourhood radius over *normalized* Hamming distance.
     pub eps: f64,
@@ -52,7 +52,7 @@ impl Default for ClusterParams {
 }
 
 /// One cluster of near-duplicate screenshots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScreenshotCluster {
     /// Indices into the input slice.
     pub members: Vec<usize>,
@@ -82,7 +82,7 @@ impl ScreenshotCluster {
 }
 
 /// Result of the clustering + θc filtering step.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScreenshotClusters {
     /// Clusters that span ≥ θc distinct e2LDs: candidate SEACMA campaigns.
     pub campaigns: Vec<ScreenshotCluster>,
@@ -279,3 +279,7 @@ mod tests {
         assert_eq!(out.campaigns.len(), 1, "exactly theta_c domains must pass");
     }
 }
+impl_json_struct!(ScreenshotPoint { dhash, e2ld });
+impl_json_struct!(ClusterParams { eps, min_pts, theta_c });
+impl_json_struct!(ScreenshotCluster { members, domains, representative });
+impl_json_struct!(ScreenshotClusters { campaigns, filtered, noise });

@@ -8,7 +8,7 @@
 //! Near-duplicate images — the same SE attack with rotated domain names,
 //! timestamps or localized strings — differ in only a few bits.
 
-use serde::{Deserialize, Serialize};
+use seacma_util::impl_json_newtype;
 use std::fmt;
 
 use crate::bitmap::Bitmap;
@@ -21,7 +21,7 @@ pub const HASH_ROWS: usize = 8;
 pub const HASH_BITS: u32 = (HASH_COLS * HASH_ROWS) as u32;
 
 /// A 128-bit perceptual difference hash.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Dhash(pub u128);
 
 impl fmt::Debug for Dhash {
@@ -179,3 +179,4 @@ mod tests {
         assert_eq!(Dhash::parse(&s[..31]), None);
     }
 }
+impl_json_newtype!(Dhash);

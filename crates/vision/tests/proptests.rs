@@ -1,46 +1,58 @@
-//! Property-based tests for the vision substrate.
+//! Property-based tests for the vision substrate, on the in-tree
+//! deterministic harness (`seacma_util::prop`).
 
-use proptest::prelude::*;
+use seacma_util::forall;
+use seacma_util::prop::Rng;
+
 use seacma_vision::bitmap::Bitmap;
 use seacma_vision::cluster::{cluster_screenshots, ClusterParams, ScreenshotPoint};
 use seacma_vision::dbscan::{dbscan, DbscanParams, Label};
 use seacma_vision::dhash::{dhash128, hamming, normalized_hamming, Dhash};
 
-fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
-    (4usize..40, 4usize..40).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<u8>(), w * h)
-            .prop_map(move |px| Bitmap::from_pixels(w, h, px))
-    })
+/// A random bitmap with 4–39 pixel sides.
+fn gen_bitmap(rng: &mut Rng) -> Bitmap {
+    let w = rng.range(4, 40);
+    let h = rng.range(4, 40);
+    let px = (0..w * h).map(|_| rng.u8()).collect();
+    Bitmap::from_pixels(w, h, px)
 }
 
-proptest! {
-    /// Hamming distance is a metric: symmetry + identity + triangle.
-    #[test]
-    fn hamming_is_a_metric(a: u128, b: u128, c: u128) {
-        let (a, b, c) = (Dhash(a), Dhash(b), Dhash(c));
-        prop_assert_eq!(hamming(a, b), hamming(b, a));
-        prop_assert_eq!(hamming(a, a), 0);
-        prop_assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
-    }
+/// Hamming distance is a metric: symmetry + identity + triangle.
+#[test]
+fn hamming_is_a_metric() {
+    forall!(|rng| {
+        let (a, b, c) = (Dhash(rng.u128()), Dhash(rng.u128()), Dhash(rng.u128()));
+        assert_eq!(hamming(a, b), hamming(b, a));
+        assert_eq!(hamming(a, a), 0);
+        assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+    });
+}
 
-    /// Normalized distance stays in [0, 1].
-    #[test]
-    fn normalized_hamming_in_unit_interval(a: u128, b: u128) {
-        let d = normalized_hamming(Dhash(a), Dhash(b));
-        prop_assert!((0.0..=1.0).contains(&d));
-    }
+/// Normalized distance stays in [0, 1].
+#[test]
+fn normalized_hamming_in_unit_interval() {
+    forall!(|rng| {
+        let d = normalized_hamming(Dhash(rng.u128()), Dhash(rng.u128()));
+        assert!((0.0..=1.0).contains(&d));
+    });
+}
 
-    /// Display/parse of a hash round-trips.
-    #[test]
-    fn dhash_display_parse_roundtrip(a: u128) {
-        let h = Dhash(a);
-        prop_assert_eq!(Dhash::parse(&h.to_string()), Some(h));
-    }
+/// Display/parse of a hash round-trips.
+#[test]
+fn dhash_display_parse_roundtrip() {
+    forall!(|rng| {
+        let h = Dhash(rng.u128());
+        assert_eq!(Dhash::parse(&h.to_string()), Some(h));
+    });
+}
 
-    /// dhash is invariant under constant brightness shifts (gradient signs
-    /// are unchanged when every pixel moves by the same amount).
-    #[test]
-    fn dhash_brightness_shift_invariant(bm in arb_bitmap(), shift in 1u8..60) {
+/// dhash is invariant under constant brightness shifts (gradient signs
+/// are unchanged when every pixel moves by the same amount).
+#[test]
+fn dhash_brightness_shift_invariant() {
+    forall!(|rng| {
+        let bm = gen_bitmap(rng);
+        let shift = rng.range(1, 60) as u8;
         let shifted = Bitmap::from_pixels(
             bm.width(),
             bm.height(),
@@ -53,12 +65,15 @@ proptest! {
         );
         // Halving first avoids saturation; then the +shift/2 is a pure shift.
         let d = hamming(dhash128(&base), dhash128(&shifted));
-        prop_assert_eq!(d, 0);
-    }
+        assert_eq!(d, 0);
+    });
+}
 
-    /// Small perturbations keep the hash within the DBSCAN eps ball.
-    #[test]
-    fn dhash_noise_stability(seed: u64) {
+/// Small perturbations keep the hash within the DBSCAN eps ball.
+#[test]
+fn dhash_noise_stability() {
+    forall!(|rng| {
+        let seed = rng.u64();
         // A structured image (not constant): diagonal gradient.
         let mut bm = Bitmap::new(64, 40);
         for y in 0..40 {
@@ -69,43 +84,52 @@ proptest! {
         let mut noisy = bm.clone();
         noisy.perturb(seed, 4);
         let d = hamming(dhash128(&bm), dhash128(&noisy));
-        prop_assert!(d <= 12, "noise moved the hash {} bits", d);
-    }
+        assert!(d <= 12, "noise moved the hash {} bits", d);
+    });
+}
 
-    /// Resize to the same dimensions is the identity.
-    #[test]
-    fn resize_identity(bm in arb_bitmap()) {
+/// Resize to the same dimensions is the identity.
+#[test]
+fn resize_identity() {
+    forall!(|rng| {
+        let bm = gen_bitmap(rng);
         let same = bm.resize(bm.width(), bm.height());
-        prop_assert_eq!(same, bm);
-    }
+        assert_eq!(same, bm);
+    });
+}
 
-    /// DBSCAN labels exactly the input points and ids are contiguous.
-    #[test]
-    fn dbscan_labels_are_well_formed(points in prop::collection::vec(0.0f64..100.0, 0..60)) {
+/// DBSCAN labels exactly the input points and ids are contiguous.
+#[test]
+fn dbscan_labels_are_well_formed() {
+    forall!(|rng| {
+        let points = rng.vec_of(0, 59, |r| r.f64_range(0.0, 100.0));
         let labels = dbscan(
             points.len(),
             DbscanParams { eps: 2.0, min_pts: 3 },
             |a, b| (points[a] - points[b]).abs(),
         );
-        prop_assert_eq!(labels.len(), points.len());
+        assert_eq!(labels.len(), points.len());
         let mut ids: Vec<usize> = labels.iter().filter_map(|l| l.cluster_id()).collect();
         ids.sort_unstable();
         ids.dedup();
         for (i, id) in ids.iter().enumerate() {
-            prop_assert_eq!(i, *id, "cluster ids must be contiguous from 0");
+            assert_eq!(i, *id, "cluster ids must be contiguous from 0");
         }
         // Every cluster must contain at least one core point => at least
         // min_pts members (core + density-reachable neighbours).
         for id in ids {
             let size = labels.iter().filter(|l| l.cluster_id() == Some(id)).count();
-            prop_assert!(size >= 3, "cluster {} has only {} members", id, size);
+            assert!(size >= 3, "cluster {} has only {} members", id, size);
         }
-    }
+    });
+}
 
-    /// Clustering partitions: every input index appears in exactly one
-    /// cluster or is noise.
-    #[test]
-    fn clustering_is_a_partition(hashes in prop::collection::vec(any::<u128>(), 0..50)) {
+/// Clustering partitions: every input index appears in exactly one
+/// cluster or is noise.
+#[test]
+fn clustering_is_a_partition() {
+    forall!(|rng| {
+        let hashes = rng.vec_of(0, 49, Rng::u128);
         let pts: Vec<ScreenshotPoint> = hashes
             .iter()
             .enumerate()
@@ -119,30 +143,35 @@ proptest! {
             }
         }
         let clustered: usize = seen.iter().sum();
-        prop_assert_eq!(clustered + out.noise, pts.len());
-        prop_assert!(seen.iter().all(|&s| s <= 1), "a point appeared in two clusters");
-    }
+        assert_eq!(clustered + out.noise, pts.len());
+        assert!(seen.iter().all(|&s| s <= 1), "a point appeared in two clusters");
+    });
+}
 
-    /// θc filter: every reported campaign spans at least θc domains.
-    #[test]
-    fn campaigns_respect_theta_c(n_domains in 1usize..12) {
+/// θc filter: every reported campaign spans at least θc domains.
+#[test]
+fn campaigns_respect_theta_c() {
+    forall!(|rng| {
+        let n_domains = rng.range(1, 12);
         let pts: Vec<ScreenshotPoint> = (0..30)
-            .map(|i| ScreenshotPoint::new(
-                Dhash(0xFACE ^ (1 << (i % 2))),
-                format!("d{}.net", i % n_domains),
-            ))
+            .map(|i| {
+                ScreenshotPoint::new(
+                    Dhash(0xFACE ^ (1 << (i % 2))),
+                    format!("d{}.net", i % n_domains),
+                )
+            })
             .collect();
         let params = ClusterParams::default();
         let out = cluster_screenshots(&pts, params);
         for c in &out.campaigns {
-            prop_assert!(c.domain_count() >= params.theta_c);
+            assert!(c.domain_count() >= params.theta_c);
         }
         if n_domains < params.theta_c {
-            prop_assert!(out.campaigns.is_empty());
+            assert!(out.campaigns.is_empty());
         } else {
-            prop_assert_eq!(out.campaigns.len(), 1);
+            assert_eq!(out.campaigns.len(), 1);
         }
-    }
+    });
 }
 
 #[test]

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Canonical tier-1 verification: hermetic (offline) build + test.
+# The workspace has no external dependencies, so --offline must succeed
+# with zero registry access; if it doesn't, a crate grew a non-path dep.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline
+cargo test -q --offline
