@@ -1,0 +1,109 @@
+//! Scaling bench for the Hamming-space clustering stage (DESIGN.md
+//! "Hamming neighbour index"; EXPERIMENTS.md "Scaling & performance").
+//!
+//! Clusters synthetic dhash corpora at n ∈ {1k, 10k, 50k, 200k} three
+//! ways — naive O(n²) region scans, the exact pigeonhole-banded index,
+//! and the index with construction + region queries sharded across all
+//! cores — and verifies on the smallest corpus that all three produce
+//! identical labels before timing anything.
+//!
+//! ```text
+//! cargo run --release -p seacma-bench --bin cluster_scaling -- --json BENCH_cluster.json
+//! cargo run --release -p seacma-bench --bin cluster_scaling -- --quick   # tier-1 smoke
+//! ```
+//!
+//! `--quick` keeps the smoke offline-CI-fast: sizes shrink to {1k, 10k}
+//! and every bench body runs exactly once. The naive path is skipped at
+//! n = 200k (it alone would dominate the run at ~16× the 50k cost); the
+//! skip is printed so the JSON's coverage is explicit.
+
+use seacma_util::bench::{Bench, BenchmarkId, Throughput};
+use seacma_util::prop::Rng;
+use seacma_vision::dbscan::{dbscan, dbscan_with, DbscanParams, Label};
+use seacma_vision::dhash::{normalized_hamming, Dhash};
+use seacma_vision::index::HammingIndex;
+
+const EPS: f64 = 0.1;
+const MIN_PTS: usize = 3;
+/// Above this size the naive O(n²) path is skipped (printed, not silent).
+const NAIVE_MAX: usize = 50_000;
+
+/// A screenshot-shaped corpus: ~1 campaign template per 100 points, 80 %
+/// of points near-duplicates of a template (≤ 3 flipped bits — inside the
+/// eps ball), 20 % uniform noise.
+fn synth(n: usize, seed: u64) -> Vec<Dhash> {
+    let mut rng = Rng::new(seed);
+    let centers: Vec<u128> = (0..(n / 100).max(1)).map(|_| rng.u128()).collect();
+    (0..n)
+        .map(|_| {
+            if rng.bool(0.8) {
+                let mut h = *rng.pick(&centers);
+                for _ in 0..rng.below(4) {
+                    h ^= 1u128 << rng.below(128);
+                }
+                Dhash(h)
+            } else {
+                Dhash(rng.u128())
+            }
+        })
+        .collect()
+}
+
+fn naive_labels(hashes: &[Dhash]) -> Vec<Label> {
+    dbscan(hashes.len(), DbscanParams { eps: EPS, min_pts: MIN_PTS }, |a, b| {
+        normalized_hamming(hashes[a], hashes[b])
+    })
+}
+
+fn indexed_labels(hashes: &[Dhash]) -> Vec<Label> {
+    let mut index = HammingIndex::build(hashes, EPS);
+    dbscan_with(&mut index, MIN_PTS)
+}
+
+fn indexed_parallel_labels(hashes: &[Dhash], workers: usize) -> Vec<Label> {
+    let index = HammingIndex::build_parallel(hashes, EPS, workers);
+    let mut regions = index.regions_parallel(workers);
+    dbscan_with(&mut regions, MIN_PTS)
+}
+
+fn main() {
+    let mut harness = Bench::from_args();
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let sizes: &[usize] =
+        if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 50_000, 200_000] };
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Exactness gate before any timing: all three paths must agree.
+    let probe = synth(2_000, 0x5EAC_A201);
+    let reference = naive_labels(&probe);
+    assert_eq!(indexed_labels(&probe), reference, "indexed path diverged from naive");
+    assert_eq!(
+        indexed_parallel_labels(&probe, workers),
+        reference,
+        "parallel path diverged from naive"
+    );
+    let clusters = reference.iter().filter_map(|l| l.cluster_id()).max().map_or(0, |m| m + 1);
+    println!("exactness check: 3 paths agree on 2,000 points ({clusters} clusters)\n");
+
+    let mut group = harness.benchmark_group("cluster");
+    for &n in sizes {
+        let hashes = synth(n, 0x5EAC_A201);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(if n >= NAIVE_MAX { 5 } else { 10 });
+        if n <= NAIVE_MAX {
+            group.bench_with_input(BenchmarkId::new("naive", n), &hashes, |b, hs| {
+                b.iter(|| naive_labels(hs))
+            });
+        } else {
+            println!("cluster/naive/{n}: skipped (O(n²) scan; measure up to n = {NAIVE_MAX})");
+        }
+        group.bench_with_input(BenchmarkId::new("indexed", n), &hashes, |b, hs| {
+            b.iter(|| indexed_labels(hs))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed-par", n), &hashes, |b, hs| {
+            b.iter(|| indexed_parallel_labels(hs, workers))
+        });
+    }
+    group.finish();
+    harness.finish();
+}

@@ -10,7 +10,7 @@ use seacma_milker::{
 };
 use seacma_simweb::search::SourceSearch;
 use seacma_simweb::{det, PublisherId, SimTime, UaProfile, Vantage, World};
-use seacma_vision::cluster::{cluster_screenshots, ScreenshotClusters, ScreenshotPoint};
+use seacma_vision::cluster::{cluster_screenshots_parallel, ScreenshotClusters, ScreenshotPoint};
 
 use crate::config::PipelineConfig;
 use crate::label::{label_clusters, ClusterLabel};
@@ -191,7 +191,11 @@ impl Pipeline {
             .iter()
             .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
             .collect();
-        let clusters = cluster_screenshots(&points, self.config.clustering);
+        // Indexed + parallel clustering: same labels as the sequential
+        // naive path (the index is exact and workers only precompute
+        // neighbour lists), so sharing `config.workers` with the crawl
+        // farm cannot change any downstream table.
+        let clusters = cluster_screenshots_parallel(&points, self.config.clustering, self.config.workers);
 
         // Ground-truth labeling (the paper's manual step).
         let labels = label_clusters(&self.world, &clusters.campaigns, &landings);

@@ -11,8 +11,9 @@ use std::collections::BTreeSet;
 
 use seacma_util::impl_json_struct;
 
-use crate::dbscan::{dbscan, DbscanParams, Label};
-use crate::dhash::{normalized_hamming, Dhash};
+use crate::dbscan::{dbscan_with, Label};
+use crate::dhash::Dhash;
+use crate::index::HammingIndex;
 
 /// One screenshot observation: the perceptual hash plus the effective
 /// second-level domain of the page it was taken on.
@@ -119,6 +120,24 @@ impl ScreenshotClusters {
 /// assert_eq!(result.campaigns[0].domain_count(), 6);
 /// ```
 pub fn cluster_screenshots(points: &[ScreenshotPoint], params: ClusterParams) -> ScreenshotClusters {
+    cluster_screenshots_parallel(points, params, 1)
+}
+
+/// [`cluster_screenshots`] with index construction and region queries
+/// sharded across `workers` OS threads (`0` ⇒ available parallelism, the
+/// crawler-farm convention; `1` ⇒ fully sequential).
+///
+/// The output is **byte-identical** for every worker count: workers only
+/// precompute the per-point neighbour lists (each an independent pure
+/// function of the read-only index — see
+/// [`HammingIndex::regions_parallel`]), and the DBSCAN sweep, cluster-id
+/// assignment and representative selection run sequentially over those
+/// lists.
+pub fn cluster_screenshots_parallel(
+    points: &[ScreenshotPoint],
+    params: ClusterParams,
+    workers: usize,
+) -> ScreenshotClusters {
     // Dedup identical (dhash, e2ld) pairs, remembering all original indices.
     let mut uniq: Vec<(&ScreenshotPoint, Vec<usize>)> = Vec::new();
     {
@@ -135,11 +154,17 @@ pub fn cluster_screenshots(points: &[ScreenshotPoint], params: ClusterParams) ->
         }
     }
 
-    let labels = dbscan(
-        uniq.len(),
-        DbscanParams { eps: params.eps, min_pts: params.min_pts },
-        |a, b| normalized_hamming(uniq[a].0.dhash, uniq[b].0.dhash),
-    );
+    // Indexed region queries (exact — identical labels to the naive O(n²)
+    // scan; see DESIGN.md "Hamming neighbour index").
+    let hashes: Vec<Dhash> = uniq.iter().map(|(p, _)| p.dhash).collect();
+    let labels = if workers == 1 {
+        let mut index = HammingIndex::build(&hashes, params.eps);
+        dbscan_with(&mut index, params.min_pts)
+    } else {
+        let index = HammingIndex::build_parallel(&hashes, params.eps, workers);
+        let mut regions = index.regions_parallel(workers);
+        dbscan_with(&mut regions, params.min_pts)
+    };
 
     let n_clusters = labels.iter().filter_map(|l| l.cluster_id()).max().map_or(0, |m| m + 1);
     let mut raw: Vec<Vec<usize>> = vec![Vec::new(); n_clusters]; // unique-point indices
@@ -156,14 +181,18 @@ pub fn cluster_screenshots(points: &[ScreenshotPoint], params: ClusterParams) ->
     for members_u in raw {
         let domains: BTreeSet<String> =
             members_u.iter().map(|&u| uniq[u].0.e2ld.clone()).collect();
-        // Representative: medoid by total Hamming distance among unique members.
+        // Representative: medoid by total Hamming distance among unique
+        // members; ties break to the lowest unique-point index, so the
+        // choice is a pure function of the member set (parallel and
+        // sequential runs agree bit for bit).
         let rep_u = *members_u
             .iter()
             .min_by_key(|&&a| {
-                members_u
+                let total: u64 = members_u
                     .iter()
-                    .map(|&b| crate::dhash::hamming(uniq[a].0.dhash, uniq[b].0.dhash) as u64)
-                    .sum::<u64>()
+                    .map(|&b| u64::from(crate::dhash::hamming(uniq[a].0.dhash, uniq[b].0.dhash)))
+                    .sum();
+                (total, a)
             })
             .expect("DBSCAN clusters are nonempty");
         let members: Vec<usize> =
@@ -269,6 +298,50 @@ mod tests {
         let out = cluster_screenshots(&[], ClusterParams::default());
         assert_eq!(out.total_clusters(), 0);
         assert_eq!(out.noise, 0);
+    }
+
+    #[test]
+    fn representative_ties_break_to_lowest_index() {
+        // Four hashes at the corners of a Hamming square: every member has
+        // the same total distance (1 + 1 + 2 = 4), so the medoid is a
+        // four-way tie and the representative must be the lowest index.
+        let hashes = [0u128, 0b01, 0b10, 0b11];
+        let pts: Vec<ScreenshotPoint> = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| ScreenshotPoint::new(Dhash(h), format!("tie{i}.com")))
+            .collect();
+        let params = ClusterParams { theta_c: 4, ..Default::default() };
+        let out = cluster_screenshots(&pts, params);
+        assert_eq!(out.campaigns.len(), 1);
+        assert_eq!(out.campaigns[0].representative, 0, "tie must break to lowest index");
+
+        // Same set reversed: the lowest *original index* now holds the
+        // hash that used to be last — still index 0.
+        let rev: Vec<ScreenshotPoint> = pts.iter().rev().cloned().collect();
+        let out = cluster_screenshots(&rev, params);
+        assert_eq!(out.campaigns[0].representative, 0);
+    }
+
+    #[test]
+    fn parallel_clustering_is_byte_identical() {
+        // A corpus with campaigns, a θc-filtered cluster, noise and exact
+        // duplicates — every code path the parallel run must reproduce.
+        let mut pts = synthetic_campaign(0xAAAA_BBBB_CCCC_DDDD, 20, 8, "evil");
+        pts.extend(synthetic_campaign(0x1234_5678, 12, 2, "benign"));
+        pts.extend((0..6).map(|i| {
+            ScreenshotPoint::new(Dhash(0xFFFFu128 << (i * 20)), format!("n{i}.com"))
+        }));
+        let dup = pts[0].clone();
+        pts.push(dup);
+
+        let seq = cluster_screenshots(&pts, ClusterParams::default());
+        for workers in [0, 2, 3, 7] {
+            let par = cluster_screenshots_parallel(&pts, ClusterParams::default(), workers);
+            assert_eq!(par.campaigns, seq.campaigns, "workers={workers}");
+            assert_eq!(par.filtered, seq.filtered, "workers={workers}");
+            assert_eq!(par.noise, seq.noise, "workers={workers}");
+        }
     }
 
     #[test]

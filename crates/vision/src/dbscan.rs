@@ -3,9 +3,12 @@
 //!
 //! The paper clusters `(dhash, e2LD)` pairs with DBSCAN using
 //! `eps = 0.1` (normalized Hamming distance) and `MinPts = 3`. This module
-//! provides a faithful, allocation-conscious DBSCAN over an arbitrary
-//! pairwise distance function, so it can also be reused for the eps/θc
-//! ablation benches.
+//! provides a faithful, allocation-conscious DBSCAN whose region queries go
+//! through the [`RegionQuery`] trait: the classic pairwise-distance closure
+//! ([`dbscan`]) remains the fallback O(n²) implementation, while
+//! [`HammingIndex`](crate::index::HammingIndex) supplies the sub-quadratic
+//! indexed path with byte-identical output (see DESIGN.md, "Hamming
+//! neighbour index").
 
 /// DBSCAN parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +46,56 @@ impl Label {
     }
 }
 
+/// A neighbourhood oracle: answers "which points lie within the clustering
+/// radius of point `p`?" for a fixed point set.
+///
+/// Implementations must write the **ascending, deduplicated** index list
+/// into `out` (including `p` itself, which is always within radius zero of
+/// itself). DBSCAN's output is a pure function of these lists, so two
+/// implementations that return equal lists produce byte-identical labels —
+/// the contract that lets the indexed and precomputed-parallel paths stand
+/// in for the naive scan.
+pub trait RegionQuery {
+    /// Number of points in the set.
+    fn len(&self) -> usize;
+
+    /// Writes the neighbours of `p` (ascending, deduped, including `p`)
+    /// into `out`, replacing its contents.
+    fn region(&mut self, p: usize, out: &mut Vec<usize>);
+
+    /// Whether the point set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The fallback [`RegionQuery`]: a linear scan over a pairwise distance
+/// closure, O(n) per query and O(n²) over a full DBSCAN run.
+pub struct FnRegion<F> {
+    n: usize,
+    eps: f64,
+    dist: F,
+}
+
+impl<F: FnMut(usize, usize) -> f64> FnRegion<F> {
+    /// A scan over `n` points with pairwise distance `dist` and radius
+    /// `eps`.
+    pub fn new(n: usize, eps: f64, dist: F) -> Self {
+        Self { n, eps, dist }
+    }
+}
+
+impl<F: FnMut(usize, usize) -> f64> RegionQuery for FnRegion<F> {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn region(&mut self, p: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.n).filter(|&q| (self.dist)(p, q) <= self.eps));
+    }
+}
+
 /// Runs DBSCAN over `n` points with pairwise distance `dist`.
 ///
 /// Returns one [`Label`] per point. Border points are assigned to the first
@@ -51,37 +104,54 @@ impl Label {
 /// are well separated).
 ///
 /// Complexity is O(n²) distance evaluations — the same regime as the paper,
-/// which clustered ~200k screenshots offline.
-pub fn dbscan<F>(n: usize, params: DbscanParams, mut dist: F) -> Vec<Label>
+/// which clustered ~200k screenshots offline. For dhash workloads use
+/// [`HammingIndex`](crate::index::HammingIndex) with [`dbscan_with`]: same
+/// labels, sub-quadratic work.
+pub fn dbscan<F>(n: usize, params: DbscanParams, dist: F) -> Vec<Label>
 where
     F: FnMut(usize, usize) -> f64,
 {
+    dbscan_with(&mut FnRegion::new(n, params.eps, dist), params.min_pts)
+}
+
+/// Runs DBSCAN over an arbitrary [`RegionQuery`] oracle.
+///
+/// Each point receives **exactly one** region query over the whole run
+/// (noise points when first scanned, cluster members when first labeled),
+/// and the expansion queue never holds a point twice: candidates are
+/// deduplicated on enqueue, bounding the queue at `n` entries instead of
+/// one entry per (core, neighbour) edge.
+pub fn dbscan_with<Q: RegionQuery + ?Sized>(query: &mut Q, min_pts: usize) -> Vec<Label> {
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
 
+    let n = query.len();
     let mut labels = vec![UNVISITED; n];
     let mut next_cluster = 0usize;
     let mut queue: Vec<usize> = Vec::new();
-
-    let neighbours = |p: usize, dist: &mut F| -> Vec<usize> {
-        (0..n).filter(|&q| dist(p, q) <= params.eps).collect()
-    };
+    let mut in_queue = vec![false; n];
+    let mut nb: Vec<usize> = Vec::new();
 
     for p in 0..n {
         if labels[p] != UNVISITED {
             continue;
         }
-        let nb = neighbours(p, &mut dist);
-        if nb.len() < params.min_pts {
+        query.region(p, &mut nb);
+        if nb.len() < min_pts {
             labels[p] = NOISE;
             continue;
         }
         let cid = next_cluster;
         next_cluster += 1;
         labels[p] = cid;
-        queue.clear();
-        queue.extend(nb.into_iter().filter(|&q| q != p));
+        for &q in nb.iter().filter(|&&q| q != p) {
+            if !in_queue[q] {
+                in_queue[q] = true;
+                queue.push(q);
+            }
+        }
         while let Some(q) = queue.pop() {
+            in_queue[q] = false;
             if labels[q] == NOISE {
                 labels[q] = cid; // border point
                 continue;
@@ -90,9 +160,14 @@ where
                 continue;
             }
             labels[q] = cid;
-            let qn = neighbours(q, &mut dist);
-            if qn.len() >= params.min_pts {
-                queue.extend(qn.into_iter().filter(|&r| labels[r] == UNVISITED || labels[r] == NOISE));
+            query.region(q, &mut nb);
+            if nb.len() >= min_pts {
+                for &r in &nb {
+                    if (labels[r] == UNVISITED || labels[r] == NOISE) && !in_queue[r] {
+                        in_queue[r] = true;
+                        queue.push(r);
+                    }
+                }
             }
         }
     }
@@ -176,5 +251,97 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    /// Regression guard for the region-query budget: every point must be
+    /// region-queried exactly once over a full run, so the fallback path
+    /// performs exactly n² distance evaluations — no matter how many core
+    /// neighbours re-discover a point during expansion.
+    #[test]
+    fn one_region_query_per_point() {
+        // One fully-connected blob: every point is a core point and every
+        // expansion re-discovers every other point, the worst case for
+        // duplicate enqueues.
+        let n = 40;
+        let mut dist_calls = 0usize;
+        let labels = dbscan(n, DbscanParams { eps: 1.0, min_pts: 3 }, |_, _| {
+            dist_calls += 1;
+            0.0
+        });
+        assert!(labels.iter().all(|&l| l == Label::Cluster(0)));
+        assert_eq!(dist_calls, n * n, "each point must be region-queried exactly once");
+
+        // Mixed clusters + noise: still exactly one query (n dist calls)
+        // per point.
+        let pts: Vec<f64> = (0..30)
+            .map(|i| if i < 20 { (i / 10) as f64 * 50.0 + (i % 10) as f64 * 0.3 } else { 1000.0 + i as f64 * 25.0 })
+            .collect();
+        let mut dist_calls = 0usize;
+        let labels = dbscan(pts.len(), DbscanParams { eps: 0.5, min_pts: 3 }, |a, b| {
+            dist_calls += 1;
+            (pts[a] - pts[b]).abs()
+        });
+        assert_eq!(dist_calls, pts.len() * pts.len());
+        assert!(labels.iter().any(|l| l.cluster_id().is_some()));
+        assert!(labels.iter().any(|&l| l == Label::Noise));
+    }
+
+    /// The enqueue dedupe must not change labels: compare against a
+    /// reference run that allows duplicate enqueues.
+    #[test]
+    fn dedupe_preserves_labels() {
+        fn reference_dbscan(pts: &[f64], eps: f64, min_pts: usize) -> Vec<Label> {
+            const UNVISITED: usize = usize::MAX;
+            const NOISE: usize = usize::MAX - 1;
+            let n = pts.len();
+            let nbs = |p: usize| -> Vec<usize> {
+                (0..n).filter(|&q| (pts[p] - pts[q]).abs() <= eps).collect()
+            };
+            let mut labels = vec![UNVISITED; n];
+            let mut next = 0;
+            for p in 0..n {
+                if labels[p] != UNVISITED {
+                    continue;
+                }
+                let nb = nbs(p);
+                if nb.len() < min_pts {
+                    labels[p] = NOISE;
+                    continue;
+                }
+                let cid = next;
+                next += 1;
+                labels[p] = cid;
+                let mut queue: Vec<usize> = nb.into_iter().filter(|&q| q != p).collect();
+                while let Some(q) = queue.pop() {
+                    if labels[q] == NOISE {
+                        labels[q] = cid;
+                        continue;
+                    }
+                    if labels[q] != UNVISITED {
+                        continue;
+                    }
+                    labels[q] = cid;
+                    let qn = nbs(q);
+                    if qn.len() >= min_pts {
+                        queue.extend(
+                            qn.into_iter()
+                                .filter(|&r| labels[r] == UNVISITED || labels[r] == NOISE),
+                        );
+                    }
+                }
+            }
+            labels
+                .into_iter()
+                .map(|l| if l >= NOISE { Label::Noise } else { Label::Cluster(l) })
+                .collect()
+        }
+
+        seacma_util::forall!(64, |rng| {
+            let pts = rng.vec_of(0, 40, |r| r.f64_range(0.0, 30.0));
+            let got = dbscan(pts.len(), DbscanParams { eps: 1.5, min_pts: 3 }, |a, b| {
+                (pts[a] - pts[b]).abs()
+            });
+            assert_eq!(got, reference_dbscan(&pts, 1.5, 3));
+        });
     }
 }

@@ -18,13 +18,26 @@
 //!
 //! Everything in this crate is pure and deterministic; it has no knowledge
 //! of the simulator and can be reused on real screenshot corpora.
+//!
+//! Clustering runs sub-quadratically: region queries go through the exact
+//! pigeonhole-banded [`HammingIndex`] (see [`index`]) rather than an O(n²)
+//! pairwise scan, and [`cluster_screenshots_parallel`] shards index
+//! construction and candidate verification across OS threads while keeping
+//! cluster ids and representatives byte-identical to the sequential run.
+
+#![deny(missing_docs)]
 
 pub mod bitmap;
 pub mod cluster;
 pub mod dbscan;
 pub mod dhash;
+pub mod index;
 
 pub use bitmap::Bitmap;
-pub use cluster::{cluster_screenshots, ClusterParams, ScreenshotClusters, ScreenshotPoint};
-pub use dbscan::{dbscan, DbscanParams, Label};
+pub use cluster::{
+    cluster_screenshots, cluster_screenshots_parallel, ClusterParams, ScreenshotClusters,
+    ScreenshotPoint,
+};
+pub use dbscan::{dbscan, dbscan_with, DbscanParams, Label, RegionQuery};
 pub use dhash::{dhash128, hamming, normalized_hamming, Dhash};
+pub use index::{HammingIndex, PrecomputedRegions};

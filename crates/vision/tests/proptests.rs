@@ -5,9 +5,12 @@ use seacma_util::forall;
 use seacma_util::prop::Rng;
 
 use seacma_vision::bitmap::Bitmap;
-use seacma_vision::cluster::{cluster_screenshots, ClusterParams, ScreenshotPoint};
-use seacma_vision::dbscan::{dbscan, DbscanParams, Label};
+use seacma_vision::cluster::{
+    cluster_screenshots, cluster_screenshots_parallel, ClusterParams, ScreenshotPoint,
+};
+use seacma_vision::dbscan::{dbscan, dbscan_with, DbscanParams, Label};
 use seacma_vision::dhash::{dhash128, hamming, normalized_hamming, Dhash};
+use seacma_vision::index::HammingIndex;
 
 /// A random bitmap with 4–39 pixel sides.
 fn gen_bitmap(rng: &mut Rng) -> Bitmap {
@@ -171,6 +174,110 @@ fn campaigns_respect_theta_c() {
         } else {
             assert_eq!(out.campaigns.len(), 1);
         }
+    });
+}
+
+/// A random dhash corpus mixing planted near-duplicate clusters with
+/// uniform noise — the workload shape of a screenshot crawl.
+fn gen_dhash_corpus(rng: &mut Rng) -> Vec<Dhash> {
+    let n_clusters = rng.range(0, 4);
+    let mut hashes: Vec<Dhash> = Vec::new();
+    for _ in 0..n_clusters {
+        let base = rng.u128();
+        let members = rng.range(2, 12);
+        for _ in 0..members {
+            let mut h = base;
+            for _ in 0..rng.below(4) {
+                h ^= 1u128 << rng.below(128);
+            }
+            hashes.push(Dhash(h));
+        }
+    }
+    let noise = rng.range(0, 30);
+    hashes.extend((0..noise).map(|_| Dhash(rng.u128())));
+    hashes
+}
+
+/// The tentpole exactness property: indexed DBSCAN labels equal naive
+/// DBSCAN labels on random dhash corpora, across the eps range the
+/// ablation sweeps (paper setting 0.1 ± a binding).
+#[test]
+fn indexed_dbscan_equals_naive() {
+    forall!(|rng| {
+        let hashes = gen_dhash_corpus(rng);
+        for eps in [0.05, 0.1, 0.2] {
+            let naive = dbscan(hashes.len(), DbscanParams { eps, min_pts: 3 }, |a, b| {
+                normalized_hamming(hashes[a], hashes[b])
+            });
+            let mut index = HammingIndex::build(&hashes, eps);
+            let indexed = dbscan_with(&mut index, 3);
+            assert_eq!(indexed, naive, "eps={eps} n={}", hashes.len());
+        }
+    });
+}
+
+/// Adversarial band-boundary cases: points at Hamming distance exactly r
+/// and exactly r + 1 from a base, with the differing bits packed so they
+/// straddle band boundaries or saturate single bands — the configurations
+/// where an off-by-one in the pigeonhole banding would show up.
+#[test]
+fn indexed_dbscan_exact_at_band_boundaries() {
+    forall!(128, |rng| {
+        let eps = *rng.pick(&[0.05f64, 0.1, 0.2]);
+        let r = (eps * 128.0).floor() as u32;
+        let base = rng.u128();
+        let mut hashes = vec![Dhash(base)];
+        // Distance exactly r: contiguous run starting at a random offset
+        // (wraps across band boundaries for most offsets).
+        let start = rng.below(128) as u32;
+        let mut at_r = base;
+        for k in 0..r {
+            at_r ^= 1u128 << ((start + k) % 128);
+        }
+        hashes.push(Dhash(at_r));
+        // Distance exactly r + 1: same run extended one bit.
+        let mut over_r = at_r;
+        over_r ^= 1u128 << ((start + r) % 128);
+        hashes.push(Dhash(over_r));
+        // Padding duplicates of the base so it is a core point.
+        hashes.push(Dhash(base ^ 1));
+        hashes.push(Dhash(base ^ 2));
+
+        let index = HammingIndex::build(&hashes, eps);
+        let mut out = Vec::new();
+        index.neighbours_into(0, &mut out);
+        assert!(out.contains(&1), "distance-r point must be found (eps={eps}, start={start})");
+        assert!(
+            hamming(Dhash(base), Dhash(over_r)) == r + 1 && !out.contains(&2),
+            "distance-(r+1) point must be excluded (eps={eps}, start={start})"
+        );
+
+        let naive = dbscan(hashes.len(), DbscanParams { eps, min_pts: 3 }, |a, b| {
+            normalized_hamming(hashes[a], hashes[b])
+        });
+        let mut index = index;
+        let indexed = dbscan_with(&mut index, 3);
+        assert_eq!(indexed, naive);
+    });
+}
+
+/// The parallel clustering stage is byte-identical to the sequential run
+/// for every worker count, on arbitrary corpora.
+#[test]
+fn parallel_clustering_matches_sequential() {
+    forall!(64, |rng| {
+        let hashes = gen_dhash_corpus(rng);
+        let pts: Vec<ScreenshotPoint> = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| ScreenshotPoint::new(h, format!("d{}.com", i % 9)))
+            .collect();
+        let seq = cluster_screenshots(&pts, ClusterParams::default());
+        let workers = rng.range(2, 9);
+        let par = cluster_screenshots_parallel(&pts, ClusterParams::default(), workers);
+        assert_eq!(par.campaigns, seq.campaigns, "workers={workers}");
+        assert_eq!(par.filtered, seq.filtered, "workers={workers}");
+        assert_eq!(par.noise, seq.noise, "workers={workers}");
     });
 }
 

@@ -6,3 +6,8 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
+# Smoke the clustering scaling bench (naive vs indexed vs parallel): the
+# binary asserts all three region-query paths produce identical DBSCAN
+# labels before running each bench body once, so an index regression
+# fails tier-1 offline.
+cargo run --release --offline -p seacma-bench --bin cluster_scaling -- --quick
