@@ -30,11 +30,12 @@ fn main() {
     let mut vt = VirusTotal::new(7);
     let mut config = pipeline.config().milking;
     config.duration = seacma_simweb::SimDuration::from_days(args.milk_days);
-    let out = Milker::new(world, config).run(
+    let out = Milker::new(world, config).run_parallel(
         &[source],
         &mut gsb,
         &mut vt,
         SimTime::EPOCH,
+        0,
     );
 
     println!("{:>10}  {:<28}  {}", "sim time", "fresh attack domain", "GSB status");

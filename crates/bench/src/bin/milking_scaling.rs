@@ -1,0 +1,150 @@
+//! Scaling bench for the milking stage (DESIGN.md "Deterministic
+//! simulate/merge milking"; EXPERIMENTS.md "Scaling & performance").
+//!
+//! Milks a fixed world over a sources × duration grid two ways — the
+//! sequential reference scheduler (`Milker::run`) and the two-phase
+//! simulate/merge scheduler (`Milker::run_parallel`) — and verifies on a
+//! small configuration that both produce byte-identical
+//! `MilkingOutcome`s at 1, 2 and 8 workers before timing anything.
+//!
+//! ```text
+//! cargo run --release -p seacma-bench --bin milking_scaling -- --json BENCH_milker.json
+//! cargo run --release -p seacma-bench --bin milking_scaling -- --quick   # tier-1 smoke
+//! ```
+//!
+//! `--quick` keeps the smoke offline-CI-fast: the grid shrinks to one
+//! small configuration and every bench body runs exactly once (the
+//! exactness gate still runs in full). The parallel path owes its win to
+//! algorithmic structure, not thread count — candidate ticks are resolved
+//! by TTL-memoized HEAD-style probes and hashed without rendering — so
+//! the speedup survives on a single-core host; extra workers only add.
+
+use seacma_blacklist::{GsbService, VirusTotal};
+use seacma_milker::{Milker, MilkingConfig, MilkingOutcome, MilkingSource};
+use seacma_simweb::{SeCategory, SimDuration, SimTime, UaProfile, World, WorldConfig};
+use seacma_util::bench::{Bench, BenchmarkId, Throughput};
+use seacma_vision::dhash::dhash128;
+
+/// One milking source per milkable campaign, exactly as the pipeline
+/// builds them after clustering: the campaign's TDS entry URL, the UA its
+/// cloaking expects, and the reference dhash of its creative.
+fn sources(world: &World, n: usize) -> Vec<MilkingSource> {
+    world
+        .campaigns()
+        .iter()
+        .filter(|c| c.tds_domain.is_some())
+        .take(n)
+        .map(|c| MilkingSource {
+            url: c.tds_url(0).unwrap(),
+            ua: if c.category == SeCategory::LotteryGift {
+                UaProfile::ChromeAndroid
+            } else {
+                UaProfile::ChromeMac
+            },
+            cluster: c.id.0 as usize,
+            reference: dhash128(&c.template().render(1)),
+        })
+        .collect()
+}
+
+fn milk_sequential(world: &World, srcs: &[MilkingSource], days: u64) -> MilkingOutcome {
+    let config = MilkingConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let mut gsb = GsbService::new(world);
+    let mut vt = VirusTotal::new(1);
+    Milker::new(world, config).run(srcs, &mut gsb, &mut vt, SimTime::EPOCH)
+}
+
+fn milk_parallel(
+    world: &World,
+    srcs: &[MilkingSource],
+    days: u64,
+    workers: usize,
+) -> MilkingOutcome {
+    let config = MilkingConfig { duration: SimDuration::from_days(days), ..Default::default() };
+    let mut gsb = GsbService::new(world);
+    let mut vt = VirusTotal::new(1);
+    Milker::new(world, config).run_parallel(srcs, &mut gsb, &mut vt, SimTime::EPOCH, workers)
+}
+
+fn main() {
+    let mut harness = Bench::from_args();
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let world = World::generate(WorldConfig {
+        seed: 61,
+        n_publishers: 60,
+        n_hidden_only_publishers: 0,
+        n_advertisers: 10,
+        campaign_scale: 1.0,
+        error_rate: 0.0,
+        ..Default::default()
+    });
+    let all = sources(&world, usize::MAX);
+    println!("world: {} milkable campaigns\n", all.len());
+
+    // Exactness gate before any timing: the two-phase scheduler must
+    // reproduce the sequential outcome byte for byte at every worker
+    // count (thread-count invariance is the whole point of the design).
+    let gate_srcs = &all[..all.len().min(18)];
+    let reference = milk_sequential(&world, gate_srcs, 3);
+    for w in [1usize, 2, 8] {
+        assert_eq!(
+            milk_parallel(&world, gate_srcs, 3, w),
+            reference,
+            "parallel outcome diverged from sequential at {w} workers"
+        );
+    }
+    println!(
+        "exactness check: sequential == parallel @ 1/2/8 workers on {} sources x 3 days ({} discoveries)\n",
+        gate_srcs.len(),
+        reference.discoveries.len()
+    );
+
+    // sources × duration grid; the largest configuration (all sources ×
+    // 14 days) carries the headline speedup number.
+    let grid: Vec<(usize, u64)> = if quick {
+        vec![(12, 2)]
+    } else {
+        vec![(18, 3), (all.len(), 3), (18, 14), (all.len(), 14)]
+    };
+
+    let mut group = harness.benchmark_group("milk");
+    for &(n, days) in &grid {
+        let srcs = &all[..n.min(all.len())];
+        let sessions = milk_parallel(&world, srcs, days, workers).sessions;
+        group.throughput(Throughput::Elements(sessions));
+        group.sample_size(if days >= 14 { 5 } else { 10 });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{n}x{days}d")),
+            &srcs,
+            |b, s| b.iter(|| milk_sequential(&world, s, days)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{n}x{days}d")),
+            &srcs,
+            |b, s| b.iter(|| milk_parallel(&world, s, days, workers)),
+        );
+    }
+    group.finish();
+
+    // Headline ratio at the largest grid configuration, on best-of-sample
+    // times (robust to scheduler noise on shared hosts). Smoke-mode bodies
+    // run untimed, so there is no ratio to report there.
+    if !quick {
+        let (n, days) = *grid.last().expect("grid is non-empty");
+        let find = |path: &str| {
+            let name = format!("milk/{path}/{n}x{days}d");
+            harness.results().iter().find(|r| r.name == name).map(|r| r.min_ns)
+        };
+        if let (Some(seq), Some(par)) = (find("sequential"), find("parallel")) {
+            println!(
+                "\nlargest config ({n} sources x {days} days): sequential {:.1} ms, parallel {:.1} ms -> {:.2}x speedup",
+                seq / 1e6,
+                par / 1e6,
+                seq / par
+            );
+        }
+    }
+    harness.finish();
+}

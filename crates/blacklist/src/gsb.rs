@@ -66,16 +66,64 @@ struct DomainFate {
     listed_at: Option<SimTime>,
 }
 
+/// Lazily-built reverse index of attack domains: `domain → occurrences`.
+///
+/// Classifying a looked-up domain by linear scan
+/// (`World::campaign_of_attack_domain`) costs `campaigns × grace-window ×
+/// shards` generated domain strings *per classified domain* — the
+/// dominant cost of a paper-scale milking run's GSB traffic (~2,000 fresh
+/// domains). The index generates each `(campaign, epoch, shard)` domain
+/// exactly once instead, then answers every classification with one map
+/// probe. Occurrences keep `(campaign position, epoch)` so window
+/// filtering and tie-breaking reproduce the scan order exactly (first
+/// campaign in world order wins; within it, the latest in-window epoch is
+/// the activation epoch) — pinned by a property test against the scan.
+#[derive(Default)]
+struct AttackIndex {
+    /// domain → `(campaign position, epoch)` occurrences, insertion order.
+    occurrences: HashMap<String, Vec<(u32, u64)>>,
+    /// Per campaign position: epochs `[0, indexed_to)` are in the map.
+    indexed_to: Vec<u64>,
+}
+
+impl AttackIndex {
+    /// Extends coverage so every campaign's epochs up to its epoch at `t`
+    /// (the top of the grace window) are indexed, then returns the
+    /// occurrence list for `domain`.
+    fn occurrences_at<'a>(
+        &'a mut self,
+        world: &World,
+        domain: &str,
+        t: SimTime,
+    ) -> Option<&'a [(u32, u64)]> {
+        let campaigns = world.campaigns();
+        self.indexed_to.resize(campaigns.len(), 0);
+        for (pos, c) in campaigns.iter().enumerate() {
+            let e_now = c.epoch(t);
+            let to = &mut self.indexed_to[pos];
+            while *to <= e_now {
+                for shard in 0..c.category.parallel_shards() {
+                    let d = c.attack_domain_at_epoch(world.seed(), *to, shard);
+                    self.occurrences.entry(d).or_default().push((pos as u32, *to));
+                }
+                *to += 1;
+            }
+        }
+        self.occurrences.get(domain).map(Vec::as_slice)
+    }
+}
+
 /// The simulated GSB service. Lookups are memoized per domain.
 pub struct GsbService<'w> {
     world: &'w World,
     cache: HashMap<String, DomainFate>,
+    index: AttackIndex,
 }
 
 impl<'w> GsbService<'w> {
     /// Builds the service over a world.
     pub fn new(world: &'w World) -> Self {
-        Self { world, cache: HashMap::new() }
+        Self { world, cache: HashMap::new(), index: AttackIndex::default() }
     }
 
     /// Looks up `domain` at time `t`. `t` also serves as the observation
@@ -95,6 +143,38 @@ impl<'w> GsbService<'w> {
         self.fate(domain, t_hint).listed_at
     }
 
+    /// Closed form of the milker's polling loop: the first instant on the
+    /// lookup grid `{start, start+interval, …} ∩ [start, grid_end]` at
+    /// which a lookup would observe `domain` listed, if any.
+    ///
+    /// Equivalent to — and replacing — ~1,250 individual [`lookup`]s per
+    /// milked domain (a 12-day tail on a 30-minute cadence): since a
+    /// listed domain stays listed, the first listed poll is just the
+    /// listing time rounded up to the grid. `start` doubles as the
+    /// classification anchor, exactly as the first lookup of the loop
+    /// did. Loop ≡ closed form is pinned by a property test across seeds
+    /// and cadences.
+    ///
+    /// [`lookup`]: Self::lookup
+    pub fn first_listed_poll(
+        &mut self,
+        domain: &str,
+        start: SimTime,
+        interval: SimDuration,
+        grid_end: SimTime,
+    ) -> Option<SimTime> {
+        if start > grid_end {
+            return None;
+        }
+        let at = self.listing_time(domain, start)?;
+        if at <= start {
+            return Some(start);
+        }
+        let step = interval.minutes().max(1);
+        let first_on_grid = start + SimDuration::from_minutes((at - start).minutes().div_ceil(step) * step);
+        (first_on_grid <= grid_end).then_some(first_on_grid)
+    }
+
     fn fate(&mut self, domain: &str, t: SimTime) -> DomainFate {
         if let Some(f) = self.cache.get(domain) {
             return *f;
@@ -104,42 +184,49 @@ impl<'w> GsbService<'w> {
         fate
     }
 
-    fn compute_fate(&self, domain: &str, t: SimTime) -> DomainFate {
+    fn compute_fate(&mut self, domain: &str, t: SimTime) -> DomainFate {
         // Only SE attack domains ever get listed; upstream TDS domains,
         // publishers and benign advertisers are never on the blacklist
         // (the paper: upstream URLs "are not typically blocked").
-        let Some(cid) = self.world.campaign_of_attack_domain(domain, t) else {
+        let Some((campaign, activated)) = self.classify(domain, t) else {
             return DomainFate { listed_at: None };
         };
-        let campaign = self.world.campaign(cid);
         let params = GsbParams::for_category(campaign.category);
         let dw = str_word(domain);
         if det_f64(&[self.world.seed(), 0x65B_D, dw]) >= params.p_detect {
             return DomainFate { listed_at: None };
         }
-        // Activation time: start of the epoch in which this domain serves.
-        let activated = self.activation_time(campaign, domain, t);
         let u = det_f64(&[self.world.seed(), 0x65B_E, dw]);
         let delay_minutes = (params.spread_days * u * u * 24.0 * 60.0) as u64;
         DomainFate { listed_at: Some(activated + SimDuration::from_minutes(delay_minutes)) }
     }
 
-    fn activation_time(
-        &self,
-        campaign: &seacma_simweb::SeCampaign,
-        domain: &str,
-        t: SimTime,
-    ) -> SimTime {
-        let e_now = campaign.epoch(t);
-        let lo = e_now.saturating_sub(seacma_simweb::SeCampaign::PARKED_GRACE_EPOCHS);
-        for e in (lo..=e_now).rev() {
-            for shard in 0..campaign.category.parallel_shards() {
-                if campaign.attack_domain_at_epoch(self.world.seed(), e, shard) == domain {
-                    return campaign.epoch_start(e);
-                }
+    /// Index-backed equivalent of `World::campaign_of_attack_domain`
+    /// followed by the activation-epoch scan: the owning campaign (first
+    /// in world order with an occurrence inside its parking grace window
+    /// at `t`) and the start of the latest in-window epoch in which the
+    /// domain served.
+    fn classify(&mut self, domain: &str, t: SimTime) -> Option<(&'w seacma_simweb::SeCampaign, SimTime)> {
+        let world = self.world;
+        let occ = self.index.occurrences_at(world, domain, t)?;
+        let campaigns = world.campaigns();
+        let mut best: Option<(u32, u64)> = None;
+        for &(pos, e) in occ {
+            let c = &campaigns[pos as usize];
+            let e_now = c.epoch(t);
+            let lo = e_now.saturating_sub(seacma_simweb::SeCampaign::PARKED_GRACE_EPOCHS);
+            if e < lo || e > e_now {
+                continue; // parked out or future relative to this t
             }
+            best = match best {
+                Some((bp, _)) if pos > bp => best,
+                Some((bp, be)) if pos == bp && e <= be => best,
+                _ => Some((pos, e)),
+            };
         }
-        t
+        let (pos, e) = best?;
+        let c = &campaigns[pos as usize];
+        Some((c, c.epoch_start(e)))
     }
 }
 
@@ -247,6 +334,133 @@ mod tests {
             assert!(!was_listed || v, "a listed domain must stay listed");
             was_listed = v;
         }
+    }
+
+    /// The linear-scan fate computation the [`AttackIndex`] replaces,
+    /// verbatim: classify via `World::campaign_of_attack_domain`, then
+    /// find the activation epoch by scanning the grace window backwards.
+    fn scan_fate(w: &World, domain: &str, t: SimTime) -> Option<SimTime> {
+        use seacma_simweb::SeCampaign;
+        let cid = w.campaign_of_attack_domain(domain, t)?;
+        let campaign = w.campaign(cid);
+        let params = GsbParams::for_category(campaign.category);
+        let dw = str_word(domain);
+        if det_f64(&[w.seed(), 0x65B_D, dw]) >= params.p_detect {
+            return None;
+        }
+        let e_now = campaign.epoch(t);
+        let lo = e_now.saturating_sub(SeCampaign::PARKED_GRACE_EPOCHS);
+        let mut activated = t;
+        'outer: for e in (lo..=e_now).rev() {
+            for shard in 0..campaign.category.parallel_shards() {
+                if campaign.attack_domain_at_epoch(w.seed(), e, shard) == domain {
+                    activated = campaign.epoch_start(e);
+                    break 'outer;
+                }
+            }
+        }
+        let u = det_f64(&[w.seed(), 0x65B_E, dw]);
+        let delay_minutes = (params.spread_days * u * u * 24.0 * 60.0) as u64;
+        Some(activated + SimDuration::from_minutes(delay_minutes))
+    }
+
+    #[test]
+    fn indexed_fate_equals_linear_scan() {
+        // The reverse index must reproduce the linear classification scan
+        // exactly — owning campaign, activation epoch, detection draw —
+        // for live domains, parked domains, long-expired domains queried
+        // with late anchors, future domains queried with early anchors,
+        // and non-attack domains. Fresh service per case so memoization
+        // cannot mask a divergence.
+        let w = world();
+        let campaigns = w.campaigns();
+        seacma_util::forall!(300, |rng| {
+            let (domain, t) = match rng.below(6) {
+                // Attack domain drawn at one time, classified at another
+                // (same, later, much later or earlier anchor).
+                0..=3 => {
+                    let c = &campaigns[rng.below(campaigns.len() as u64) as usize];
+                    let t_dom = SimTime(rng.below(40 * 24 * 60));
+                    let shard = (rng.below(u64::from(c.category.parallel_shards()))) as u8;
+                    let d = c.attack_domain(w.seed(), t_dom, shard);
+                    (d, SimTime(rng.below(60 * 24 * 60)))
+                }
+                // Milkable TDS domain.
+                4 => {
+                    let with_tds: Vec<_> =
+                        campaigns.iter().filter(|c| c.tds_domain.is_some()).collect();
+                    let c = with_tds[rng.below(with_tds.len() as u64) as usize];
+                    (c.tds_domain.clone().unwrap(), SimTime(rng.below(20 * 24 * 60)))
+                }
+                // Unknown host.
+                _ => ("never-an-attack.example".to_string(), SimTime(rng.below(20 * 24 * 60))),
+            };
+            let mut gsb = GsbService::new(&w);
+            assert_eq!(
+                gsb.listing_time(&domain, t),
+                scan_fate(&w, &domain, t),
+                "index/scan divergence for {domain} at {t}"
+            );
+        });
+    }
+
+    /// The polling loop `first_listed_poll` replaces, verbatim.
+    fn poll_loop(
+        gsb: &mut GsbService<'_>,
+        domain: &str,
+        start: SimTime,
+        interval: SimDuration,
+        grid_end: SimTime,
+    ) -> Option<SimTime> {
+        let mut t = start;
+        while t <= grid_end {
+            if gsb.lookup(domain, t).is_listed() {
+                return Some(t);
+            }
+            t += interval;
+        }
+        None
+    }
+
+    #[test]
+    fn closed_form_poll_equals_lookup_loop() {
+        // Across seeds, domains, grid anchors and cadences, the closed
+        // form must return exactly what the old lookup loop returned —
+        // including the None cases (never listed, listed past the grid,
+        // empty grid). Fresh services per path so memoization cannot mask
+        // a divergence.
+        let worlds: Vec<World> = [21u64, 61, 0x5EAC]
+            .iter()
+            .map(|&seed| {
+                World::generate(WorldConfig {
+                    seed,
+                    n_publishers: 40,
+                    n_hidden_only_publishers: 0,
+                    n_advertisers: 8,
+                    campaign_scale: 0.5,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        seacma_util::forall!(300, |rng| {
+            let w = &worlds[rng.below(worlds.len() as u64) as usize];
+            let campaigns = w.campaigns();
+            let c = &campaigns[rng.below(campaigns.len() as u64) as usize];
+            let t_dom = SimTime(rng.below(30 * 24 * 60));
+            let domain = c.attack_domain(w.seed(), t_dom, 0);
+            let start = SimTime(rng.below(40 * 24 * 60));
+            let interval = SimDuration::from_minutes(rng.range_u64(1, 12 * 60));
+            // Occasionally an empty grid (grid_end < start).
+            let span = rng.below(26 * 24 * 60) as i64 - 1440;
+            let grid_end = SimTime((start.minutes() as i64 + span).max(0) as u64);
+            let mut a = GsbService::new(w);
+            let mut b = GsbService::new(w);
+            assert_eq!(
+                b.first_listed_poll(&domain, start, interval, grid_end),
+                poll_loop(&mut a, &domain, start, interval, grid_end),
+                "domain {domain} start {start} interval {interval} end {grid_end}"
+            );
+        });
     }
 
     #[test]

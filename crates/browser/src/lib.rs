@@ -23,7 +23,9 @@
 //!   per-instance noise, as the clustering step expects.
 
 pub mod log;
+pub mod quiet;
 pub mod session;
 
 pub use log::{BrowserEvent, EventLog, NavCause};
+pub use quiet::QuietBrowser;
 pub use session::{BrowserConfig, BrowserSession, LoadedPage, NavError};

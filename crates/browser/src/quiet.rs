@@ -1,0 +1,294 @@
+//! A log-free browser for high-frequency re-visits.
+//!
+//! The milker re-visits each source every 15 virtual minutes for 14 days —
+//! ~1,300 loads per source — and discards the instrumented event log of
+//! every one of them (backtracking graphs are built during the crawl, not
+//! during milking). [`QuietBrowser`] serves that workload: it follows the
+//! exact redirect semantics of [`BrowserSession::navigate`] without
+//! allocating log events, holds the per-source client profile once instead
+//! of rebuilding it per visit, and caches the expensive clean pass of each
+//! campaign creative's render so repeat screenshots pay only the
+//! per-instance noise pass.
+//!
+//! Equivalence with the instrumented session (same final URL, same page,
+//! same screenshot bits) is asserted by this module's tests; the milker's
+//! thread-count-invariance suite pins it end to end.
+
+use std::collections::HashMap;
+
+use seacma_simweb::{
+    ClientProfile, HostResponse, LiteResponse, Page, SimTime, Url, VisualTemplate, World,
+};
+use seacma_vision::bitmap::Bitmap;
+use seacma_vision::dhash::Dhash;
+
+use crate::session::{screenshot_seed, BrowserConfig, NavError, MAX_REDIRECTS};
+
+/// A reusable, log-free browser bound to one client configuration.
+///
+/// One instance per milking source outlives all of the source's visits:
+/// the client profile is computed once and the clean-render cache warms up
+/// on the first screenshot of each creative.
+pub struct QuietBrowser<'w> {
+    world: &'w World,
+    client: ClientProfile,
+    clean: HashMap<VisualTemplate, Bitmap>,
+    memo: Option<ProbeMemo>,
+}
+
+/// A cached probe result: the landing of `start`, valid on `[from, until)`
+/// (the intersection of the validity horizons of every hop in the chain,
+/// as declared by `World::fetch_lite_ttl`).
+struct ProbeMemo {
+    start: Url,
+    from: SimTime,
+    until: SimTime,
+    landing: Result<Url, ()>,
+}
+
+impl<'w> QuietBrowser<'w> {
+    /// Builds a quiet browser with the given instrumentation config.
+    pub fn new(world: &'w World, config: BrowserConfig) -> Self {
+        Self { world, client: config.client(), clean: HashMap::new(), memo: None }
+    }
+
+    /// The client profile pages observe.
+    pub fn client(&self) -> &ClientProfile {
+        &self.client
+    }
+
+    /// Loads `url` at time `t`, following redirects exactly as
+    /// [`BrowserSession::navigate`](crate::BrowserSession::navigate) does
+    /// (same hop limit, same error mapping) but recording nothing.
+    pub fn load(&self, url: &Url, t: SimTime) -> Result<(Url, Page), NavError> {
+        let mut current = url.clone();
+        for _ in 0..MAX_REDIRECTS {
+            match self.world.fetch(&current, &self.client, t) {
+                HostResponse::Redirect { to, .. } => current = to,
+                HostResponse::Page(page) => return Ok((current, *page)),
+                HostResponse::NxDomain => return Err(NavError::NxDomain(current)),
+                HostResponse::Refused => return Err(NavError::Refused(current)),
+            }
+        }
+        Err(NavError::TooManyRedirects(current))
+    }
+
+    /// Resolves where loading `url` at `t` would land — the final URL of
+    /// the redirect chain — without synthesizing any document body (the
+    /// `HEAD`-request view; see `World::fetch_lite`). Returns `Err` on
+    /// exactly the chains where [`load`](Self::load) would: `probe` and
+    /// `load` agree on the landing URL hop for hop because `fetch_lite`
+    /// classifies every URL exactly as `fetch` does.
+    ///
+    /// This is the milker's fast path: ~98 % of milking sessions land on
+    /// an already-seen domain and need nothing but this answer.
+    pub fn probe(&self, url: &Url, t: SimTime) -> Result<Url, ()> {
+        let mut current = url.clone();
+        for _ in 0..MAX_REDIRECTS {
+            match self.world.fetch_lite(&current, &self.client, t) {
+                LiteResponse::Redirect { to, .. } => current = to,
+                LiteResponse::Doc => return Ok(current),
+                LiteResponse::NxDomain | LiteResponse::Refused => return Err(()),
+            }
+        }
+        Err(())
+    }
+
+    /// [`probe`](Self::probe) behind the hosting layer's own cache
+    /// headers: each hop of the chain declares how long its answer stays
+    /// valid (`World::fetch_lite_ttl`), and the landing is memoized for
+    /// the intersection of those windows. Re-probing the same URL inside
+    /// the window — the milker does ~40 consecutive ticks per rotation
+    /// epoch — costs one comparison instead of a chain walk.
+    pub fn probe_cached(&mut self, url: &Url, t: SimTime) -> Result<&Url, ()> {
+        let hit = self
+            .memo
+            .as_ref()
+            .is_some_and(|m| m.from <= t && t < m.until && m.start == *url);
+        if !hit {
+            let mut until = SimTime(u64::MAX);
+            let mut current = url.clone();
+            let mut landing: Result<Url, ()> = Err(());
+            for _ in 0..MAX_REDIRECTS {
+                let (resp, h) = self.world.fetch_lite_ttl(&current, &self.client, t);
+                until = until.min(h);
+                match resp {
+                    LiteResponse::Redirect { to, .. } => {
+                        current = to;
+                        continue;
+                    }
+                    LiteResponse::Doc => landing = Ok(current),
+                    LiteResponse::NxDomain | LiteResponse::Refused => landing = Err(()),
+                }
+                break;
+            } // hop budget exhausted ⇒ landing stays Err, like `load`
+            self.memo = Some(ProbeMemo { start: url.clone(), from: t, until, landing });
+        }
+        match &self.memo.as_ref().expect("memo just filled").landing {
+            Ok(u) => Ok(u),
+            Err(()) => Err(()),
+        }
+    }
+
+    /// Renders a screenshot of a loaded page, bit-identical to
+    /// [`BrowserSession::render_screenshot`](crate::BrowserSession::render_screenshot)
+    /// at clock `t`, reusing the cached clean render of the page's
+    /// template (`render == render_from_clean ∘ render_clean` is asserted
+    /// in seacma-simweb).
+    pub fn render_screenshot(&mut self, url: &Url, page: &Page, t: SimTime) -> Bitmap {
+        let clean =
+            self.clean.entry(page.visual).or_insert_with(|| page.visual.render_clean());
+        VisualTemplate::render_from_clean(clean, screenshot_seed(self.world, url, t))
+    }
+
+    /// The perceptual hash [`render_screenshot`](Self::render_screenshot)'s
+    /// bitmap would hash to, without rendering it: the per-instance noise
+    /// pass and the dhash downsample are fused into one sweep over the
+    /// cached clean render (`VisualTemplate::dhash_from_clean`). This is
+    /// all the milker's match check needs — it compares hashes, never
+    /// pixels.
+    pub fn screenshot_dhash(&mut self, url: &Url, page: &Page, t: SimTime) -> Dhash {
+        let clean =
+            self.clean.entry(page.visual).or_insert_with(|| page.visual.render_clean());
+        VisualTemplate::dhash_from_clean(clean, screenshot_seed(self.world, url, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrowserSession;
+    use seacma_simweb::{UaProfile, Vantage, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 11,
+            n_publishers: 200,
+            n_hidden_only_publishers: 20,
+            n_advertisers: 20,
+            campaign_scale: 0.3,
+            // Non-zero so transient blank loads exercise both paths the
+            // same way.
+            error_rate: 0.02,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn quiet_load_matches_instrumented_navigate() {
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        let quiet = QuietBrowser::new(&w, cfg);
+        let mut urls: Vec<Url> = w
+            .campaigns()
+            .iter()
+            .filter_map(|c| c.tds_url(0))
+            .take(10)
+            .collect();
+        urls.extend(w.publishers().iter().take(10).map(|p| p.url()));
+        for t in [SimTime(0), SimTime(55), SimTime(60 * 24 * 3)] {
+            for url in &urls {
+                let mut session = BrowserSession::new(&w, cfg, t);
+                match (quiet.load(url, t), session.navigate(url)) {
+                    (Ok((qu, qp)), Ok(loaded)) => {
+                        assert_eq!(qu, loaded.url);
+                        assert_eq!(qp, loaded.page);
+                    }
+                    (Err(qe), Err(se)) => assert_eq!(qe, se),
+                    (q, s) => panic!("paths diverged at {url} t={t}: {q:?} vs {s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_agrees_with_load_on_landing_and_failure() {
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        let quiet = QuietBrowser::new(&w, cfg);
+        let mut urls: Vec<Url> = w.campaigns().iter().filter_map(|c| c.tds_url(0)).collect();
+        urls.extend(w.publishers().iter().take(10).map(|p| p.url()));
+        for hour in 0..48u64 {
+            let t = SimTime(hour * 60);
+            for url in &urls {
+                match (quiet.probe(url, t), quiet.load(url, t)) {
+                    (Ok(pu), Ok((lu, _))) => assert_eq!(pu, lu, "landing mismatch at {url} t={t}"),
+                    (Err(()), Err(_)) => {}
+                    (p, l) => panic!("probe/load diverged at {url} t={t}: {p:?} vs {l:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_probe_equals_fresh_probe_tick_by_tick() {
+        // Milker-shaped access pattern: one URL re-probed every 15 minutes
+        // for days, in a world with transient errors (30-minute re-rolls)
+        // and domain rotation. The memoized path must agree with a fresh
+        // chain walk at every single tick.
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        for url in w.campaigns().iter().filter_map(|c| c.tds_url(0)).take(6) {
+            let mut cached = QuietBrowser::new(&w, cfg);
+            let fresh = QuietBrowser::new(&w, cfg);
+            let mut tick = 0u64;
+            while tick < 4 * 24 * 60 {
+                let t = SimTime(tick);
+                assert_eq!(
+                    cached.probe_cached(&url, t).ok().cloned(),
+                    fresh.probe(&url, t).ok(),
+                    "cached/fresh divergence at {url} t={t}"
+                );
+                tick += 15;
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_screenshots_are_bit_identical() {
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        let mut quiet = QuietBrowser::new(&w, cfg);
+        let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+        let url = c.tds_url(0).unwrap();
+        for t in [SimTime(0), SimTime(29), SimTime(30), SimTime(60 * 24)] {
+            let (fu, page) = quiet.load(&url, t).expect("tds resolves");
+            let session = BrowserSession::new(&w, cfg, t);
+            // Cache cold on the first iteration, warm afterwards: both
+            // must agree with the uncached session render.
+            assert_eq!(
+                quiet.render_screenshot(&fu, &page, t),
+                session.render_screenshot(&fu, &page),
+            );
+        }
+    }
+
+    #[test]
+    fn screenshot_dhash_equals_hash_of_rendered_screenshot() {
+        // The render-free hash path must produce exactly the bits the
+        // milker would get by rendering and hashing — across campaign
+        // creatives, benign pages and both cold and warm clean caches.
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        let mut quiet = QuietBrowser::new(&w, cfg);
+        let mut urls: Vec<Url> = w.campaigns().iter().filter_map(|c| c.tds_url(0)).take(8).collect();
+        urls.extend(w.publishers().iter().take(4).map(|p| p.url()));
+        for t in [SimTime(0), SimTime(31), SimTime(60 * 24 * 5)] {
+            for url in &urls {
+                if let Ok((fu, page)) = quiet.load(url, t) {
+                    let shot = quiet.render_screenshot(&fu, &page, t);
+                    assert_eq!(
+                        quiet.screenshot_dhash(&fu, &page, t),
+                        seacma_vision::dhash::dhash128(&shot),
+                        "hash path divergence at {url} t={t}"
+                    );
+                }
+            }
+        }
+    }
+}

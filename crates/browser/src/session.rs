@@ -276,13 +276,7 @@ impl<'w> BrowserSession<'w> {
     /// (URL, time) so repeated visits to one campaign differ slightly, as
     /// real creatives do.
     pub fn render_screenshot(&self, url: &Url, page: &Page) -> Bitmap {
-        let seed = det_hash(&[
-            self.world.seed(),
-            0x5C4EE,
-            str_word(&url.to_string()),
-            self.clock.minutes() / 30,
-        ]);
-        page.visual.render(seed)
+        page.visual.render(screenshot_seed(self.world, url, self.clock))
     }
 
     /// Clicks an element's action (or a page-level ad listener action),
@@ -325,6 +319,15 @@ impl<'w> BrowserSession<'w> {
             }
         }
     }
+}
+
+/// Screenshot instance-noise seed for a page at `url` observed at `t`:
+/// keyed by (world, URL, 30-minute window) so repeated visits within a
+/// window render identically while visits across windows drift slightly.
+/// Shared by [`BrowserSession::render_screenshot`] and the quiet milking
+/// browser so the two paths can never disagree on a rendered pixel.
+pub(crate) fn screenshot_seed(world: &World, url: &Url, t: SimTime) -> u64 {
+    det_hash(&[world.seed(), 0x5C4EE, str_word(&url.to_string()), t.minutes() / 30])
 }
 
 #[cfg(test)]

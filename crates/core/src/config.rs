@@ -20,7 +20,9 @@ pub struct PipelineConfig {
     pub schedule: CrawlSchedule,
     /// Browser/OS profiles to crawl with (paper: all four).
     pub uas: Vec<UaProfile>,
-    /// Worker threads for the crawl farm (0 ⇒ available parallelism).
+    /// Worker threads for the parallel stages — crawl farm, screenshot
+    /// clustering and the milking simulate phase (0 ⇒ available
+    /// parallelism). All three are byte-identical at any worker count.
     pub workers: usize,
     /// Fraction of the residential (cloaking-network) pool actually
     /// visited — the paper managed 11,182 of 34,068 sites over

@@ -261,7 +261,17 @@ impl Pipeline {
         vt: &mut VirusTotal,
     ) -> MilkingOutcome {
         let mut gsb = GsbService::new(&self.world);
-        Milker::new(&self.world, self.config.milking).run(sources, &mut gsb, vt, start)
+        // Parallel simulate/merge milking shares `config.workers` with the
+        // crawl farm and the clustering stage; like those stages, its
+        // output is byte-identical at any worker count, so no downstream
+        // table can change.
+        Milker::new(&self.world, self.config.milking).run_parallel(
+            sources,
+            &mut gsb,
+            vt,
+            start,
+            self.config.workers,
+        )
     }
 
     /// The full measurement: discovery, source validation, milking and the

@@ -9,7 +9,8 @@
 //! running 2-minute sessions back to back, and any number of OS threads
 //! may execute that schedule.
 
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use seacma_util::impl_json_struct;
 
@@ -107,32 +108,26 @@ impl<'w> CrawlFarm<'w> {
         schedule: CrawlSchedule,
     ) -> Vec<SiteVisit> {
         let config = BrowserConfig::instrumented(ua, vantage);
-        // Job queue: std's mpsc receiver is single-consumer, so workers
-        // share it behind a mutex. Each recv is one job index; contention
-        // is negligible next to a visit's cost.
-        let (tx, rx) = mpsc::channel::<usize>();
-        for idx in 0..publishers.len() {
-            tx.send(idx).expect("channel open");
-        }
-        drop(tx);
-        let rx = Mutex::new(rx);
+        // Job queue: the jobs are just the indices 0..n, so a shared
+        // atomic counter is the whole queue — each fetch_add claims the
+        // next index, no lock or channel needed.
+        let next = AtomicUsize::new(0);
 
         let results: Mutex<Vec<(usize, SiteVisit)>> =
             Mutex::new(Vec::with_capacity(publishers.len()));
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
-                let rx = &rx;
+                let next = &next;
                 let results = &results;
                 let world = self.world;
                 let policy = self.policy;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        // Hold the lock only for the dequeue, not the visit.
-                        let idx = match rx.lock().expect("queue lock").recv() {
-                            Ok(idx) => idx,
-                            Err(_) => break,
-                        };
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= publishers.len() {
+                            break;
+                        }
                         let p = &world.publishers()[publishers[idx].0 as usize];
                         let t = schedule.job_time(idx);
                         local.push((idx, visit_publisher(world, p, config, t, policy)));

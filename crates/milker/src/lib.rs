@@ -17,9 +17,23 @@
 //!    months later) to measure detection rates and listing lag;
 //! 4. interacts with landing pages, harvesting the polymorphic binaries
 //!    and driving the VirusTotal submit → wait → rescan flow.
+//!
+//! The production scheduler entry point is
+//! [`Milker::run_parallel`](scheduler::Milker::run_parallel): per-source
+//! timelines are simulated on worker threads (every session is a pure
+//! function of `(seed, url, ua, time)`) and a sequential merge sweep
+//! applies all cross-source state in the sequential scheduler's own
+//! iteration order, so the outcome is byte-identical at any worker count.
+//! [`Milker::run`](scheduler::Milker::run) remains the one-thread
+//! reference path the invariance tests and the scaling bench compare
+//! against.
+
+#![deny(missing_docs)]
 
 pub mod downloads;
+mod merge;
 pub mod scheduler;
+mod simulate;
 pub mod sources;
 
 pub use downloads::MilkedFile;

@@ -6,6 +6,8 @@
 //! harvesting downloads into the VirusTotal flow.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use seacma_util::impl_json_struct;
 
@@ -143,6 +145,14 @@ impl<'w> Milker<'w> {
 
     /// Runs the full milking experiment over `sources` starting at
     /// `start`, using the provided GSB and VirusTotal services.
+    ///
+    /// This is the sequential reference path: one thread, one session per
+    /// `(tick, source)` in time-major order, GSB polled lookup by lookup.
+    /// Production callers use [`run_parallel`](Self::run_parallel), which
+    /// produces a byte-identical [`MilkingOutcome`] (pinned by the
+    /// thread-count-invariance tests and the scaling bench's exactness
+    /// gate); this path stays as the semantics oracle both are measured
+    /// against.
     pub fn run(
         &self,
         sources: &[MilkingSource],
@@ -153,6 +163,17 @@ impl<'w> Milker<'w> {
         let mut out = MilkingOutcome::default();
         let mut seen_domains: HashSet<String> = HashSet::new();
         let mut seen_hashes: HashSet<u128> = HashSet::new();
+        // Membership sets backing the first-seen-ordered side-channel
+        // vectors (the vectors alone would make dedup O(n²)).
+        let mut phone_set: HashSet<String> = HashSet::new();
+        let mut gateway_set: HashSet<Url> = HashSet::new();
+        // Per-source session configuration is tick-invariant.
+        let configs: Vec<BrowserConfig> = sources
+            .iter()
+            .map(|src| {
+                BrowserConfig::instrumented(src.ua, Vantage::Residential).without_screenshots()
+            })
+            .collect();
         let end = start + self.config.duration;
 
         // Round-robin over time: all sources are milked once per period.
@@ -160,9 +181,7 @@ impl<'w> Milker<'w> {
         while t < end {
             for (idx, src) in sources.iter().enumerate() {
                 out.sessions += 1;
-                let cfg =
-                    BrowserConfig::instrumented(src.ua, Vantage::Residential).without_screenshots();
-                let mut session = BrowserSession::new(self.world, cfg, t);
+                let mut session = BrowserSession::new(self.world, configs[idx], t);
                 let Ok(loaded) = session.navigate(&src.url) else {
                     continue;
                 };
@@ -182,12 +201,12 @@ impl<'w> Milker<'w> {
                 // Intelligence side-channels: phone numbers, survey
                 // gateways and notification-permission grants.
                 if let Some(phone) = &loaded.page.scam_phone {
-                    if !out.scam_phones.iter().any(|(p, _, _)| p == phone) {
+                    if phone_set.insert(phone.clone()) {
                         out.scam_phones.push((phone.clone(), t, src.cluster));
                     }
                 }
                 if let Some(gw) = &loaded.page.survey_gateway {
-                    if !out.survey_gateways.iter().any(|(u, _, _)| u == gw) {
+                    if gateway_set.insert(gw.clone()) {
                         out.survey_gateways.push((gw.clone(), t, src.cluster));
                     }
                 }
@@ -263,6 +282,62 @@ impl<'w> Milker<'w> {
             return Some(exact.max(tail_end));
         }
         None
+    }
+
+    /// Runs the milking experiment with phase 1 (per-source timeline
+    /// simulation) fanned out over `workers` threads and phase 2 (the
+    /// cross-source merge sweep) on the calling thread — the same
+    /// determinism discipline as the crawl farm and the clustering stage.
+    ///
+    /// `workers == 0` means available parallelism. The returned
+    /// [`MilkingOutcome`] is byte-identical to [`run`](Self::run) at any
+    /// worker count: workers compute only pure per-source results, and
+    /// the merge consumes them in the sequential scheduler's own
+    /// iteration order (see the module docs of the `simulate` and `merge`
+    /// modules for the elision argument).
+    pub fn run_parallel(
+        &self,
+        sources: &[MilkingSource],
+        gsb: &mut GsbService<'_>,
+        vt: &mut VirusTotal,
+        start: SimTime,
+        workers: usize,
+    ) -> MilkingOutcome {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            workers
+        };
+        let workers = workers.min(sources.len()).max(1);
+
+        // Phase 1: fan out per-source simulations. Job dispatch is a
+        // shared counter; results come home over a channel and are
+        // re-ordered by source index, so OS scheduling cannot leak into
+        // the merge.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<crate::simulate::SourceTimeline>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let world = self.world;
+                let config = self.config;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(src) = sources.get(idx) else { break };
+                    let tl = crate::simulate::simulate_source(world, config, idx, src, start);
+                    if tx.send(tl).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut timelines: Vec<crate::simulate::SourceTimeline> = rx.into_iter().collect();
+        timelines.sort_by_key(|tl| tl.source_idx);
+
+        // Phase 2: sequential time-ordered merge of all cross-source state.
+        crate::merge::merge_timelines(self.config, sources, timelines, gsb, vt, start)
     }
 }
 
@@ -437,6 +512,86 @@ mod tests {
         assert_eq!(out.gsb_init_rate(), 0.0);
         assert_eq!(out.gsb_final_rate(), 0.0);
         assert!(out.mean_gsb_lag_days().is_none());
+    }
+
+    #[test]
+    fn milker_output_is_thread_count_invariant() {
+        // The parallel simulate/merge path must reproduce the sequential
+        // scheduler byte for byte at any worker count (mirrors
+        // `farm_output_is_thread_count_invariant`).
+        let w = world();
+        let sources = sources_for(&w, None);
+        assert!(sources.len() > 4, "need a multi-source run");
+        let milker = Milker::new(&w, short_config());
+        let sequential = {
+            let mut gsb = GsbService::new(&w);
+            let mut vt = VirusTotal::new(1);
+            milker.run(&sources, &mut gsb, &mut vt, SimTime::EPOCH)
+        };
+        for workers in [1usize, 2, 8] {
+            let mut gsb = GsbService::new(&w);
+            let mut vt = VirusTotal::new(1);
+            let parallel = milker.run_parallel(&sources, &mut gsb, &mut vt, SimTime::EPOCH, workers);
+            assert_eq!(
+                parallel, sequential,
+                "milking outcome must not depend on worker count ({workers} workers)"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_path_handles_transient_load_errors() {
+        // Blank transient loads make the milker land on the TDS hop
+        // itself; the quiet and instrumented navigation paths must agree
+        // on those sessions too.
+        let w = World::generate(WorldConfig {
+            seed: 62,
+            n_publishers: 60,
+            n_hidden_only_publishers: 0,
+            n_advertisers: 10,
+            campaign_scale: 0.25,
+            error_rate: 0.03,
+            ..Default::default()
+        });
+        let sources = sources_for(&w, None);
+        let milker = Milker::new(&w, short_config());
+        let mut gsb = GsbService::new(&w);
+        let mut vt = VirusTotal::new(1);
+        let sequential = milker.run(&sources, &mut gsb, &mut vt, SimTime::EPOCH);
+        let mut gsb = GsbService::new(&w);
+        let mut vt = VirusTotal::new(1);
+        let parallel = milker.run_parallel(&sources, &mut gsb, &mut vt, SimTime::EPOCH, 3);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn closed_form_poll_equals_poll_loop() {
+        // The merge sweep's closed-form GSB polling (grid query + late
+        // final lookup) must equal the sequential scheduler's lookup loop
+        // for every cadence, window and domain.
+        let w = world();
+        let campaigns = w.campaigns();
+        seacma_util::forall!(200, |rng| {
+            let config = MilkingConfig {
+                lookup_interval: SimDuration::from_minutes(rng.range_u64(1, 12 * 60)),
+                lookup_tail: SimDuration::from_minutes(rng.below(15 * 24 * 60)),
+                final_lookup_after: SimDuration::from_minutes(rng.below(90 * 24 * 60)),
+                ..Default::default()
+            };
+            let milker = Milker::new(&w, config);
+            let c = &campaigns[rng.below(campaigns.len() as u64) as usize];
+            let domain = c.attack_domain(w.seed(), SimTime(rng.below(20 * 24 * 60)), 0);
+            let first_seen = SimTime(rng.below(20 * 24 * 60));
+            let milking_end = first_seen + SimDuration::from_minutes(rng.below(14 * 24 * 60));
+            let mut a = GsbService::new(&w);
+            let mut b = GsbService::new(&w);
+            assert_eq!(
+                crate::merge::poll_gsb_closed_form(&mut b, config, &domain, first_seen, milking_end),
+                milker.poll_gsb(&mut a, &domain, first_seen, milking_end),
+                "domain {domain} first_seen {first_seen} interval {}",
+                config.lookup_interval
+            );
+        });
     }
 }
 impl_json_struct!(MilkingConfig {

@@ -70,7 +70,15 @@ pub fn det_weighted(words: &[u64], weights: &[f64]) -> usize {
 
 /// Hashes a string to a word, for mixing names into decision coordinates.
 pub fn str_word(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a 64
+    str_word_extend(0xcbf2_9ce4_8422_2325, s) // FNV-1a 64
+}
+
+/// Folds `s` into a running [`str_word`] state. Streaming several pieces
+/// through this is byte-equivalent to hashing their concatenation, which
+/// lets hot paths hash composite strings (like a URL's textual form)
+/// without materializing them.
+#[inline]
+pub fn str_word_extend(mut h: u64, s: &str) -> u64 {
     for b in s.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x1000_0000_01b3);

@@ -74,6 +74,43 @@ impl HostResponse {
     }
 }
 
+/// One resolution hop with the document body elided — what a `HEAD`-style
+/// probe observes. `World::fetch_lite` returns this for hot paths (the
+/// milker's no-op re-visits) that only need to know *where* a navigation
+/// lands, not what the page contains; it must classify every URL exactly
+/// as [`World::fetch`](crate::World::fetch) does (pinned by a property
+/// test in `world`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteResponse {
+    /// A document would be served ([`HostResponse::Page`], body elided).
+    Doc,
+    /// The server redirects the client.
+    Redirect {
+        /// Redirect target.
+        to: Url,
+        /// Mechanism used.
+        kind: RedirectKind,
+    },
+    /// The domain does not resolve.
+    NxDomain,
+    /// The server refused the request.
+    Refused,
+}
+
+impl LiteResponse {
+    /// The body-elided classification of a full response.
+    pub fn of(resp: &HostResponse) -> LiteResponse {
+        match resp {
+            HostResponse::Page(_) => LiteResponse::Doc,
+            HostResponse::Redirect { to, kind } => {
+                LiteResponse::Redirect { to: to.clone(), kind: *kind }
+            }
+            HostResponse::NxDomain => LiteResponse::NxDomain,
+            HostResponse::Refused => LiteResponse::Refused,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +153,12 @@ impl_json_enum!(RedirectKind {
 });
 impl_json_enum!(HostResponse {
     Page(Box<Page>),
+    Redirect { to: Url, kind: RedirectKind },
+    NxDomain,
+    Refused,
+});
+impl_json_enum!(LiteResponse {
+    Doc,
     Redirect { to: Url, kind: RedirectKind },
     NxDomain,
     Refused,

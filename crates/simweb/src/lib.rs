@@ -50,10 +50,11 @@ pub use adnet::{AdNetworkId, AdNetworkSpec};
 pub use campaign::{CampaignId, SeCampaign, SeCategory};
 pub use client::{ClientProfile, OsClass, UaProfile, Vantage};
 pub use domain::e2ld;
-pub use host::{HostResponse, RedirectKind};
+pub use host::{HostResponse, LiteResponse, RedirectKind};
 pub use page::{ClickAction, Element, ElementKind, LockTactic, Page};
 pub use payload::{FileFormat, FilePayload};
 pub use publisher::{PublisherId, PublisherSite, SiteCategory};
 pub use time::{SimDuration, SimTime, DAY, HOUR, MINUTE};
 pub use url::Url;
+pub use visual::VisualTemplate;
 pub use world::{World, WorldConfig};

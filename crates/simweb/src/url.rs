@@ -75,6 +75,24 @@ impl Url {
     pub fn contains(&self, pattern: &str) -> bool {
         self.to_string().contains(pattern)
     }
+
+    /// Decision word of the URL: exactly
+    /// `det::str_word(&url.to_string())`, computed without allocating the
+    /// textual form. `World::fetch` draws per-document randomness from
+    /// this on every hop, so the streaming version keeps the hot fetch
+    /// path allocation-free while producing bit-identical draws.
+    pub fn det_word(&self) -> u64 {
+        use crate::det::str_word_extend;
+        let mut h = str_word_extend(0xcbf2_9ce4_8422_2325, &self.scheme);
+        h = str_word_extend(h, "://");
+        h = str_word_extend(h, &self.host);
+        h = str_word_extend(h, &self.path);
+        if !self.query.is_empty() {
+            h = str_word_extend(h, "?");
+            h = str_word_extend(h, &self.query);
+        }
+        h
+    }
 }
 
 impl fmt::Display for Url {
@@ -115,6 +133,18 @@ impl FromStr for Url {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn det_word_equals_hash_of_textual_form() {
+        for u in [
+            Url::http("evil.club", "/landing?x=1"),
+            Url::http("a.com", "/"),
+            Url::http("tds.example", "/go?s=2&k=abc"),
+            Url::http("no-query.net", "/deep/path"),
+        ] {
+            assert_eq!(u.det_word(), crate::det::str_word(&u.to_string()), "{u}");
+        }
+    }
 
     #[test]
     fn http_constructor_normalizes() {

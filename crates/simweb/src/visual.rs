@@ -13,6 +13,7 @@
 use seacma_util::impl_json_enum;
 
 use seacma_vision::bitmap::{Bitmap, DEFAULT_HEIGHT, DEFAULT_WIDTH};
+use seacma_vision::dhash::{dhash128_noised, Dhash};
 
 use crate::det::{det_hash, det_range, str_word};
 
@@ -56,13 +57,36 @@ impl VisualTemplate {
     /// Renders the template at the default screenshot size with
     /// per-instance noise keyed by `instance_seed`.
     pub fn render(&self, instance_seed: u64) -> Bitmap {
-        let mut bm = self.render_clean();
+        Self::render_from_clean(&self.render_clean(), instance_seed)
+    }
+
+    /// Applies the per-instance noise pass to a clean render. Equivalent
+    /// to [`render`](Self::render) when `clean` came from
+    /// [`render_clean`](Self::render_clean) of the same template — which
+    /// lets high-frequency re-visitors (the milker renders the same
+    /// campaign creative thousands of times) cache the expensive clean
+    /// pass per template and pay only the cheap noise pass per instance.
+    pub fn render_from_clean(clean: &Bitmap, instance_seed: u64) -> Bitmap {
+        let mut bm = clean.clone();
         bm.perturb(instance_seed, INSTANCE_NOISE);
         bm
     }
 
-    /// Renders the template without instance noise.
-    fn render_clean(&self) -> Bitmap {
+    /// The perceptual hash of [`render_from_clean`](Self::render_from_clean)
+    /// — bit-identical to `dhash128(&Self::render_from_clean(clean, seed))`
+    /// but computed in one fused pass over the clean render, with no
+    /// bitmap materialized (`seacma_vision::dhash::dhash128_noised`). The
+    /// milker hashes thousands of per-visit screenshots of each cached
+    /// clean render and never inspects the pixels; this is its path.
+    pub fn dhash_from_clean(clean: &Bitmap, instance_seed: u64) -> Dhash {
+        dhash128_noised(clean, instance_seed, INSTANCE_NOISE)
+    }
+
+    /// Renders the template without instance noise: the procedural layout,
+    /// campaign decoration and background texture, but no per-visit
+    /// variation. This is the expensive, template-constant part of
+    /// [`render`](Self::render).
+    pub fn render_clean(&self) -> Bitmap {
         let mut bm = Bitmap::new(DEFAULT_WIDTH, DEFAULT_HEIGHT);
         match *self {
             VisualTemplate::FakeSoftware { skin } => {
@@ -449,6 +473,45 @@ mod tests {
     fn render_is_deterministic() {
         let t = VisualTemplate::Scareware { skin: 7 };
         assert_eq!(t.render(42), t.render(42));
+    }
+
+    #[test]
+    fn cached_clean_render_is_exact() {
+        // The split `render_clean` + `render_from_clean` path must equal
+        // the one-shot `render` bit for bit — it is what makes per-template
+        // clean-render caching safe for the byte-identity guarantees.
+        for t in [
+            VisualTemplate::FakeSoftware { skin: 3 },
+            VisualTemplate::Lottery { skin: 1 },
+            VisualTemplate::Parked { provider: 2 },
+            VisualTemplate::LoadError,
+        ] {
+            let clean = t.render_clean();
+            for seed in [0u64, 1, 0xDEAD_BEEF] {
+                assert_eq!(VisualTemplate::render_from_clean(&clean, seed), t.render(seed));
+            }
+        }
+    }
+
+    #[test]
+    fn dhash_from_clean_equals_render_then_hash() {
+        for t in [
+            VisualTemplate::FakeSoftware { skin: 3 },
+            VisualTemplate::Scareware { skin: 9 },
+            VisualTemplate::Lottery { skin: 1 },
+            VisualTemplate::Parked { provider: 2 },
+            VisualTemplate::BenignLanding { style: 0x51AB },
+            VisualTemplate::LoadError,
+        ] {
+            let clean = t.render_clean();
+            for seed in [0u64, 1, 77, 0xDEAD_BEEF] {
+                assert_eq!(
+                    VisualTemplate::dhash_from_clean(&clean, seed),
+                    seacma_vision::dhash::dhash128(&t.render(seed)),
+                    "hash path divergence for {t:?} seed={seed}"
+                );
+            }
+        }
     }
 }
 impl_json_enum!(VisualTemplate {

@@ -14,7 +14,7 @@ use crate::adnet::{standard_networks, AdNetworkId, AdNetworkSpec};
 use crate::campaign::{CampaignId, SeCampaign, SeCategory};
 use crate::client::ClientProfile;
 use crate::det::{det_bool, det_f64, det_hash, det_range, det_weighted, str_word};
-use crate::host::{HostResponse, RedirectKind};
+use crate::host::{HostResponse, LiteResponse, RedirectKind};
 use crate::names::{common_domain, gibberish_label, throwaway_domain};
 use crate::page::{ClickAction, Element, ElementKind, Page};
 use crate::payload::FilePayload;
@@ -390,7 +390,7 @@ impl World {
     pub fn fetch(&self, url: &Url, client: &ClientProfile, t: SimTime) -> HostResponse {
         // Transient blank loads (spurious-cluster source) can hit any
         // document fetch.
-        let uw = str_word(&url.to_string());
+        let uw = url.det_word();
         if det_bool(&[self.seed(), 0xE44, uw, t.minutes() / 30], self.config.error_rate) {
             return HostResponse::Page(Box::new(Page::bare(
                 url.clone(),
@@ -421,6 +421,108 @@ impl World {
             return self.serve_confounder(conf, url);
         }
         HostResponse::NxDomain
+    }
+
+    /// Resolves one hop of `url` like [`fetch`](Self::fetch) with the
+    /// document body elided: the same routing, the same per-document error
+    /// draw, the same redirect targets — but handlers that would
+    /// synthesize a page return [`LiteResponse::Doc`] without building it.
+    /// This is the `HEAD`-request view of the ecosystem; the milker's
+    /// no-op re-visits (~98 % of its sessions) only need it to learn the
+    /// landing domain. `LiteResponse::of(&fetch(…)) == fetch_lite(…)` for
+    /// every URL is pinned by a property test below.
+    pub fn fetch_lite(&self, url: &Url, client: &ClientProfile, t: SimTime) -> LiteResponse {
+        self.fetch_lite_ttl(url, client, t).0
+    }
+
+    /// [`fetch_lite`](Self::fetch_lite) plus a validity horizon: the
+    /// returned classification (and redirect target, if any) is guaranteed
+    /// to be what `fetch_lite` would return for **every** `t' ∈ [t, h)`.
+    /// The simulated hosting layer genuinely knows how long its responses
+    /// stay valid — the error draw rotates on 30-minute buckets, ad
+    /// inventory on 2-hour buckets, attack domains on campaign epochs —
+    /// so this is the ecosystem's honest `Cache-Control` header. Repeat
+    /// probers (the milker re-visits each source ~1,300 times) can skip
+    /// re-resolution inside the window; the horizon's soundness is pinned
+    /// by a property test.
+    pub fn fetch_lite_ttl(
+        &self,
+        url: &Url,
+        client: &ClientProfile,
+        t: SimTime,
+    ) -> (LiteResponse, SimTime) {
+        const FOREVER: SimTime = SimTime(u64::MAX);
+        // The transient-error draw re-rolls every 30 minutes; with a zero
+        // error rate it never fires and constrains nothing.
+        let err_h = if self.config.error_rate > 0.0 {
+            SimTime((t.minutes() / 30 + 1) * 30)
+        } else {
+            FOREVER
+        };
+        let uw = url.det_word();
+        if det_bool(&[self.seed(), 0xE44, uw, t.minutes() / 30], self.config.error_rate) {
+            return (LiteResponse::Doc, err_h); // transient blank load
+        }
+
+        let (resp, selector_h) = if self.pub_by_domain.contains_key(&url.host) {
+            (LiteResponse::Doc, FOREVER)
+        } else if let Some(&nid) = self.net_by_code_domain.get(&url.host) {
+            // Ad clicks only ever redirect or refuse; no body to elide.
+            // Inventory rotates on 2-hour buckets (`t/120` in the serving
+            // draws), so the redirect choice holds until the next one.
+            let bucket_h = SimTime((t.minutes() / 120 + 1) * 120);
+            (LiteResponse::of(&self.serve_ad_click(nid, url, client, t)), bucket_h)
+        } else if let Some(&cid) = self.campaign_by_tds.get(&url.host) {
+            (LiteResponse::of(&self.serve_tds(cid, url, client, t)), FOREVER)
+        } else if let Some(&cid) = self.campaign_by_landing.get(&url.path) {
+            // Live or parked epochs both serve a document (attack page or
+            // registrar parking page); only a fully expired domain NXes.
+            // Either way the verdict can only flip at an epoch boundary.
+            let c = self.campaign(cid);
+            let resp = match Self::attack_epoch_match(c, self.seed(), &url.host, t) {
+                Some(_) => LiteResponse::Doc,
+                None => LiteResponse::NxDomain,
+            };
+            (resp, c.epoch_start(c.epoch(t) + 1))
+        } else if self.exchange_domains.contains(&url.host) {
+            (LiteResponse::of(&self.serve_exchange(url, client, t)), FOREVER)
+        } else if self.advertiser_by_domain.contains_key(&url.host)
+            || self.confounder_by_domain.contains_key(&url.host)
+        {
+            (LiteResponse::Doc, FOREVER)
+        } else {
+            (LiteResponse::NxDomain, FOREVER)
+        };
+
+        // A redirect into a campaign's rotating landing path (from the
+        // TDS, an exchange bid response or a direct ad click) is minted
+        // fresh each epoch — it expires at the campaign's next rotation.
+        let target_h = match &resp {
+            LiteResponse::Redirect { to, .. } => match self.campaign_by_landing.get(&to.path) {
+                Some(&cid) => {
+                    let c = self.campaign(cid);
+                    c.epoch_start(c.epoch(t) + 1)
+                }
+                None => FOREVER,
+            },
+            _ => FOREVER,
+        };
+        (resp, err_h.min(selector_h).min(target_h))
+    }
+
+    /// The most recent epoch within the parking grace window in which
+    /// `host` was one of `c`'s attack domains, if any.
+    fn attack_epoch_match(c: &SeCampaign, seed: u64, host: &str, t: SimTime) -> Option<u64> {
+        let e_now = c.epoch(t);
+        let lo = e_now.saturating_sub(SeCampaign::PARKED_GRACE_EPOCHS);
+        for e in (lo..=e_now).rev() {
+            for shard in 0..c.category.parallel_shards() {
+                if c.attack_domain_at_epoch(seed, e, shard) == host {
+                    return Some(e);
+                }
+            }
+        }
+        None
     }
 
     // --- hosting handlers ----------------------------------------------------
@@ -664,17 +766,7 @@ impl World {
         let seed = self.seed();
         // Validate the domain against current and recent epochs.
         let e_now = c.epoch(t);
-        let mut matched: Option<u64> = None;
-        let lo = e_now.saturating_sub(SeCampaign::PARKED_GRACE_EPOCHS);
-        'outer: for e in (lo..=e_now).rev() {
-            for shard in 0..c.category.parallel_shards() {
-                if c.attack_domain_at_epoch(seed, e, shard) == url.host {
-                    matched = Some(e);
-                    break 'outer;
-                }
-            }
-        }
-        match matched {
+        match Self::attack_epoch_match(c, seed, &url.host, t) {
             Some(e) if e == e_now => HostResponse::Page(Box::new(self.attack_page(c, url, client, t))),
             Some(_) => {
                 // Expired epoch: throw-away domain dropped; registrar

@@ -344,3 +344,124 @@ fn exchange_networks_add_a_syndication_hop() {
     assert!(xh > dh, "exchange chain ({xh} hops) must be longer than direct ({dh})");
     assert!(xh >= 3, "click -> exchange -> tds -> attack");
 }
+
+/// `fetch_lite` must classify every URL exactly as `fetch` does — same
+/// error draws, same redirect targets, same NX/refusal verdicts — across
+/// every host class the router knows (publishers, ad clicks, exchanges,
+/// TDS, live/parked/expired attack domains, advertisers, confounders,
+/// unknown hosts). The milker's no-op ticks ride on this equivalence.
+#[test]
+fn fetch_lite_classifies_exactly_like_fetch() {
+    use seacma_simweb::LiteResponse;
+
+    let w = World::generate(WorldConfig {
+        seed: 7,
+        n_publishers: 200,
+        n_hidden_only_publishers: 20,
+        n_advertisers: 30,
+        campaign_scale: 0.5,
+        error_rate: 0.03, // exercise the transient-blank-load draw
+        ..Default::default()
+    });
+
+    // A URL bag covering every routing branch: seeds plus every hop
+    // reachable from them by redirects.
+    let mut bag: Vec<Url> = Vec::new();
+    for p in w.publishers().iter().take(40) {
+        bag.push(p.url());
+    }
+    for n in w.networks() {
+        bag.push(n.click_url(w.seed(), 11, 0, 0));
+        bag.push(n.click_url(w.seed(), 12, 3, 1));
+    }
+    for c in w.campaigns() {
+        if let Some(tds) = c.tds_url(0) {
+            bag.push(tds);
+        }
+        bag.push(Url::http(c.tds_domain.clone().unwrap_or_default(), "/not-the-tds-path"));
+        // Live, soon-to-be-parked and long-expired epochs.
+        for day in [0u64, 3, 40] {
+            bag.push(c.attack_url(w.seed(), SimTime::EPOCH + DAY * day, 0));
+        }
+    }
+    bag.push(Url::http("no-such-host.example", "/"));
+    bag.push(Url::http("", "/"));
+    let clients = [
+        ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Residential),
+        ClientProfile::stealthy(UaProfile::ChromeAndroid, Vantage::Cloud),
+    ];
+
+    seacma_util::forall!(400, |rng| {
+        let mut url = rng.pick(&bag).clone();
+        let client = rng.pick(&clients);
+        let t = SimTime(rng.below(45 * 24 * 60));
+        // Walk the chain so intermediate hops (exchange bid responses,
+        // rotated attack URLs) are compared too.
+        for _ in 0..8 {
+            let full = w.fetch(&url, client, t);
+            assert_eq!(
+                w.fetch_lite(&url, client, t),
+                LiteResponse::of(&full),
+                "lite/full divergence at {url} t={t}"
+            );
+            match full {
+                HostResponse::Redirect { to, .. } => url = to,
+                _ => break,
+            }
+        }
+    });
+}
+
+/// The validity horizon returned by `fetch_lite_ttl` must be sound: the
+/// classification and redirect target may not change anywhere inside
+/// `[t, h)`. Sampled densely across every host class, including worlds
+/// with transient errors (30-minute re-rolls) and ad-click rotation
+/// (2-hour buckets).
+#[test]
+fn fetch_lite_ttl_horizon_is_sound() {
+    let w = World::generate(WorldConfig {
+        seed: 13,
+        n_publishers: 150,
+        n_hidden_only_publishers: 10,
+        n_advertisers: 20,
+        campaign_scale: 0.5,
+        error_rate: 0.05,
+        ..Default::default()
+    });
+    let mut bag: Vec<Url> = Vec::new();
+    for n in w.networks() {
+        bag.push(n.click_url(w.seed(), 21, 0, 0));
+    }
+    for c in w.campaigns() {
+        if let Some(tds) = c.tds_url(0) {
+            bag.push(tds);
+        }
+        for day in [0u64, 2, 30] {
+            bag.push(c.attack_url(w.seed(), SimTime::EPOCH + DAY * day, 0));
+        }
+    }
+    bag.push(w.publishers()[0].url());
+    bag.push(Url::http("no-such-host.example", "/"));
+    let client = ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Residential);
+
+    seacma_util::forall!(300, |rng| {
+        let url = rng.pick(&bag);
+        let t = SimTime(rng.below(40 * 24 * 60));
+        let (resp, h) = w.fetch_lite_ttl(url, &client, t);
+        assert_eq!(resp, w.fetch_lite(url, &client, t), "ttl variant must match fetch_lite");
+        assert!(h > t, "horizon must lie strictly in the future");
+        // Sample instants inside the window, biased toward its edges.
+        let span = h.minutes().saturating_sub(t.minutes()).min(30 * 24 * 60);
+        for probe in [
+            t,
+            SimTime(t.minutes() + rng.below(span.max(1))),
+            SimTime(t.minutes() + span - 1),
+        ] {
+            assert_eq!(
+                w.fetch_lite(url, &client, probe),
+                resp,
+                "classification changed inside [{t}, {h}) at {probe} for {url}"
+            );
+        }
+    });
+}

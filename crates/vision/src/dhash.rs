@@ -84,6 +84,111 @@ pub fn dhash128(image: &Bitmap) -> Dhash {
     Dhash(bits)
 }
 
+/// Computes `dhash128` of a noised copy of `clean` — bit-identical to
+/// `dhash128(&{ let mut b = clean.clone(); b.perturb(seed, amplitude); b })`
+/// — without materializing the noised bitmap.
+///
+/// [`Bitmap::perturb`] draws one xorshift64* delta per pixel in row-major
+/// order, and [`Bitmap::resize`] area-averages each output cell over a
+/// contiguous pixel range. Both passes are fused here: a single row-major
+/// sweep draws each delta, clamps the pixel, and adds it straight into the
+/// 17×8 accumulator grid. Because the per-axis source ranges of `resize`
+/// are monotone, the cells covering a given coordinate form a contiguous
+/// interval, precomputed per row and per column. The milker, which hashes
+/// thousands of per-visit screenshots of the same cached clean render and
+/// never looks at the pixels, calls this instead of render-then-hash.
+pub fn dhash128_noised(clean: &Bitmap, seed: u64, amplitude: u8) -> Dhash {
+    // Monomorphize the per-pixel modulo for the one amplitude the
+    // simulated renderer actually uses (`INSTANCE_NOISE == 5` ⇒ span 11):
+    // with the divisor a compile-time constant the compiler strength-
+    // reduces the division to a multiply-shift, which dominates the
+    // per-pixel cost otherwise.
+    match amplitude {
+        5 => noised_core(clean, seed, 5, |s| s % 11),
+        _ => {
+            let span = 2 * u64::from(amplitude) + 1;
+            noised_core(clean, seed, amplitude, move |s| s % span)
+        }
+    }
+}
+
+#[inline(always)]
+fn noised_core(clean: &Bitmap, seed: u64, amplitude: u8, rem: impl Fn(u64) -> u64) -> Dhash {
+    let (w, h) = (clean.width(), clean.height());
+    let (nw, nh) = (HASH_COLS + 1, HASH_ROWS);
+    // Per-axis cell intervals: coordinate v is averaged into exactly the
+    // cells [lo[v], hi[v]] (inclusive). The source ranges `resize` uses
+    // are monotone per axis, so each coordinate's cells are contiguous —
+    // overlapping by up to one cell when the scale factor is fractional.
+    // A cell's pixel count is the product of its per-axis range lengths,
+    // so counts need no accumulation in the pixel loop.
+    let mut xlo = vec![u8::MAX; w];
+    let mut xhi = vec![0u8; w];
+    let mut xcnt = [0u32; HASH_COLS + 1];
+    for ox in 0..nw {
+        let x0 = ox * w / nw;
+        let x1 = (((ox + 1) * w).div_ceil(nw)).max(x0 + 1).min(w);
+        xcnt[ox] = (x1 - x0) as u32;
+        for x in x0..x1 {
+            xlo[x] = xlo[x].min(ox as u8);
+            xhi[x] = ox as u8;
+        }
+    }
+    let mut ylo = vec![u8::MAX; h];
+    let mut yhi = vec![0u8; h];
+    let mut ycnt = [0u32; HASH_ROWS];
+    for oy in 0..nh {
+        let y0 = oy * h / nh;
+        let y1 = (((oy + 1) * h).div_ceil(nh)).max(y0 + 1).min(h);
+        ycnt[oy] = (y1 - y0) as u32;
+        for y in y0..y1 {
+            ylo[y] = ylo[y].min(oy as u8);
+            yhi[y] = oy as u8;
+        }
+    }
+
+    let pixels = clean.pixels();
+    let amp = i16::from(amplitude);
+    let mut sums = [[0u32; HASH_COLS + 1]; HASH_ROWS];
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for y in 0..h {
+        // Accumulate the row into per-column bins, then fold the row total
+        // into each covering cell row once — the per-pixel work is just
+        // the noise draw, the clamp and one or two bin adds.
+        let mut row = [0u32; HASH_COLS + 1];
+        for (x, &p) in pixels[y * w..(y + 1) * w].iter().enumerate() {
+            // Same stream as `perturb`: one xorshift64* step per pixel,
+            // row-major, whether or not the pixel lands in any cell.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let delta = rem(state) as i16 - amp;
+            let v = u32::from((i16::from(p) + delta).clamp(0, 255) as u8);
+            for ox in xlo[x]..=xhi[x] {
+                row[usize::from(ox)] += v;
+            }
+        }
+        for oy in ylo[y]..=yhi[y] {
+            for (s, r) in sums[usize::from(oy)].iter_mut().zip(row) {
+                *s += r;
+            }
+        }
+    }
+
+    let mut bits: u128 = 0;
+    for r in 0..HASH_ROWS {
+        for col in 0..HASH_COLS {
+            bits <<= 1;
+            let a = sums[r][col] / (ycnt[r] * xcnt[col]).max(1);
+            let b = sums[r][col + 1] / (ycnt[r] * xcnt[col + 1]).max(1);
+            if a > b {
+                bits |= 1;
+            }
+        }
+    }
+    Dhash(bits)
+}
+
 /// Hamming distance between two hashes, in bits (0..=128).
 #[inline]
 pub fn hamming(a: Dhash, b: Dhash) -> u32 {
@@ -154,6 +259,34 @@ mod tests {
         }
         let d = hamming(dhash128(&a), dhash128(&b));
         assert!(d >= 100, "opposite gradients should differ in most bits, got {d}");
+    }
+
+    #[test]
+    fn noised_hash_equals_perturb_then_hash() {
+        // The fused pass must be bit-identical to the materialized one on
+        // arbitrary bitmaps — odd sizes, smaller than the hash grid, flat
+        // and textured content, zero and large amplitudes.
+        seacma_util::forall!(150, |rng| {
+            let w = rng.range(1, 190);
+            let h = rng.range(1, 120);
+            let base = rng.below(256) as usize;
+            let stride = rng.range(0, 9);
+            let mut clean = Bitmap::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    clean.set(x, y, ((base + x * stride + y * 2) % 256) as u8);
+                }
+            }
+            let seed = rng.range_u64(0, u64::MAX);
+            let amplitude = rng.below(40) as u8;
+            let mut noised = clean.clone();
+            noised.perturb(seed, amplitude);
+            assert_eq!(
+                dhash128_noised(&clean, seed, amplitude),
+                dhash128(&noised),
+                "fused/materialized divergence at {w}x{h} seed={seed} amp={amplitude}"
+            );
+        });
     }
 
     #[test]

@@ -11,3 +11,8 @@ cargo test -q --offline
 # labels before running each bench body once, so an index regression
 # fails tier-1 offline.
 cargo run --release --offline -p seacma-bench --bin cluster_scaling -- --quick
+# Smoke the milking scaling bench: the binary asserts the two-phase
+# simulate/merge scheduler reproduces the sequential MilkingOutcome byte
+# for byte at 1, 2 and 8 workers before running each bench body once, so
+# a determinism regression in the parallel milker fails tier-1 offline.
+cargo run --release --offline -p seacma-bench --bin milking_scaling -- --quick
