@@ -44,7 +44,7 @@ fn build_corpus(args: &BenchArgs) -> Corpus {
     // Re-render each landing's screenshot at both hash widths by crawling
     // a slice of the world directly.
     let discovery = pipeline.discover();
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
     let mut points = Vec::new();
     let mut points64 = Vec::new();
     let mut truth = Vec::new();

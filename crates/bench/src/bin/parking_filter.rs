@@ -14,7 +14,7 @@ fn main() {
     let args = BenchArgs::parse();
     banner("Automated parked-domain filtering (paper future work)");
     let (pipeline, discovery) = args.discovery();
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
     let verdicts =
         detect_parked_clusters(pipeline.world(), &discovery.clusters.campaigns, &landings);
 

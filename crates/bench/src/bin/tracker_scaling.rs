@@ -1,0 +1,98 @@
+//! Scaling bench for the incremental campaign tracker (DESIGN.md §2e;
+//! EXPERIMENTS.md "Scaling & performance").
+//!
+//! As epochs accumulate, re-running batch `cluster_screenshots` over the
+//! full history costs O(total) per epoch, while the tracker's incremental
+//! DBSCAN pays only for the new points. This bench measures both at every
+//! epoch boundary of a growing corpus — and first proves, over the whole
+//! run, that the incremental snapshot is *identical* to batch clustering
+//! of the same prefix (the same gate the property suites enforce).
+//!
+//! ```text
+//! cargo run --release -p seacma-bench --bin tracker_scaling -- --json BENCH_tracker.json
+//! cargo run --release -p seacma-bench --bin tracker_scaling -- --quick   # tier-1 smoke
+//! ```
+//!
+//! The incremental timing includes cloning the pre-epoch tracker (the
+//! bench body must be re-runnable), which only *overstates* its cost:
+//! a real deployment mutates one tracker in place.
+
+use seacma_tracker::{CampaignTracker, TrackerConfig};
+use seacma_util::bench::{Bench, BenchmarkId, Throughput};
+use seacma_util::prop::Rng;
+use seacma_vision::cluster::{cluster_screenshots, ScreenshotPoint};
+use seacma_vision::dhash::Dhash;
+
+/// A milking-feed-shaped corpus: ~1 campaign template per 150 points,
+/// 80 % of points near-duplicates of a template (≤ 3 flipped bits) on a
+/// rotating set of e2LDs, 20 % uniform noise on throwaway domains.
+fn synth(n: usize, seed: u64) -> Vec<ScreenshotPoint> {
+    let mut rng = Rng::new(seed);
+    let centers: Vec<u128> = (0..(n / 150).max(1)).map(|_| rng.u128()).collect();
+    (0..n)
+        .map(|i| {
+            if rng.bool(0.8) {
+                let c = rng.below(centers.len() as u64) as usize;
+                let mut h = centers[c];
+                for _ in 0..rng.below(4) {
+                    h ^= 1u128 << rng.below(128);
+                }
+                // Rotate through 12 domains per campaign — enough for θc.
+                ScreenshotPoint::new(Dhash(h), format!("c{c}-{}.club", rng.below(12)))
+            } else {
+                ScreenshotPoint::new(Dhash(rng.u128()), format!("noise{i}.info"))
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut harness = Bench::from_args();
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let (epoch_size, epochs) = if quick { (500, 4) } else { (5_000, 10) };
+    let corpus = synth(epoch_size * epochs, 0x5EAC_A204);
+    let config = TrackerConfig::default();
+
+    // Exactness gate before any timing: at every epoch boundary the
+    // tracker snapshot must equal batch clustering of the same prefix.
+    let mut gate = CampaignTracker::new(config);
+    for e in 0..epochs {
+        gate.ingest_all(corpus[e * epoch_size..(e + 1) * epoch_size].iter().cloned());
+        let summary = gate.end_epoch();
+        let batch = cluster_screenshots(&corpus[..(e + 1) * epoch_size], config.params);
+        assert_eq!(summary.clusters, batch, "incremental diverged from batch at epoch {e}");
+    }
+    println!(
+        "exactness check: incremental == batch at {epochs} boundaries \
+         ({} campaigns, {} ledger records)\n",
+        gate.clusters().campaigns.len(),
+        gate.ledger().records().len()
+    );
+
+    let mut group = harness.benchmark_group("tracker");
+    let mut base = CampaignTracker::new(config);
+    for e in 0..epochs {
+        let n = (e + 1) * epoch_size;
+        let delta = &corpus[e * epoch_size..n];
+        let prefix = &corpus[..n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(if n >= 25_000 { 5 } else { 10 });
+        // One epoch of incremental work on top of the accumulated state.
+        group.bench_with_input(BenchmarkId::new("incremental", n), &delta, |b, d| {
+            b.iter(|| {
+                let mut t = base.clone();
+                t.ingest_all(d.iter().cloned());
+                t.end_epoch()
+            })
+        });
+        // The alternative: re-cluster the full history from scratch.
+        group.bench_with_input(BenchmarkId::new("batch", n), &prefix, |b, p| {
+            b.iter(|| cluster_screenshots(p, config.params))
+        });
+        // Advance the accumulated state for the next epoch's baseline.
+        base.ingest_all(delta.iter().cloned());
+        base.end_epoch();
+    }
+    group.finish();
+    harness.finish();
+}

@@ -5,6 +5,7 @@ use seacma_util::impl_json_struct;
 use seacma_crawler::{CrawlPolicy, CrawlSchedule};
 use seacma_milker::MilkingConfig;
 use seacma_simweb::{UaProfile, WorldConfig};
+use seacma_tracker::LedgerConfig;
 use seacma_vision::cluster::ClusterParams;
 
 /// Everything that parameterizes one end-to-end measurement.
@@ -34,6 +35,12 @@ pub struct PipelineConfig {
     pub milking: MilkingConfig,
     /// Cap on milking sources (paper ran 505 `(URL, UA)` pairs).
     pub max_milking_sources: usize,
+    /// Epochs the crawl phase is replayed through the campaign tracker as
+    /// (contiguous prefix chunks of the flattened landing order, so the
+    /// final tracker snapshot equals the batch discovery clustering).
+    pub crawl_track_epochs: usize,
+    /// Dormancy/death thresholds for the campaign lifecycle ledger.
+    pub track_ledger: LedgerConfig,
 }
 
 impl Default for PipelineConfig {
@@ -48,6 +55,8 @@ impl Default for PipelineConfig {
             clustering: ClusterParams::default(),
             milking: MilkingConfig::default(),
             max_milking_sources: 505,
+            crawl_track_epochs: 4,
+            track_ledger: LedgerConfig::default(),
         }
     }
 }
@@ -116,4 +125,6 @@ impl_json_struct!(PipelineConfig {
     clustering,
     milking,
     max_milking_sources,
+    crawl_track_epochs,
+    track_ledger,
 });

@@ -40,7 +40,7 @@ pub fn export_run(
     dir: &Path,
 ) -> std::io::Result<ExportSummary> {
     fs::create_dir_all(dir.join("screenshots"))?;
-    let landings = run.discovery.landings();
+    let landings: Vec<_> = run.discovery.landings().collect();
 
     // landings.jsonl
     let mut f = fs::File::create(dir.join("landings.jsonl"))?;

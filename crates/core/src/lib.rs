@@ -30,6 +30,8 @@
 //! renders Tables 1–4, the cluster breakdown, the AdBlock experiment and
 //! the ethics cost analysis.
 
+#![deny(missing_docs)]
+
 pub mod adblock;
 pub mod config;
 pub mod export;
@@ -42,7 +44,7 @@ pub mod report;
 
 pub use config::PipelineConfig;
 pub use label::{BenignKind, ClusterLabel};
-pub use pipeline::{DiscoveryOutput, Pipeline, PipelineRun};
+pub use pipeline::{DiscoveryOutput, Pipeline, PipelineRun, TrackingOutput};
 
 // Re-export the workspace API surface so downstream users (examples,
 // benches) can depend on `seacma-core` alone.
@@ -52,4 +54,5 @@ pub use seacma_crawler as crawler;
 pub use seacma_graph as graph;
 pub use seacma_milker as milker;
 pub use seacma_simweb as simweb;
+pub use seacma_tracker as tracker;
 pub use seacma_vision as vision;

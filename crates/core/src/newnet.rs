@@ -37,7 +37,7 @@ pub struct NewNetworkDiscovery {
 
 /// Runs the discovery loop over a finished discovery phase.
 pub fn discover_networks(world: &World, discovery: &DiscoveryOutput) -> NewNetworkDiscovery {
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
 
     // Collect the involved URLs of unknown *SE* attacks.
     let mut token_support: HashMap<String, usize> = HashMap::new();

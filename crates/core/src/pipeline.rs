@@ -9,7 +9,8 @@ use seacma_milker::{
     validate_candidates, Milker, MilkingCandidate, MilkingOutcome, MilkingSource,
 };
 use seacma_simweb::search::SourceSearch;
-use seacma_simweb::{det, PublisherId, SimTime, UaProfile, Vantage, World};
+use seacma_simweb::{det, PublisherId, SimTime, UaProfile, Vantage, World, DAY};
+use seacma_tracker::{CampaignTracker, EpochSummary, TrackerConfig};
 use seacma_vision::cluster::{cluster_screenshots_parallel, ScreenshotClusters, ScreenshotPoint};
 
 use crate::config::PipelineConfig;
@@ -38,8 +39,9 @@ pub struct DiscoveryOutput {
 
 impl DiscoveryOutput {
     /// Landings in the flattened order used by clustering/attribution.
-    pub fn landings<'a>(&'a self) -> Vec<&'a LandingRecord> {
-        self.crawl.landings().collect()
+    /// Borrowing iterator — callers that need random access collect it.
+    pub fn landings(&self) -> impl Iterator<Item = &LandingRecord> {
+        self.crawl.landings()
     }
 
     /// Indices of clusters labeled as SEACMA campaigns.
@@ -53,6 +55,20 @@ impl DiscoveryOutput {
     }
 }
 
+/// Output of the tracking phase: the live tracker plus every closed
+/// epoch's summary, split by which pipeline stage drove it.
+pub struct TrackingOutput {
+    /// The tracker after all crawl and milking epochs — live campaign
+    /// state, ready for snapshotting ([`CampaignTracker::to_json`]) or
+    /// further ingest.
+    pub tracker: CampaignTracker,
+    /// Epoch summaries from replaying the crawl landings.
+    pub crawl_epochs: Vec<EpochSummary>,
+    /// Epoch summaries from the milking discoveries (one per virtual day
+    /// with discoveries, plus trailing quiet days so dormancy shows).
+    pub milking_epochs: Vec<EpochSummary>,
+}
+
 /// A complete measurement run.
 pub struct PipelineRun {
     /// Discovery-phase output.
@@ -63,6 +79,8 @@ pub struct PipelineRun {
     pub milking: MilkingOutcome,
     /// New-ad-network discovery from unknown attributions.
     pub new_networks: NewNetworkDiscovery,
+    /// Campaign tracking across crawl + milking epochs.
+    pub tracking: TrackingOutput,
 }
 
 /// The pipeline driver.
@@ -219,18 +237,99 @@ impl Pipeline {
         }
     }
 
+    /// Phase ⑧ (tracking, this repo's extension of §5): replay the crawl
+    /// landings through the campaign tracker in `crawl_track_epochs`
+    /// contiguous prefix batches of the flattened landing order.
+    ///
+    /// Contiguous prefixes are load-bearing: batch DBSCAN numbering is
+    /// input-order-sensitive, so feeding the tracker the same order the
+    /// batch clustering saw makes the final epoch's live snapshot equal
+    /// [`DiscoveryOutput::clusters`] **bit for bit** (the incremental
+    /// exactness property) — no downstream table can change.
+    pub fn track(&self, discovery: &DiscoveryOutput) -> (CampaignTracker, Vec<EpochSummary>) {
+        let mut tracker = CampaignTracker::new(TrackerConfig {
+            params: self.config.clustering,
+            ledger: self.config.track_ledger,
+        });
+        let points: Vec<ScreenshotPoint> = discovery
+            .landings()
+            .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
+            .collect();
+        let chunk = points.len().div_ceil(self.config.crawl_track_epochs.max(1)).max(1);
+        let mut summaries = Vec::new();
+        for batch in points.chunks(chunk) {
+            tracker.ingest_all(batch.iter().cloned());
+            summaries.push(tracker.end_epoch());
+        }
+        debug_assert_eq!(
+            tracker.clusters(),
+            discovery.clusters,
+            "incremental tracker must reproduce the batch discovery clustering"
+        );
+        (tracker, summaries)
+    }
+
+    /// Feeds the milking discoveries back into the tracker, closing one
+    /// epoch per virtual day of the milking window. Quiet days close too:
+    /// campaigns that stop rotating (or were never milkable) sit still
+    /// through them, which is exactly what drives the ledger's dormancy
+    /// and death transitions.
+    pub fn track_milking(
+        &self,
+        tracker: &mut CampaignTracker,
+        sources: &[MilkingSource],
+        milking: &MilkingOutcome,
+        start: SimTime,
+    ) -> Vec<EpochSummary> {
+        // Re-derived `(first_seen, point)` feed, nondecreasing in time.
+        let feed = seacma_milker::trackfeed::discovery_points(&self.world, sources, milking);
+        let days = self.config.milking.duration.minutes().div_ceil(DAY.minutes()).max(1);
+        let mut summaries = Vec::new();
+        let mut next = 0usize;
+        for day in 0..days {
+            let end = start + seacma_simweb::SimDuration::from_minutes(DAY.minutes() * (day + 1));
+            while next < feed.len() && feed[next].0 < end {
+                tracker.ingest(feed[next].1.clone());
+                next += 1;
+            }
+            summaries.push(tracker.end_epoch());
+        }
+        debug_assert_eq!(next, feed.len(), "every discovery falls inside the milking window");
+        summaries
+    }
+
     /// Stage ⑥ prep: extract per-campaign-cluster milking candidates from
     /// the crawl records and validate them (§4.2's pilot).
-    pub fn milking_sources(&self, discovery: &DiscoveryOutput, t: SimTime) -> Vec<MilkingSource> {
-        let landings = discovery.landings();
+    ///
+    /// Candidates come from **live tracker state** — the cluster set,
+    /// membership and visual representatives are the tracker's current
+    /// snapshot, not the frozen discovery clustering. Right after the
+    /// crawl replay the two agree exactly (the gate in
+    /// [`Pipeline::track`]), but anything ingested since — milking
+    /// feedback, a resumed snapshot — is reflected here and not there.
+    pub fn milking_sources(
+        &self,
+        discovery: &DiscoveryOutput,
+        tracker: &CampaignTracker,
+        t: SimTime,
+    ) -> Vec<MilkingSource> {
+        let landings: Vec<&LandingRecord> = discovery.landings().collect();
+        let live = tracker.clusters();
         let mut candidates = Vec::new();
-        for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
-            if !discovery.labels[ci].is_campaign() {
+        for (ci, cluster) in live.campaigns.iter().enumerate() {
+            // Ground-truth labels are aligned with the discovery clusters;
+            // live clusters keep that alignment until post-crawl ingest
+            // reorders them, at which point unlabeled clusters are skipped.
+            if !discovery.labels.get(ci).is_some_and(|l| l.is_campaign()) {
                 continue;
             }
-            let reference = landings[cluster.representative].dhash;
+            // Members index the tracker's ingest order, which starts with
+            // the flattened crawl landings; later (milking-fed) members
+            // have no crawl record to harvest a milkable URL from.
+            let Some(rep) = landings.get(cluster.representative) else { continue };
+            let reference = rep.dhash;
             for &m in &cluster.members {
-                let l = landings[m];
+                let Some(l) = landings.get(m).copied() else { continue };
                 if let Some(url) = &l.milkable_candidate {
                     candidates.push(MilkingCandidate {
                         url: url.clone(),
@@ -274,10 +373,12 @@ impl Pipeline {
         )
     }
 
-    /// The full measurement: discovery, source validation, milking and the
-    /// new-network feedback loop.
+    /// The full measurement: discovery, crawl-epoch tracking, source
+    /// validation against live tracker state, milking (fed back into the
+    /// tracker day by day) and the new-network feedback loop.
     pub fn run_to_completion(&self) -> PipelineRun {
         let discovery = self.discover();
+        let (mut tracker, crawl_epochs) = self.track(&discovery);
         // Milking starts right after the last crawl pass.
         let crawl_end = discovery
             .crawl
@@ -287,11 +388,18 @@ impl Pipeline {
             .max()
             .unwrap_or(SimTime::EPOCH)
             + seacma_simweb::HOUR;
-        let sources = self.milking_sources(&discovery, crawl_end);
+        let sources = self.milking_sources(&discovery, &tracker, crawl_end);
         let mut vt = VirusTotal::new(self.world.seed() ^ 0x7A);
         let milking = self.milk(&sources, crawl_end, &mut vt);
+        let milking_epochs = self.track_milking(&mut tracker, &sources, &milking, crawl_end);
         let new_networks = discover_networks(&self.world, &discovery);
-        PipelineRun { discovery, sources, milking, new_networks }
+        PipelineRun {
+            discovery,
+            sources,
+            milking,
+            new_networks,
+            tracking: TrackingOutput { tracker, crawl_epochs, milking_epochs },
+        }
     }
 }
 

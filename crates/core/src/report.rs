@@ -41,7 +41,7 @@ pub struct Table1Row {
 
 /// Builds Table 1 from a discovery output.
 pub fn table1(world: &World, discovery: &DiscoveryOutput) -> Vec<Table1Row> {
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
     let lookup_t = crawl_end(&discovery.crawl) + TABLE1_LOOKUP_DELAY;
     let mut gsb = GsbService::new(world);
 
@@ -144,7 +144,7 @@ pub struct Table2Row {
 /// Builds Table 2: categories of publishers that hosted at least one SE
 /// attack landing.
 pub fn table2(world: &World, discovery: &DiscoveryOutput, top_n: usize) -> Vec<Table2Row> {
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
     let categorizer = Categorizer::new(world);
     // Publishers hosting SEACMA ads: those whose clicks landed on a
     // campaign-cluster member.
@@ -207,7 +207,7 @@ pub struct Table3Row {
 
 /// Builds Table 3 from discovery attributions.
 pub fn table3(world: &World, discovery: &DiscoveryOutput) -> Vec<Table3Row> {
-    let landings = discovery.landings();
+    let landings: Vec<_> = discovery.landings().collect();
     let mut landing_count: HashMap<&str, usize> = HashMap::new();
     let mut se_count: HashMap<&str, usize> = HashMap::new();
     let mut domains: HashMap<&str, HashSet<String>> = HashMap::new();

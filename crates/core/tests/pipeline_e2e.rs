@@ -45,7 +45,7 @@ fn full_pipeline_shape() {
 
     // Stage ⑦: most SE attacks attributed to seed networks, a solid
     // minority unknown (paper: 81% / 19%).
-    let landings = d.landings();
+    let landings: Vec<_> = d.landings().collect();
     let se_attacks: Vec<usize> = (0..landings.len())
         .filter(|&i| landings[i].truth_is_attack)
         .collect();
@@ -76,6 +76,19 @@ fn full_pipeline_shape() {
     if let Some(lag) = run.milking.mean_gsb_lag_days() {
         assert!(lag > 3.0, "mean lag {lag}");
     }
+
+    // Tracking: the crawl replayed through the configured epoch count,
+    // the milking feed reached the tracker, and campaigns got journaled.
+    let t = &run.tracking;
+    assert_eq!(t.crawl_epochs.len(), pipeline.config().crawl_track_epochs);
+    assert_eq!(
+        t.tracker.epoch() as usize,
+        t.crawl_epochs.len() + t.milking_epochs.len()
+    );
+    assert!(t.crawl_epochs.iter().any(|s| !s.events.is_empty()));
+    let milked: u32 = t.milking_epochs.iter().map(|s| s.ingested).sum();
+    assert!(milked > 0, "milking discoveries must reach the tracker");
+    assert!(t.tracker.ledger().campaigns().count() >= 10);
 
     // New-network discovery fires.
     assert!(run.new_networks.unknown_attacks > 0);
@@ -166,6 +179,7 @@ fn pipeline_runs_are_reproducible() {
     assert_eq!(a.discovery.labels, b.discovery.labels);
     assert_eq!(a.milking.discoveries, b.milking.discoveries);
     assert_eq!(a.new_networks, b.new_networks);
+    assert_eq!(a.tracking.tracker.to_json(), b.tracking.tracker.to_json());
 }
 
 #[test]

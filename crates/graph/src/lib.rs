@@ -18,6 +18,8 @@
 //!   (and the scripts hanging off it) against ad-network invariant
 //!   patterns to attribute the ad to the network that served it (§3.6).
 
+#![deny(missing_docs)]
+
 pub mod attribution;
 pub mod backtrack;
 pub mod milkable;

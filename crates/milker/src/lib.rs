@@ -35,6 +35,7 @@ mod merge;
 pub mod scheduler;
 mod simulate;
 pub mod sources;
+pub mod trackfeed;
 
 pub use downloads::MilkedFile;
 pub use scheduler::{DomainDiscovery, Milker, MilkingConfig, MilkingOutcome};

@@ -1,0 +1,121 @@
+//! Feed milking discoveries back into the campaign tracker.
+//!
+//! The tracker clusters `(dhash, e2LD)` screenshot points, but a
+//! [`DomainDiscovery`] records only the landing URL and time — the
+//! scheduler compares dhash bits and throws the hash away. Every render in
+//! the simulator is a pure function of `(seed, url, client, time)`, so the
+//! screenshot the milker matched can be re-derived bit for bit: load the
+//! source URL at the discovery tick with the source's UA and take the
+//! fused render-free dhash ([`QuietBrowser::screenshot_dhash`]). That
+//! keeps the tracker's visual space identical to the one the discovery
+//! clusters live in — crawl landings and milked landings cluster together
+//! exactly when their screenshots match.
+
+use std::collections::HashMap;
+
+use seacma_browser::{BrowserConfig, QuietBrowser};
+use seacma_simweb::{SimTime, Vantage, World};
+use seacma_vision::cluster::ScreenshotPoint;
+
+use crate::scheduler::MilkingOutcome;
+use crate::sources::MilkingSource;
+
+/// Re-derives one `(first_seen, ScreenshotPoint)` per discovery, in the
+/// outcome's discovery order (merge-sweep order, so `first_seen` is
+/// nondecreasing — ready to be bucketed into tracker epochs).
+///
+/// The dhash equals the one the milker compared against the source's
+/// reference at the discovery tick; the e2LD is the discovered domain.
+pub fn discovery_points(
+    world: &World,
+    sources: &[MilkingSource],
+    outcome: &MilkingOutcome,
+) -> Vec<(SimTime, ScreenshotPoint)> {
+    // One quiet browser per source: configs differ by UA, and reusing a
+    // browser keeps the probe/render caches warm across discoveries.
+    let mut browsers: HashMap<usize, QuietBrowser> = HashMap::new();
+    outcome
+        .discoveries
+        .iter()
+        .filter_map(|d| {
+            let src = &sources[d.source_idx];
+            let browser = browsers.entry(d.source_idx).or_insert_with(|| {
+                QuietBrowser::new(
+                    world,
+                    BrowserConfig::instrumented(src.ua, Vantage::Residential)
+                        .without_screenshots(),
+                )
+            });
+            // The load cannot fail at a tick where the scheduler already
+            // discovered a landing (same pure function); `ok()` is only
+            // defensive symmetry with the scheduler's own error arm.
+            let (landing_url, page) = browser.load(&src.url, d.first_seen).ok()?;
+            debug_assert_eq!(landing_url, d.landing_url, "re-derived landing diverged");
+            let dhash = browser.screenshot_dhash(&landing_url, &page, d.first_seen);
+            Some((d.first_seen, ScreenshotPoint::new(dhash, d.domain.clone())))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Milker, MilkingConfig};
+    use crate::sources::MATCH_THRESHOLD;
+    use seacma_vision::dhash::hamming;
+
+    #[test]
+    fn rederived_points_match_references_and_domains() {
+        use seacma_blacklist::{GsbService, VirusTotal};
+        use seacma_simweb::{SeCategory, SimDuration, UaProfile, WorldConfig};
+        use seacma_vision::dhash::dhash128;
+
+        let world = World::generate(WorldConfig {
+            seed: 51,
+            n_publishers: 100,
+            n_hidden_only_publishers: 0,
+            n_advertisers: 15,
+            campaign_scale: 0.4,
+            error_rate: 0.0,
+            ..Default::default()
+        });
+        let t0 = SimTime::EPOCH;
+        // Sources exactly as the pipeline builds them after clustering.
+        let sources: Vec<MilkingSource> = world
+            .campaigns()
+            .iter()
+            .filter(|c| c.tds_domain.is_some())
+            .map(|c| MilkingSource {
+                url: c.tds_url(0).unwrap(),
+                ua: if c.category == SeCategory::LotteryGift {
+                    UaProfile::ChromeAndroid
+                } else {
+                    UaProfile::ChromeMac
+                },
+                cluster: c.id.0 as usize,
+                reference: dhash128(&c.template().render(1)),
+            })
+            .collect();
+        assert!(!sources.is_empty(), "seed world must yield sources");
+        let config =
+            MilkingConfig { duration: SimDuration::from_days(2), ..Default::default() };
+        let mut gsb = GsbService::new(&world);
+        let mut vt = VirusTotal::new(1);
+        let outcome = Milker::new(&world, config).run(&sources, &mut gsb, &mut vt, t0);
+        assert!(!outcome.discoveries.is_empty(), "seed world must yield discoveries");
+
+        let points = discovery_points(&world, &sources, &outcome);
+        assert_eq!(points.len(), outcome.discoveries.len());
+        for ((t, p), d) in points.iter().zip(&outcome.discoveries) {
+            assert_eq!(*t, d.first_seen);
+            assert_eq!(p.e2ld, d.domain);
+            // The scheduler only records a discovery when the rendered
+            // screenshot matched the reference — the re-derived hash must
+            // reproduce that match.
+            let reference = sources[d.source_idx].reference;
+            assert!(hamming(p.dhash, reference) <= MATCH_THRESHOLD);
+        }
+        // Merge-sweep order ⇒ nondecreasing first_seen.
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

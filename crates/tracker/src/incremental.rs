@@ -1,0 +1,485 @@
+//! Exact incremental DBSCAN over the banded Hamming index.
+//!
+//! The batch pipeline (`seacma-vision::cluster`) re-clusters the whole
+//! corpus on every run; this module maintains DBSCAN labels *online*, one
+//! screenshot at a time, with amortized ≈2 region queries per unique point
+//! — and the labels are **byte-identical** to a batch
+//! [`cluster_screenshots`](seacma_vision::cluster::cluster_screenshots)
+//! over the same prefix, at every prefix.
+//!
+//! # Why exactness is possible
+//!
+//! DBSCAN's scan order looks load-bearing but is not. The labels produced
+//! by [`dbscan_with`](seacma_vision::dbscan::dbscan_with) have an
+//! order-independent characterization (argued in DESIGN.md §2e):
+//!
+//! 1. a point is **core** iff its radius neighbourhood (including itself)
+//!    has at least `min_pts` points;
+//! 2. clusters are the connected components of core points under radius
+//!    adjacency, and cluster ids are assigned in ascending order of each
+//!    component's **minimal core index**;
+//! 3. a non-core point with core neighbours is a **border** and joins the
+//!    adjacent cluster with the smallest id; everything else is noise.
+//!
+//! So it suffices to maintain, under insertion: per-point neighbour counts
+//! (for 1), a union-find over core points whose root is the component's
+//! minimal core index (for 2), and each point's list of core neighbours
+//! (for 3). Insertion only ever *adds* neighbours, so a point crosses the
+//! `min_pts` threshold at most once — when it does, one extra region query
+//! wires the new core into the union-find and into its neighbours' core
+//! lists. Components only merge, never split; borders can still *move* to
+//! an older cluster (and campaign domain counts can therefore shrink —
+//! θc demotion is real, see the ledger).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use seacma_util::impl_json_struct;
+use seacma_vision::cluster::{
+    assemble_clusters, ClusterParams, ScreenshotClusters, ScreenshotPoint,
+};
+use seacma_vision::dbscan::Label;
+use seacma_vision::index::HammingIndex;
+
+/// Streaming DBSCAN over `(dhash, e2LD)` screenshot points.
+///
+/// Duplicate pairs are deduplicated exactly as in the batch path: the
+/// first occurrence becomes a *unique point* (the clustering domain), and
+/// repeats only extend its original-index multiplicity.
+#[derive(Debug, Clone)]
+pub struct IncrementalClusterer {
+    params: ClusterParams,
+    index: HammingIndex,
+    points: Vec<ScreenshotPoint>,
+    /// Original (pre-dedup) indices carried by each unique point, ascending.
+    originals: Vec<Vec<u32>>,
+    /// `(dhash bits, e2LD) → unique index` dedup map.
+    pair_index: HashMap<(u128, String), u32>,
+    n_original: u32,
+    /// |N(u)| per unique point, counting `u` itself.
+    neighbor_count: Vec<u32>,
+    core: Vec<bool>,
+    /// Union-find parents over unique points; unions happen only between
+    /// core points, and roots are always the minimal index of their set.
+    parent: Vec<u32>,
+    /// Core points adjacent to each unique point. Each `(point, core)`
+    /// pair is recorded exactly once: at the point's insertion if the
+    /// neighbour is already core, or at the neighbour's core transition.
+    core_neighbors: Vec<Vec<u32>>,
+    scratch: Vec<usize>,
+    scratch2: Vec<usize>,
+}
+
+impl IncrementalClusterer {
+    /// An empty clusterer for the given parameters.
+    pub fn new(params: ClusterParams) -> Self {
+        Self {
+            params,
+            index: HammingIndex::build(&[], params.eps),
+            points: Vec::new(),
+            originals: Vec::new(),
+            pair_index: HashMap::new(),
+            n_original: 0,
+            neighbor_count: Vec::new(),
+            core: Vec::new(),
+            parent: Vec::new(),
+            core_neighbors: Vec::new(),
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+        }
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> ClusterParams {
+        self.params
+    }
+
+    /// Number of original (pre-dedup) points ingested.
+    pub fn len(&self) -> usize {
+        self.n_original as usize
+    }
+
+    /// Whether nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_original == 0
+    }
+
+    /// Number of distinct `(dhash, e2LD)` pairs seen.
+    pub fn unique_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The unique points in arrival order.
+    pub fn unique_points(&self) -> &[ScreenshotPoint] {
+        &self.points
+    }
+
+    /// Original indices carried by each unique point.
+    pub fn originals(&self) -> &[Vec<u32>] {
+        &self.originals
+    }
+
+    /// Ingests one point, updating neighbour counts, core transitions and
+    /// core-component connectivity. Amortized cost: one region query for
+    /// the new point plus one for each point it tips over the `min_pts`
+    /// threshold (each point transitions at most once, ever).
+    pub fn insert(&mut self, point: ScreenshotPoint) {
+        let orig = self.n_original;
+        self.n_original += 1;
+        match self.pair_index.entry((point.dhash.0, point.e2ld.clone())) {
+            Entry::Occupied(e) => {
+                // Exact duplicate pair: multiplicity only, no new unique
+                // point — identical to the batch dedup.
+                self.originals[*e.get() as usize].push(orig);
+                return;
+            }
+            Entry::Vacant(e) => {
+                e.insert(self.points.len() as u32);
+            }
+        }
+
+        let u = self.index.insert(point.dhash);
+        debug_assert_eq!(u, self.points.len());
+        self.points.push(point);
+        self.originals.push(vec![orig]);
+        self.neighbor_count.push(0);
+        self.core.push(false);
+        self.parent.push(u as u32);
+        self.core_neighbors.push(Vec::new());
+
+        let mut nb = std::mem::take(&mut self.scratch);
+        self.index.neighbours_into(u, &mut nb);
+        self.neighbor_count[u] = nb.len() as u32;
+
+        // Phase 1: bump neighbour counts and collect threshold crossings.
+        // A crossing happens exactly when the count *reaches* min_pts, so
+        // each point appears in `newly_core` at most once over its life.
+        let mut newly_core: Vec<u32> = Vec::new();
+        if nb.len() >= self.params.min_pts {
+            newly_core.push(u as u32);
+        }
+        for &q in nb.iter().filter(|&&q| q != u) {
+            self.neighbor_count[q] += 1;
+            if self.core[q] {
+                self.core_neighbors[u].push(q as u32);
+            } else if self.neighbor_count[q] as usize >= self.params.min_pts {
+                newly_core.push(q as u32);
+            }
+        }
+
+        // Phase 2: mark all crossings first (so mutual unions between two
+        // simultaneously-crossing cores are seen), then wire each new core
+        // into its neighbourhood with one region query.
+        for &c in &newly_core {
+            self.core[c as usize] = true;
+        }
+        let mut nb2 = std::mem::take(&mut self.scratch2);
+        for &c in &newly_core {
+            self.index.neighbours_into(c as usize, &mut nb2);
+            for &r in nb2.iter().filter(|&&r| r != c as usize) {
+                self.core_neighbors[r].push(c);
+                if self.core[r] {
+                    union(&mut self.parent, c, r as u32);
+                }
+            }
+        }
+        self.scratch = nb;
+        self.scratch2 = nb2;
+    }
+
+    /// Current DBSCAN labels over the unique points — byte-identical to
+    /// `dbscan_with` run from scratch over the same points in the same
+    /// order.
+    pub fn labels(&self) -> Vec<Label> {
+        let n = self.points.len();
+        const NOISE: u32 = u32::MAX;
+        // Component root per point (the component's minimal core index).
+        let mut comp: Vec<u32> = vec![NOISE; n];
+        for u in 0..n {
+            if self.core[u] {
+                comp[u] = find_ro(&self.parent, u as u32);
+            } else {
+                // Border rule: the smallest root among adjacent cores is
+                // the earliest-formed cluster — the one whose expansion
+                // claims the border first in the batch sweep.
+                for &q in &self.core_neighbors[u] {
+                    comp[u] = comp[u].min(find_ro(&self.parent, q));
+                }
+            }
+        }
+        // Batch cluster ids ascend with the component's minimal core
+        // index, so ranking the distinct roots reproduces them exactly.
+        let mut roots: Vec<u32> = comp.iter().copied().filter(|&r| r != NOISE).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        comp.iter()
+            .map(|&r| {
+                if r == NOISE {
+                    Label::Noise
+                } else {
+                    Label::Cluster(roots.binary_search(&r).expect("root was collected"))
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles the current clusters — structurally identical to
+    /// [`cluster_screenshots`](seacma_vision::cluster::cluster_screenshots)
+    /// over the ingested prefix.
+    pub fn clusters(&self) -> ScreenshotClusters {
+        self.assemble(&self.labels())
+    }
+
+    /// [`ScreenshotClusters`] for a precomputed label vector (avoids
+    /// re-deriving labels when the caller already holds them).
+    pub fn assemble(&self, labels: &[Label]) -> ScreenshotClusters {
+        let view: Vec<_> = self.points.iter().map(|p| (p.dhash, p.e2ld.as_str())).collect();
+        assemble_clusters(&view, &self.originals, labels, self.params.theta_c)
+    }
+
+    /// Canonical serializable snapshot. Union-find parents are fully
+    /// collapsed to their roots so the snapshot is a pure function of the
+    /// ingested sequence, independent of interior path-compression state.
+    pub fn to_state(&self) -> ClustererState {
+        let parent: Vec<u32> =
+            (0..self.parent.len() as u32).map(|u| find_ro(&self.parent, u)).collect();
+        ClustererState {
+            params: self.params,
+            points: self.points.clone(),
+            originals: self.originals.clone(),
+            n_original: self.n_original,
+            neighbor_count: self.neighbor_count.clone(),
+            core: self.core.clone(),
+            parent,
+            core_neighbors: self.core_neighbors.clone(),
+        }
+    }
+
+    /// Rebuilds a clusterer from a snapshot. The Hamming index and dedup
+    /// map are reconstructed from the stored points (index construction is
+    /// deterministic and equals repeated insertion), so resuming is
+    /// byte-identical to never having snapshotted.
+    pub fn from_state(state: ClustererState) -> Self {
+        let hashes: Vec<_> = state.points.iter().map(|p| p.dhash).collect();
+        let index = HammingIndex::build(&hashes, state.params.eps);
+        let pair_index = state
+            .points
+            .iter()
+            .enumerate()
+            .map(|(u, p)| ((p.dhash.0, p.e2ld.clone()), u as u32))
+            .collect();
+        Self {
+            params: state.params,
+            index,
+            points: state.points,
+            originals: state.originals,
+            pair_index,
+            n_original: state.n_original,
+            neighbor_count: state.neighbor_count,
+            core: state.core,
+            parent: state.parent,
+            core_neighbors: state.core_neighbors,
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+        }
+    }
+}
+
+/// Serializable snapshot of an [`IncrementalClusterer`] (see
+/// [`IncrementalClusterer::to_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClustererState {
+    /// Clustering parameters.
+    pub params: ClusterParams,
+    /// Unique points in arrival order.
+    pub points: Vec<ScreenshotPoint>,
+    /// Original indices per unique point.
+    pub originals: Vec<Vec<u32>>,
+    /// Total original points ingested.
+    pub n_original: u32,
+    /// Neighbourhood sizes per unique point.
+    pub neighbor_count: Vec<u32>,
+    /// Core flags per unique point.
+    pub core: Vec<bool>,
+    /// Canonicalized union-find parents (`parent[u]` = component root).
+    pub parent: Vec<u32>,
+    /// Core neighbours per unique point, in recording order.
+    pub core_neighbors: Vec<Vec<u32>>,
+}
+
+impl_json_struct!(ClustererState {
+    params,
+    points,
+    originals,
+    n_original,
+    neighbor_count,
+    core,
+    parent,
+    core_neighbors
+});
+
+/// Root of `x` without path compression — usable through `&self`.
+/// Compression is cosmetic here: unions always hang the larger root under
+/// the smaller, so chains stay short and every observable value is the
+/// root itself.
+fn find_ro(parent: &[u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// Root of `x` with path halving.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let p = parent[x as usize];
+        parent[x as usize] = parent[p as usize];
+        x = parent[p as usize];
+    }
+    x
+}
+
+/// Union by minimal root: the surviving root is the smaller index, which
+/// keeps the invariant that a set's root is its minimal element.
+fn union(parent: &mut [u32], a: u32, b: u32) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra == rb {
+        return;
+    }
+    let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+    parent[hi as usize] = lo;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_util::prop::Rng;
+    use seacma_vision::cluster::cluster_screenshots;
+    use seacma_vision::dhash::Dhash;
+
+    fn mixed_corpus(seed: u64, n: usize) -> Vec<ScreenshotPoint> {
+        let mut rng = Rng::new(seed);
+        let centers: Vec<u128> = (0..4).map(|_| rng.u128()).collect();
+        (0..n)
+            .map(|i| {
+                if rng.f64() < 0.75 {
+                    let c = rng.below(centers.len() as u64) as usize;
+                    let flips = rng.below(4);
+                    let mut h = centers[c];
+                    for _ in 0..flips {
+                        h ^= 1u128 << rng.below(128);
+                    }
+                    ScreenshotPoint::new(Dhash(h), format!("c{c}d{}.xyz", i % 7))
+                } else {
+                    ScreenshotPoint::new(Dhash(rng.u128()), format!("noise{i}.com"))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_equals_batch_at_every_prefix() {
+        let pts = mixed_corpus(0x7AC4, 120);
+        let mut inc = IncrementalClusterer::new(ClusterParams::default());
+        for (i, p) in pts.iter().enumerate() {
+            inc.insert(p.clone());
+            let batch = cluster_screenshots(&pts[..=i], ClusterParams::default());
+            assert_eq!(inc.clusters(), batch, "diverged at prefix {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn duplicates_extend_multiplicity_only() {
+        let mut inc = IncrementalClusterer::new(ClusterParams::default());
+        let p = ScreenshotPoint::new(Dhash(42), "dup.com");
+        for _ in 0..5 {
+            inc.insert(p.clone());
+        }
+        assert_eq!(inc.len(), 5);
+        assert_eq!(inc.unique_len(), 1);
+        assert_eq!(inc.originals()[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(inc.clusters().noise, 5);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let params = ClusterParams { min_pts: 1, theta_c: 1, ..Default::default() };
+        let pts = mixed_corpus(0xFEED, 40);
+        let mut inc = IncrementalClusterer::new(params);
+        for p in &pts {
+            inc.insert(p.clone());
+        }
+        assert_eq!(inc.clusters(), cluster_screenshots(&pts, params));
+        assert_eq!(inc.clusters().noise, 0);
+    }
+
+    #[test]
+    fn state_roundtrip_then_continue_matches_uninterrupted() {
+        let pts = mixed_corpus(0xBEEF, 100);
+        let params = ClusterParams::default();
+        let mut whole = IncrementalClusterer::new(params);
+        let mut front = IncrementalClusterer::new(params);
+        for p in &pts[..60] {
+            whole.insert(p.clone());
+            front.insert(p.clone());
+        }
+        let mut resumed = IncrementalClusterer::from_state(front.to_state());
+        for p in &pts[60..] {
+            whole.insert(p.clone());
+            resumed.insert(p.clone());
+        }
+        assert_eq!(resumed.to_state(), whole.to_state());
+        assert_eq!(resumed.clusters(), whole.clusters());
+    }
+
+    #[test]
+    fn border_reassignment_can_shrink_a_cluster() {
+        // min_pts = 4. Cluster X around 24·(low bits); border q = 12 sits
+        // within radius of X's center only. Epoch 2 grows a second, older-
+        // indexed region around y = 0 until y becomes core — q's smallest-
+        // root adjacent cluster is now Y, so X loses q (and q's domain).
+        let params = ClusterParams { min_pts: 4, theta_c: 1, eps: 0.1 };
+        let y = 0u128;
+        let q = (1u128 << 12) - 1; // 12 bits: within radius of y and x
+        let x = (1u128 << 24) - 1; // 24 low bits: 12 from q, 24 from y
+
+        let mut pts = vec![
+            ScreenshotPoint::new(Dhash(y), "y0.com"),
+            ScreenshotPoint::new(Dhash(q), "q.com"),
+            ScreenshotPoint::new(Dhash(x), "x0.com"),
+        ];
+        // Make x core: three high-bit near-duplicates (far from q and y).
+        for i in 0..3 {
+            pts.push(ScreenshotPoint::new(Dhash(x ^ (1u128 << (100 + i))), format!("x{}.com", i + 1)));
+        }
+        let mut inc = IncrementalClusterer::new(params);
+        for p in &pts {
+            inc.insert(p.clone());
+        }
+        let before = inc.clusters();
+        assert_eq!(before.total_clusters(), 1);
+        assert!(before.campaigns[0].domains.contains("q.com"), "q starts as X's border");
+
+        // Epoch 2: make y core.
+        let epoch2: Vec<ScreenshotPoint> = (0..3)
+            .map(|i| ScreenshotPoint::new(Dhash(y ^ (1u128 << (100 + i))), format!("y{}.com", i + 1)))
+            .collect();
+        for p in &epoch2 {
+            inc.insert(p.clone());
+        }
+        let after = inc.clusters();
+        assert_eq!(after.total_clusters(), 2);
+        let x_cluster = after
+            .campaigns
+            .iter()
+            .find(|c| c.domains.contains("x0.com"))
+            .expect("X survives");
+        assert!(!x_cluster.domains.contains("q.com"), "q must move to the older cluster Y");
+
+        // Exactness gate on the full construction.
+        let mut all = pts.clone();
+        all.extend(epoch2);
+        assert_eq!(after, cluster_screenshots(&all, params));
+    }
+}

@@ -1,0 +1,451 @@
+//! Campaign lifecycle ledger: stable identities and life events across
+//! epochs.
+//!
+//! The incremental clusterer answers "what are the clusters *now*"; the
+//! ledger answers "which campaign is this, and what happened to it".
+//! Cluster structure drifts as points arrive — components merge, borders
+//! migrate, domain counts cross θc in both directions — so the ledger
+//! assigns each campaign a stable numeric id at birth and re-identifies it
+//! at every epoch boundary by **member overlap**: each previously-known id
+//! votes for the current cluster holding most of its former members
+//! (ties to the lower cluster index), a cluster inherits the smallest id
+//! that chose it, and any other claimants are recorded as merged into it.
+//! Insertion-only clustering never splits a component, so the former
+//! members of an id stay together and the vote is decisive.
+//!
+//! Life state machine (see DESIGN.md §2e):
+//!
+//! ```text
+//! Born ──▶ Active ──quiet ≥ quiet_window──▶ Dormant
+//!            ▲                                │ │
+//!            └────────── grew ◀───────────────┘ └─quiet ≥ death_window─▶ Dead
+//!                                                              │
+//!                                              grew ──▶ Active (reactivated)
+//! Active/Dormant/Dead ──outvoted at re-identification──▶ Merged (terminal)
+//! ```
+
+use std::collections::BTreeMap;
+
+use seacma_util::{impl_json_enum, impl_json_struct};
+
+/// Dormancy/death thresholds, in epochs without growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerConfig {
+    /// Epochs without member growth before an `Active` campaign turns
+    /// `Dormant`.
+    pub quiet_window: u32,
+    /// Epochs without member growth before a `Dormant` campaign is
+    /// declared `Dead`. Must be ≥ `quiet_window` to be reachable.
+    pub death_window: u32,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self { quiet_window: 2, death_window: 5 }
+    }
+}
+
+/// Where a campaign is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifeState {
+    /// Growing, or quiet for less than the quiet window.
+    Active,
+    /// No growth for `quiet_window` epochs; still tracked.
+    Dormant,
+    /// No growth for `death_window` epochs. Revived by any new member.
+    Dead,
+    /// Identity absorbed by another campaign (terminal).
+    Merged,
+}
+
+/// One entry in a campaign's event journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignEvent {
+    /// First observation of the cluster.
+    Born {
+        /// Epoch of first observation.
+        epoch: u32,
+        /// Screenshot count at birth.
+        members: u32,
+        /// Distinct e2LDs at birth.
+        domains: u32,
+    },
+    /// Member count increased since the previous epoch.
+    Grew {
+        /// Epoch of the observation.
+        epoch: u32,
+        /// Members gained since the previous epoch.
+        added: u32,
+        /// Total members after growth.
+        members: u32,
+    },
+    /// A new e2LD joined the campaign — the blacklist-evasion rotation
+    /// signature the paper tracks (§5).
+    DomainRotated {
+        /// Epoch the domain first appeared.
+        epoch: u32,
+        /// The new effective second-level domain.
+        domain: String,
+    },
+    /// Domain count crossed θc upward: the cluster is now a campaign.
+    Promoted {
+        /// Epoch of the crossing.
+        epoch: u32,
+        /// Distinct e2LDs after the crossing.
+        domains: u32,
+    },
+    /// Domain count fell below θc (border points migrating to an older
+    /// cluster can remove domains — see `incremental`).
+    Demoted {
+        /// Epoch of the crossing.
+        epoch: u32,
+        /// Distinct e2LDs after the crossing.
+        domains: u32,
+    },
+    /// Quiet for `quiet_window` epochs.
+    WentDormant {
+        /// Epoch the threshold was crossed.
+        epoch: u32,
+    },
+    /// Quiet for `death_window` epochs.
+    Died {
+        /// Epoch the threshold was crossed.
+        epoch: u32,
+    },
+    /// Grew again after dormancy or death.
+    Reactivated {
+        /// Epoch growth resumed.
+        epoch: u32,
+    },
+    /// Lost the re-identification vote to a smaller id (terminal).
+    MergedInto {
+        /// Epoch of the merge.
+        epoch: u32,
+        /// The surviving campaign id.
+        into: u32,
+    },
+}
+
+/// A tracked campaign: stable id, current shape, life state and journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRecord {
+    /// Stable ledger id (index into the ledger's record table).
+    pub id: u32,
+    /// Epoch the campaign was first observed.
+    pub birth_epoch: u32,
+    /// Last epoch the member count grew.
+    pub last_growth_epoch: u32,
+    /// Screenshot count at the last observation.
+    pub members: u32,
+    /// Distinct e2LDs at the last observation, sorted.
+    pub domains: Vec<String>,
+    /// Whether the domain count meets θc.
+    pub campaign: bool,
+    /// Current life state.
+    pub state: LifeState,
+    /// Everything that ever happened to this campaign, in epoch order.
+    pub events: Vec<CampaignEvent>,
+}
+
+/// A `(campaign id, event)` pair as returned from an epoch observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEvent {
+    /// The campaign the event belongs to.
+    pub id: u32,
+    /// The event.
+    pub event: CampaignEvent,
+}
+
+/// One cluster as seen at an epoch boundary — the ledger's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedCluster {
+    /// Unique-point indices of the cluster's members, ascending.
+    pub members: Vec<u32>,
+    /// Total screenshots (original multiplicity) across members.
+    pub weight: u32,
+    /// Distinct e2LDs, sorted.
+    pub domains: Vec<String>,
+}
+
+/// The campaign lifecycle ledger. Serializable with `seacma-util` JSON;
+/// see [`CampaignTracker`](crate::tracker::CampaignTracker) for the
+/// snapshot/resume entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignLedger {
+    config: LedgerConfig,
+    /// All campaigns ever observed; `records[i].id == i`, never removed.
+    records: Vec<CampaignRecord>,
+    /// Ledger id each unique point belonged to at the last observation.
+    assign: Vec<Option<u32>>,
+}
+
+impl CampaignLedger {
+    /// An empty ledger.
+    pub fn new(config: LedgerConfig) -> Self {
+        Self { config, records: Vec::new(), assign: Vec::new() }
+    }
+
+    /// The dormancy thresholds.
+    pub fn config(&self) -> LedgerConfig {
+        self.config
+    }
+
+    /// Every campaign ever observed, in id order.
+    pub fn records(&self) -> &[CampaignRecord] {
+        &self.records
+    }
+
+    /// The record for ledger id `id`.
+    pub fn record(&self, id: u32) -> &CampaignRecord {
+        &self.records[id as usize]
+    }
+
+    /// Records with θc-qualifying domain counts that are not merged away.
+    pub fn campaigns(&self) -> impl Iterator<Item = &CampaignRecord> {
+        self.records.iter().filter(|r| r.campaign && r.state != LifeState::Merged)
+    }
+
+    /// Closes an epoch: re-identifies `clusters` against the previous
+    /// observation, journals every life event, and returns the events in
+    /// deterministic order (cluster index order, merges before updates).
+    ///
+    /// `n_unique` is the clusterer's current unique-point count (members
+    /// index into it); `theta_c` the campaign domain threshold.
+    pub fn observe(
+        &mut self,
+        epoch: u32,
+        clusters: &[ObservedCluster],
+        n_unique: usize,
+        theta_c: usize,
+    ) -> Vec<LedgerEvent> {
+        // Vote: each previously-known id backs the current cluster holding
+        // most of its former members (ties to the lower cluster index).
+        let mut votes: BTreeMap<u32, BTreeMap<usize, u32>> = BTreeMap::new();
+        for (ci, c) in clusters.iter().enumerate() {
+            for &u in &c.members {
+                if let Some(p) = self.assign.get(u as usize).copied().flatten() {
+                    *votes.entry(p).or_default().entry(ci).or_default() += 1;
+                }
+            }
+        }
+        // Claimant ids per cluster, ascending (BTreeMap iteration order).
+        let mut claimants: Vec<Vec<u32>> = vec![Vec::new(); clusters.len()];
+        for (&p, per_cluster) in &votes {
+            let (&best_ci, _) = per_cluster
+                .iter()
+                .max_by_key(|&(&ci, &v)| (v, std::cmp::Reverse(ci)))
+                .expect("id voted, so it has at least one cluster");
+            claimants[best_ci].push(p);
+        }
+
+        let mut events: Vec<LedgerEvent> = Vec::new();
+        let mut new_assign: Vec<Option<u32>> = vec![None; n_unique];
+        for (ci, c) in clusters.iter().enumerate() {
+            let id = match claimants[ci].first().copied() {
+                Some(keep) => {
+                    for &gone in &claimants[ci][1..] {
+                        let ev = CampaignEvent::MergedInto { epoch, into: keep };
+                        let rec = &mut self.records[gone as usize];
+                        rec.state = LifeState::Merged;
+                        rec.events.push(ev.clone());
+                        events.push(LedgerEvent { id: gone, event: ev });
+                    }
+                    keep
+                }
+                None => {
+                    // Never-seen members only: a birth.
+                    let id = self.records.len() as u32;
+                    let ev = CampaignEvent::Born {
+                        epoch,
+                        members: c.weight,
+                        domains: c.domains.len() as u32,
+                    };
+                    self.records.push(CampaignRecord {
+                        id,
+                        birth_epoch: epoch,
+                        last_growth_epoch: epoch,
+                        members: c.weight,
+                        domains: c.domains.clone(),
+                        campaign: c.domains.len() >= theta_c,
+                        state: LifeState::Active,
+                        events: vec![ev.clone()],
+                    });
+                    events.push(LedgerEvent { id, event: ev });
+                    for &u in &c.members {
+                        new_assign[u as usize] = Some(id);
+                    }
+                    continue;
+                }
+            };
+
+            let mut emitted: Vec<CampaignEvent> = Vec::new();
+            let rec = &mut self.records[id as usize];
+            for d in &c.domains {
+                if rec.domains.binary_search(d).is_err() {
+                    emitted.push(CampaignEvent::DomainRotated { epoch, domain: d.clone() });
+                }
+            }
+            let qualifies = c.domains.len() >= theta_c;
+            if qualifies && !rec.campaign {
+                emitted.push(CampaignEvent::Promoted { epoch, domains: c.domains.len() as u32 });
+            } else if !qualifies && rec.campaign {
+                emitted.push(CampaignEvent::Demoted { epoch, domains: c.domains.len() as u32 });
+            }
+            if c.weight > rec.members {
+                emitted.push(CampaignEvent::Grew {
+                    epoch,
+                    added: c.weight - rec.members,
+                    members: c.weight,
+                });
+                if rec.state != LifeState::Active {
+                    emitted.push(CampaignEvent::Reactivated { epoch });
+                    rec.state = LifeState::Active;
+                }
+                rec.last_growth_epoch = epoch;
+            } else {
+                let quiet = epoch - rec.last_growth_epoch;
+                match rec.state {
+                    LifeState::Active if quiet >= self.config.quiet_window => {
+                        emitted.push(CampaignEvent::WentDormant { epoch });
+                        rec.state = LifeState::Dormant;
+                    }
+                    LifeState::Dormant if quiet >= self.config.death_window => {
+                        emitted.push(CampaignEvent::Died { epoch });
+                        rec.state = LifeState::Dead;
+                    }
+                    _ => {}
+                }
+            }
+            rec.members = c.weight;
+            rec.domains = c.domains.clone();
+            rec.campaign = qualifies;
+            for ev in emitted {
+                rec.events.push(ev.clone());
+                events.push(LedgerEvent { id, event: ev });
+            }
+            for &u in &c.members {
+                new_assign[u as usize] = Some(id);
+            }
+        }
+        self.assign = new_assign;
+        events
+    }
+}
+
+impl_json_struct!(LedgerConfig { quiet_window, death_window });
+impl_json_enum!(LifeState { Active, Dormant, Dead, Merged, });
+impl_json_enum!(CampaignEvent {
+    Born { epoch: u32, members: u32, domains: u32 },
+    Grew { epoch: u32, added: u32, members: u32 },
+    DomainRotated { epoch: u32, domain: String },
+    Promoted { epoch: u32, domains: u32 },
+    Demoted { epoch: u32, domains: u32 },
+    WentDormant { epoch: u32 },
+    Died { epoch: u32 },
+    Reactivated { epoch: u32 },
+    MergedInto { epoch: u32, into: u32 },
+});
+impl_json_struct!(CampaignRecord {
+    id,
+    birth_epoch,
+    last_growth_epoch,
+    members,
+    domains,
+    campaign,
+    state,
+    events
+});
+impl_json_struct!(LedgerEvent { id, event });
+impl_json_struct!(ObservedCluster { members, weight, domains });
+impl_json_struct!(CampaignLedger { config, records, assign });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(members: &[u32], weight: u32, domains: &[&str]) -> ObservedCluster {
+        ObservedCluster {
+            members: members.to_vec(),
+            weight,
+            domains: domains.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn birth_growth_rotation_promotion() {
+        let mut ledger = CampaignLedger::new(LedgerConfig::default());
+        let ev = ledger.observe(0, &[obs(&[0, 1], 3, &["a.com", "b.com"])], 2, 3);
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0].event, CampaignEvent::Born { members: 3, domains: 2, .. }));
+        assert!(!ledger.record(0).campaign);
+
+        // Epoch 1: grows, rotates in a third domain, crosses θc = 3.
+        let ev = ledger.observe(1, &[obs(&[0, 1, 2], 5, &["a.com", "b.com", "c.com"])], 3, 3);
+        let kinds: Vec<_> = ev.iter().map(|e| &e.event).collect();
+        assert!(kinds.iter().any(|e| matches!(e, CampaignEvent::DomainRotated { domain, .. } if domain == "c.com")));
+        assert!(kinds.iter().any(|e| matches!(e, CampaignEvent::Promoted { domains: 3, .. })));
+        assert!(kinds.iter().any(|e| matches!(e, CampaignEvent::Grew { added: 2, members: 5, .. })));
+        assert!(ledger.record(0).campaign);
+        assert_eq!(ledger.campaigns().count(), 1);
+    }
+
+    #[test]
+    fn dormancy_death_and_reactivation() {
+        let config = LedgerConfig { quiet_window: 2, death_window: 4 };
+        let mut ledger = CampaignLedger::new(config);
+        let c = obs(&[0], 2, &["a.com"]);
+        ledger.observe(0, std::slice::from_ref(&c), 1, 1);
+        assert_eq!(ledger.record(0).state, LifeState::Active);
+        ledger.observe(1, std::slice::from_ref(&c), 1, 1);
+        assert_eq!(ledger.record(0).state, LifeState::Active, "quiet 1 < window 2");
+        let ev = ledger.observe(2, std::slice::from_ref(&c), 1, 1);
+        assert!(matches!(ev[0].event, CampaignEvent::WentDormant { epoch: 2 }));
+        ledger.observe(3, std::slice::from_ref(&c), 1, 1);
+        let ev = ledger.observe(4, std::slice::from_ref(&c), 1, 1);
+        assert!(matches!(ev[0].event, CampaignEvent::Died { epoch: 4 }));
+        assert_eq!(ledger.record(0).state, LifeState::Dead);
+
+        let ev = ledger.observe(5, &[obs(&[0, 1], 3, &["a.com"])], 2, 1);
+        assert!(ev.iter().any(|e| matches!(e.event, CampaignEvent::Reactivated { epoch: 5 })));
+        assert_eq!(ledger.record(0).state, LifeState::Active);
+    }
+
+    #[test]
+    fn merge_keeps_smallest_id() {
+        let mut ledger = CampaignLedger::new(LedgerConfig::default());
+        // Two separate campaigns...
+        ledger.observe(0, &[obs(&[0, 1], 2, &["a.com"]), obs(&[2, 3], 2, &["b.com"])], 4, 1);
+        assert_eq!(ledger.records().len(), 2);
+        // ...that fuse into one cluster at epoch 1.
+        let ev = ledger.observe(1, &[obs(&[0, 1, 2, 3, 4], 5, &["a.com", "b.com"])], 5, 1);
+        assert!(ev
+            .iter()
+            .any(|e| e.id == 1 && matches!(e.event, CampaignEvent::MergedInto { into: 0, .. })));
+        assert_eq!(ledger.record(1).state, LifeState::Merged);
+        assert_eq!(ledger.record(0).members, 5);
+        assert_eq!(ledger.campaigns().count(), 1);
+    }
+
+    #[test]
+    fn demotion_when_domains_fall_below_theta() {
+        let mut ledger = CampaignLedger::new(LedgerConfig::default());
+        ledger.observe(0, &[obs(&[0, 1, 2], 3, &["a.com", "b.com", "c.com"])], 3, 3);
+        assert!(ledger.record(0).campaign);
+        // A border domain migrated away: down to 2 domains.
+        let ev = ledger.observe(1, &[obs(&[0, 1], 2, &["a.com", "b.com"])], 3, 3);
+        assert!(ev.iter().any(|e| matches!(e.event, CampaignEvent::Demoted { domains: 2, .. })));
+        assert!(!ledger.record(0).campaign);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        use seacma_util::json;
+        let mut ledger = CampaignLedger::new(LedgerConfig::default());
+        ledger.observe(0, &[obs(&[0, 1], 3, &["a.com", "b.com"])], 2, 2);
+        ledger.observe(1, &[obs(&[0, 1, 2], 4, &["a.com", "b.com", "c.com"])], 3, 2);
+        let text = json::to_string(&ledger);
+        let back: CampaignLedger = json::from_str(&text).expect("ledger parses");
+        assert_eq!(back, ledger);
+        assert_eq!(json::to_string(&back), text, "re-serialization is byte-identical");
+    }
+}

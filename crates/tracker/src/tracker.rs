@@ -1,0 +1,291 @@
+//! The epoch-driven campaign tracker: streaming clusterer + lifecycle
+//! ledger behind one ingest/end-epoch API, with byte-identical
+//! snapshot/resume.
+
+use std::collections::BTreeSet;
+
+use seacma_util::json::{self, JsonError};
+use seacma_util::impl_json_struct;
+use seacma_vision::cluster::{ClusterParams, ScreenshotClusters, ScreenshotPoint};
+use seacma_vision::dbscan::Label;
+
+use crate::incremental::{ClustererState, IncrementalClusterer};
+use crate::ledger::{CampaignLedger, LedgerConfig, LedgerEvent, ObservedCluster};
+
+/// Tracker parameters: the clustering knobs (shared with the batch
+/// pipeline — exactness requires identical values) plus the ledger's
+/// dormancy windows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrackerConfig {
+    /// DBSCAN + θc parameters, as in the batch clustering step.
+    pub params: ClusterParams,
+    /// Dormancy/death thresholds.
+    pub ledger: LedgerConfig,
+}
+
+/// What one closed epoch looked like: the live cluster snapshot plus the
+/// ledger events the observation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSummary {
+    /// The epoch index (0-based, assigned in close order).
+    pub epoch: u32,
+    /// Points ingested during the epoch.
+    pub ingested: u32,
+    /// Cluster snapshot at the boundary — byte-identical to batch
+    /// `cluster_screenshots` over everything ingested so far.
+    pub clusters: ScreenshotClusters,
+    /// Lifecycle events journaled at the boundary.
+    pub events: Vec<LedgerEvent>,
+}
+
+/// Online campaign tracker (see the crate docs for the architecture).
+///
+/// ```
+/// use seacma_tracker::{CampaignTracker, TrackerConfig};
+/// use seacma_vision::cluster::ScreenshotPoint;
+/// use seacma_vision::dhash::Dhash;
+///
+/// let mut tracker = CampaignTracker::new(TrackerConfig::default());
+/// for i in 0..12u32 {
+///     let p = ScreenshotPoint::new(Dhash(0xFACE ^ (1 << (i % 3))), format!("evil{}.club", i % 6));
+///     tracker.ingest(p);
+/// }
+/// let summary = tracker.end_epoch();
+/// assert_eq!(summary.clusters.campaigns.len(), 1);
+/// assert_eq!(tracker.ledger().campaigns().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignTracker {
+    config: TrackerConfig,
+    clusterer: IncrementalClusterer,
+    ledger: CampaignLedger,
+    epoch: u32,
+    epoch_ingested: u32,
+}
+
+impl CampaignTracker {
+    /// A fresh tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        Self {
+            config,
+            clusterer: IncrementalClusterer::new(config.params),
+            ledger: CampaignLedger::new(config.ledger),
+            epoch: 0,
+            epoch_ingested: 0,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> TrackerConfig {
+        self.config
+    }
+
+    /// The next epoch to be closed (number of closed epochs so far).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Total points ingested since birth (including duplicates).
+    pub fn points_ingested(&self) -> usize {
+        self.clusterer.len()
+    }
+
+    /// The lifecycle ledger.
+    pub fn ledger(&self) -> &CampaignLedger {
+        &self.ledger
+    }
+
+    /// Feeds one screenshot point into the current epoch.
+    pub fn ingest(&mut self, point: ScreenshotPoint) {
+        self.clusterer.insert(point);
+        self.epoch_ingested += 1;
+    }
+
+    /// Feeds a batch of points into the current epoch.
+    pub fn ingest_all(&mut self, points: impl IntoIterator<Item = ScreenshotPoint>) {
+        for p in points {
+            self.ingest(p);
+        }
+    }
+
+    /// Closes the current epoch: derives the exact cluster snapshot,
+    /// journals lifecycle events against the previous epoch, and advances
+    /// the epoch counter.
+    pub fn end_epoch(&mut self) -> EpochSummary {
+        let labels = self.clusterer.labels();
+        let clusters = self.clusterer.assemble(&labels);
+        let observed = observed_clusters(&self.clusterer, &labels);
+        let events = self.ledger.observe(
+            self.epoch,
+            &observed,
+            self.clusterer.unique_len(),
+            self.config.params.theta_c,
+        );
+        let summary =
+            EpochSummary { epoch: self.epoch, ingested: self.epoch_ingested, clusters, events };
+        self.epoch += 1;
+        self.epoch_ingested = 0;
+        summary
+    }
+
+    /// The live cluster snapshot — byte-identical to batch
+    /// [`cluster_screenshots`](seacma_vision::cluster::cluster_screenshots)
+    /// over everything ingested so far, in ingestion order.
+    pub fn clusters(&self) -> ScreenshotClusters {
+        self.clusterer.clusters()
+    }
+
+    /// Serializes the full tracker state (clusterer + ledger + epoch
+    /// counters) to canonical JSON. Snapshots of equal trackers are
+    /// byte-identical, and [`CampaignTracker::from_json`] resumes a run
+    /// that is byte-identical to never having snapshotted.
+    pub fn to_json(&self) -> String {
+        json::to_string(&TrackerState {
+            config: self.config,
+            clusterer: self.clusterer.to_state(),
+            ledger: self.ledger.clone(),
+            epoch: self.epoch,
+            epoch_ingested: self.epoch_ingested,
+        })
+    }
+
+    /// Restores a tracker from a [`CampaignTracker::to_json`] snapshot.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let state: TrackerState = json::from_str(text)?;
+        Ok(Self {
+            config: state.config,
+            clusterer: IncrementalClusterer::from_state(state.clusterer),
+            ledger: state.ledger,
+            epoch: state.epoch,
+            epoch_ingested: state.epoch_ingested,
+        })
+    }
+}
+
+/// Groups the label vector into the ledger's observation format.
+fn observed_clusters(
+    clusterer: &IncrementalClusterer,
+    labels: &[Label],
+) -> Vec<ObservedCluster> {
+    let n_clusters = labels.iter().filter_map(|l| l.cluster_id()).max().map_or(0, |m| m + 1);
+    let mut out: Vec<ObservedCluster> = (0..n_clusters)
+        .map(|_| ObservedCluster { members: Vec::new(), weight: 0, domains: Vec::new() })
+        .collect();
+    let mut domain_sets: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); n_clusters];
+    for (u, l) in labels.iter().enumerate() {
+        if let Some(id) = l.cluster_id() {
+            out[id].members.push(u as u32);
+            out[id].weight += clusterer.originals()[u].len() as u32;
+            domain_sets[id].insert(clusterer.unique_points()[u].e2ld.as_str());
+        }
+    }
+    for (o, ds) in out.iter_mut().zip(domain_sets) {
+        o.domains = ds.into_iter().map(str::to_owned).collect();
+    }
+    out
+}
+
+/// Serialized form of [`CampaignTracker`].
+#[derive(Debug, Clone, PartialEq)]
+struct TrackerState {
+    config: TrackerConfig,
+    clusterer: ClustererState,
+    ledger: CampaignLedger,
+    epoch: u32,
+    epoch_ingested: u32,
+}
+
+impl_json_struct!(TrackerConfig { params, ledger });
+impl_json_struct!(EpochSummary { epoch, ingested, clusters, events });
+impl_json_struct!(TrackerState { config, clusterer, ledger, epoch, epoch_ingested });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{CampaignEvent, LifeState};
+    use seacma_vision::cluster::cluster_screenshots;
+    use seacma_vision::dhash::Dhash;
+
+    /// `count` near-duplicates of `base` across `n_domains` domains.
+    fn campaign_points(base: u128, count: usize, n_domains: usize, tag: &str) -> Vec<ScreenshotPoint> {
+        (0..count)
+            .map(|i| {
+                ScreenshotPoint::new(
+                    Dhash(base ^ (1u128 << (i % 3))),
+                    format!("{tag}{}.xyz", i % n_domains),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epoch_snapshots_match_batch_prefixes() {
+        let mut all: Vec<ScreenshotPoint> = Vec::new();
+        let mut tracker = CampaignTracker::new(TrackerConfig::default());
+        let epochs = [
+            campaign_points(0xAAAA_BBBB, 10, 6, "a"),
+            campaign_points(u128::MAX << 40, 8, 5, "b"),
+            campaign_points(0xAAAA_BBBB, 6, 9, "a"),
+        ];
+        for batch in epochs {
+            all.extend(batch.iter().cloned());
+            tracker.ingest_all(batch);
+            let summary = tracker.end_epoch();
+            let batch_clusters = cluster_screenshots(&all, TrackerConfig::default().params);
+            assert_eq!(summary.clusters, batch_clusters, "epoch {}", summary.epoch);
+        }
+        assert_eq!(tracker.epoch(), 3);
+        assert_eq!(tracker.points_ingested(), 24);
+    }
+
+    #[test]
+    fn lifecycle_flows_through_epochs() {
+        let config = TrackerConfig {
+            ledger: LedgerConfig { quiet_window: 1, death_window: 2 },
+            ..Default::default()
+        };
+        let mut tracker = CampaignTracker::new(config);
+        tracker.ingest_all(campaign_points(0xFACE, 12, 6, "evil"));
+        let s0 = tracker.end_epoch();
+        assert!(s0.events.iter().any(|e| matches!(e.event, CampaignEvent::Born { .. })));
+        assert_eq!(tracker.ledger().campaigns().count(), 1);
+
+        // Quiet epoch: dormancy after quiet_window = 1.
+        let s1 = tracker.end_epoch();
+        assert!(s1.events.iter().any(|e| matches!(e.event, CampaignEvent::WentDormant { .. })));
+        // Another quiet epoch: death after death_window = 2.
+        let s2 = tracker.end_epoch();
+        assert!(s2.events.iter().any(|e| matches!(e.event, CampaignEvent::Died { .. })));
+        assert_eq!(tracker.ledger().record(0).state, LifeState::Dead);
+
+        // Rotation resumes: reactivation plus DomainRotated events.
+        tracker.ingest_all(campaign_points(0xFACE, 8, 8, "evil"));
+        let s3 = tracker.end_epoch();
+        assert!(s3.events.iter().any(|e| matches!(e.event, CampaignEvent::Reactivated { .. })));
+        assert!(s3
+            .events
+            .iter()
+            .any(|e| matches!(&e.event, CampaignEvent::DomainRotated { domain, .. } if domain == "evil7.xyz")));
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical() {
+        let mut tracker = CampaignTracker::new(TrackerConfig::default());
+        tracker.ingest_all(campaign_points(0xBEEF, 9, 6, "x"));
+        tracker.end_epoch();
+        tracker.ingest_all(campaign_points(0x1234, 7, 3, "y"));
+
+        let snap = tracker.to_json();
+        let mut resumed = CampaignTracker::from_json(&snap).expect("snapshot parses");
+        assert_eq!(resumed.to_json(), snap, "round-trip is stable");
+
+        // Continue both runs identically: mid-epoch state included.
+        let tail = campaign_points(0xBEEF, 5, 9, "x");
+        tracker.ingest_all(tail.clone());
+        resumed.ingest_all(tail);
+        tracker.end_epoch();
+        resumed.end_epoch();
+        assert_eq!(resumed.to_json(), tracker.to_json());
+        assert_eq!(resumed.clusters(), tracker.clusters());
+    }
+}

@@ -83,7 +83,7 @@ impl ScreenshotCluster {
 }
 
 /// Result of the clustering + θc filtering step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScreenshotClusters {
     /// Clusters that span ≥ θc distinct e2LDs: candidate SEACMA campaigns.
     pub campaigns: Vec<ScreenshotCluster>,
@@ -139,16 +139,20 @@ pub fn cluster_screenshots_parallel(
     workers: usize,
 ) -> ScreenshotClusters {
     // Dedup identical (dhash, e2ld) pairs, remembering all original indices.
-    let mut uniq: Vec<(&ScreenshotPoint, Vec<usize>)> = Vec::new();
+    let mut uniq: Vec<(Dhash, &str)> = Vec::new();
+    let mut originals: Vec<Vec<u32>> = Vec::new();
     {
         let mut index: std::collections::HashMap<(&Dhash, &str), usize> =
             std::collections::HashMap::new();
         for (i, p) in points.iter().enumerate() {
             match index.entry((&p.dhash, p.e2ld.as_str())) {
-                std::collections::hash_map::Entry::Occupied(e) => uniq[*e.get()].1.push(i),
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    originals[*e.get()].push(i as u32)
+                }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(uniq.len());
-                    uniq.push((p, vec![i]));
+                    uniq.push((p.dhash, p.e2ld.as_str()));
+                    originals.push(vec![i as u32]);
                 }
             }
         }
@@ -156,7 +160,7 @@ pub fn cluster_screenshots_parallel(
 
     // Indexed region queries (exact — identical labels to the naive O(n²)
     // scan; see DESIGN.md "Hamming neighbour index").
-    let hashes: Vec<Dhash> = uniq.iter().map(|(p, _)| p.dhash).collect();
+    let hashes: Vec<Dhash> = uniq.iter().map(|&(d, _)| d).collect();
     let labels = if workers == 1 {
         let mut index = HammingIndex::build(&hashes, params.eps);
         dbscan_with(&mut index, params.min_pts)
@@ -166,13 +170,32 @@ pub fn cluster_screenshots_parallel(
         dbscan_with(&mut regions, params.min_pts)
     };
 
+    assemble_clusters(&uniq, &originals, &labels, params.theta_c)
+}
+
+/// Turns DBSCAN labels over *deduplicated* points into the final clusters
+/// structure: groups by cluster id, elects the medoid representative,
+/// maps unique points back to original indices, applies the θc filter and
+/// the deterministic (size-descending, first-member) ordering.
+///
+/// `uniq[u]` is the `u`-th distinct `(dhash, e2LD)` pair in first-occurrence
+/// order; `originals[u]` lists the original indices carrying it, ascending.
+/// Shared by the batch path above and the incremental tracker
+/// (`seacma-tracker`), so both produce structurally identical output for
+/// identical labels — the exactness gate then reduces to label equality.
+pub fn assemble_clusters(
+    uniq: &[(Dhash, &str)],
+    originals: &[Vec<u32>],
+    labels: &[Label],
+    theta_c: usize,
+) -> ScreenshotClusters {
     let n_clusters = labels.iter().filter_map(|l| l.cluster_id()).max().map_or(0, |m| m + 1);
     let mut raw: Vec<Vec<usize>> = vec![Vec::new(); n_clusters]; // unique-point indices
     let mut noise = 0usize;
     for (u, label) in labels.iter().enumerate() {
         match label {
             Label::Cluster(id) => raw[*id].push(u),
-            Label::Noise => noise += uniq[u].1.len(),
+            Label::Noise => noise += originals[u].len(),
         }
     }
 
@@ -180,7 +203,7 @@ pub fn cluster_screenshots_parallel(
     let mut filtered = Vec::new();
     for members_u in raw {
         let domains: BTreeSet<String> =
-            members_u.iter().map(|&u| uniq[u].0.e2ld.clone()).collect();
+            members_u.iter().map(|&u| uniq[u].1.to_owned()).collect();
         // Representative: medoid by total Hamming distance among unique
         // members; ties break to the lowest unique-point index, so the
         // choice is a pure function of the member set (parallel and
@@ -190,19 +213,19 @@ pub fn cluster_screenshots_parallel(
             .min_by_key(|&&a| {
                 let total: u64 = members_u
                     .iter()
-                    .map(|&b| u64::from(crate::dhash::hamming(uniq[a].0.dhash, uniq[b].0.dhash)))
+                    .map(|&b| u64::from(crate::dhash::hamming(uniq[a].0, uniq[b].0)))
                     .sum();
                 (total, a)
             })
             .expect("DBSCAN clusters are nonempty");
         let members: Vec<usize> =
-            members_u.iter().flat_map(|&u| uniq[u].1.iter().copied()).collect();
+            members_u.iter().flat_map(|&u| originals[u].iter().map(|&i| i as usize)).collect();
         let cluster = ScreenshotCluster {
-            representative: uniq[rep_u].1[0],
+            representative: originals[rep_u][0] as usize,
             members,
             domains,
         };
-        if cluster.domain_count() >= params.theta_c {
+        if cluster.domain_count() >= theta_c {
             campaigns.push(cluster);
         } else {
             filtered.push(cluster);

@@ -173,6 +173,23 @@ impl HammingIndex {
         HammingIndex { hashes: hashes.to_vec(), radius, bands }
     }
 
+    /// Appends one hash to the index and returns its point index.
+    ///
+    /// The result is identical to rebuilding the index over the extended
+    /// hash list: new indices are strictly larger than every existing one,
+    /// so pushing onto the end of each band bucket preserves the ascending
+    /// order [`HammingIndex::neighbours_into`] relies on. This is the
+    /// primitive the incremental tracker's streaming DBSCAN is built on —
+    /// O(B) bucket pushes per point instead of an O(n·B) rebuild.
+    pub fn insert(&mut self, h: Dhash) -> usize {
+        let i = self.hashes.len();
+        self.hashes.push(h);
+        for band in &mut self.bands {
+            band.buckets.entry(band.value_of(h)).or_default().push(i as u32);
+        }
+        i
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.hashes.len()
@@ -390,6 +407,36 @@ mod tests {
         let mut out = Vec::new();
         one.neighbours_into(0, &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn insert_matches_rebuild() {
+        use seacma_util::prop::Rng;
+        let mut rng = Rng::new(0x1A5E);
+        let base = rng.u128();
+        // Noise plus a planted near-duplicate cluster, arriving one by one.
+        let hashes: Vec<Dhash> = (0..80)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Dhash(base ^ (1u128 << (i % 9)))
+                } else {
+                    Dhash(rng.u128())
+                }
+            })
+            .collect();
+        for eps in [0.0, 0.1, 1.0] {
+            let mut grown = HammingIndex::build(&[], eps);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for n in 0..hashes.len() {
+                assert_eq!(grown.insert(hashes[n]), n);
+                let rebuilt = HammingIndex::build(&hashes[..=n], eps);
+                for p in 0..=n {
+                    grown.neighbours_into(p, &mut a);
+                    rebuilt.neighbours_into(p, &mut b);
+                    assert_eq!(a, b, "insert diverged from rebuild at n={n} p={p} eps={eps}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,13 +6,14 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
-# Smoke the clustering scaling bench (naive vs indexed vs parallel): the
-# binary asserts all three region-query paths produce identical DBSCAN
-# labels before running each bench body once, so an index regression
-# fails tier-1 offline.
-cargo run --release --offline -p seacma-bench --bin cluster_scaling -- --quick
-# Smoke the milking scaling bench: the binary asserts the two-phase
-# simulate/merge scheduler reproduces the sequential MilkingOutcome byte
-# for byte at 1, 2 and 8 workers before running each bench body once, so
-# a determinism regression in the parallel milker fails tier-1 offline.
-cargo run --release --offline -p seacma-bench --bin milking_scaling -- --quick
+# Smoke the scaling benches. Each binary runs an exactness gate before
+# its bench bodies, so a correctness regression fails tier-1 offline:
+#   cluster_scaling — naive, indexed and parallel region-query paths
+#     produce identical DBSCAN labels;
+#   milking_scaling — the two-phase simulate/merge scheduler reproduces
+#     the sequential MilkingOutcome byte for byte at 1, 2 and 8 workers;
+#   tracker_scaling — the incremental tracker snapshot equals batch
+#     cluster_screenshots over the same prefix at every epoch boundary.
+for bench in cluster_scaling milking_scaling tracker_scaling; do
+    cargo run --release --offline -p seacma-bench --bin "$bench" -- --quick
+done
