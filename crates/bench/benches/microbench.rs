@@ -115,6 +115,7 @@ fn bench_crawl(c: &mut Bench) {
                 cfg,
                 SimTime((i as u64) * 2),
                 CrawlPolicy::default(),
+                None,
             )
         })
     });

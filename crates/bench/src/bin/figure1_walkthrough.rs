@@ -65,6 +65,7 @@ fn main() {
     }
     println!("\nASCII screenshot of the last landing:");
     if let Ok(l) = session.navigate(&publisher.url()) {
-        println!("{}", l.screenshot.to_ascii(64));
+        let bm = l.screenshot.bitmap().expect("instrumented sessions render screenshots");
+        println!("{}", bm.to_ascii(64));
     }
 }

@@ -20,12 +20,21 @@
 //!   auth-dialog storms and `onbeforeunload` traps; without it a session
 //!   wedges on tech-support-scam pages exactly as stock automation does.
 //! * Screenshots are rendered from the page's visual template with
-//!   per-instance noise, as the clustering step expects.
+//!   per-instance noise, as the clustering step expects — or, on the
+//!   crawl fast path ([`session::ScreenshotMode::Hash`]), captured as
+//!   perceptual hashes directly with no pixel buffer, through a shared
+//!   clean-render memo ([`RenderCache`]).
+
+#![deny(missing_docs)]
 
 pub mod log;
 pub mod quiet;
+pub mod render_cache;
 pub mod session;
 
 pub use log::{BrowserEvent, EventLog, NavCause};
 pub use quiet::QuietBrowser;
-pub use session::{BrowserConfig, BrowserSession, LoadedPage, NavError};
+pub use render_cache::RenderCache;
+pub use session::{
+    BrowserConfig, BrowserSession, LoadedPage, NavError, Screenshot, ScreenshotMode,
+};

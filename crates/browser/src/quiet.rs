@@ -14,26 +14,42 @@
 //! same screenshot bits) is asserted by this module's tests; the milker's
 //! thread-count-invariance suite pins it end to end.
 
-use std::collections::HashMap;
-
-use seacma_simweb::{
-    ClientProfile, HostResponse, LiteResponse, Page, SimTime, Url, VisualTemplate, World,
-};
+use seacma_simweb::{ClientProfile, HostResponse, LiteResponse, Page, SimTime, Url, World};
 use seacma_vision::bitmap::Bitmap;
 use seacma_vision::dhash::Dhash;
 
+use crate::render_cache::RenderCache;
 use crate::session::{screenshot_seed, BrowserConfig, NavError, MAX_REDIRECTS};
 
 /// A reusable, log-free browser bound to one client configuration.
 ///
 /// One instance per milking source outlives all of the source's visits:
 /// the client profile is computed once and the clean-render cache warms up
-/// on the first screenshot of each creative.
+/// on the first screenshot of each creative. Fleets that run many quiet
+/// browsers (the parallel milker, the tracker's milking feed) share one
+/// [`RenderCache`] across all of them via
+/// [`with_cache`](QuietBrowser::with_cache), so each creative's clean pass
+/// is paid once per fleet rather than once per source.
 pub struct QuietBrowser<'w> {
     world: &'w World,
     client: ClientProfile,
-    clean: HashMap<VisualTemplate, Bitmap>,
+    cache: CacheRef<'w>,
     memo: Option<ProbeMemo>,
+}
+
+/// Owned-or-borrowed clean-render memo.
+enum CacheRef<'w> {
+    Owned(RenderCache),
+    Shared(&'w RenderCache),
+}
+
+impl CacheRef<'_> {
+    fn get(&self) -> &RenderCache {
+        match self {
+            CacheRef::Owned(c) => c,
+            CacheRef::Shared(c) => c,
+        }
+    }
 }
 
 /// A cached probe result: the landing of `start`, valid on `[from, until)`
@@ -47,9 +63,21 @@ struct ProbeMemo {
 }
 
 impl<'w> QuietBrowser<'w> {
-    /// Builds a quiet browser with the given instrumentation config.
+    /// Builds a quiet browser with the given instrumentation config and a
+    /// private clean-render cache.
     pub fn new(world: &'w World, config: BrowserConfig) -> Self {
-        Self { world, client: config.client(), clean: HashMap::new(), memo: None }
+        Self {
+            world,
+            client: config.client(),
+            cache: CacheRef::Owned(RenderCache::new()),
+            memo: None,
+        }
+    }
+
+    /// Builds a quiet browser whose renders and hashes go through a
+    /// shared [`RenderCache`] (bit-identical to the private-cache paths).
+    pub fn with_cache(world: &'w World, config: BrowserConfig, cache: &'w RenderCache) -> Self {
+        Self { world, client: config.client(), cache: CacheRef::Shared(cache), memo: None }
     }
 
     /// The client profile pages observe.
@@ -135,10 +163,8 @@ impl<'w> QuietBrowser<'w> {
     /// at clock `t`, reusing the cached clean render of the page's
     /// template (`render == render_from_clean ∘ render_clean` is asserted
     /// in seacma-simweb).
-    pub fn render_screenshot(&mut self, url: &Url, page: &Page, t: SimTime) -> Bitmap {
-        let clean =
-            self.clean.entry(page.visual).or_insert_with(|| page.visual.render_clean());
-        VisualTemplate::render_from_clean(clean, screenshot_seed(self.world, url, t))
+    pub fn render_screenshot(&self, url: &Url, page: &Page, t: SimTime) -> Bitmap {
+        self.cache.get().render(page.visual, screenshot_seed(self.world, url, t))
     }
 
     /// The perceptual hash [`render_screenshot`](Self::render_screenshot)'s
@@ -147,10 +173,8 @@ impl<'w> QuietBrowser<'w> {
     /// cached clean render (`VisualTemplate::dhash_from_clean`). This is
     /// all the milker's match check needs — it compares hashes, never
     /// pixels.
-    pub fn screenshot_dhash(&mut self, url: &Url, page: &Page, t: SimTime) -> Dhash {
-        let clean =
-            self.clean.entry(page.visual).or_insert_with(|| page.visual.render_clean());
-        VisualTemplate::dhash_from_clean(clean, screenshot_seed(self.world, url, t))
+    pub fn screenshot_dhash(&self, url: &Url, page: &Page, t: SimTime) -> Dhash {
+        self.cache.get().dhash(page.visual, screenshot_seed(self.world, url, t))
     }
 }
 
@@ -252,7 +276,7 @@ mod tests {
         let w = world();
         let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
             .without_screenshots();
-        let mut quiet = QuietBrowser::new(&w, cfg);
+        let quiet = QuietBrowser::new(&w, cfg);
         let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
         let url = c.tds_url(0).unwrap();
         for t in [SimTime(0), SimTime(29), SimTime(30), SimTime(60 * 24)] {
@@ -268,6 +292,32 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_browsers_match_private_cache_browsers() {
+        // A fleet sharing one RenderCache (the parallel milker's shape)
+        // must produce the same pixels and hash bits as browsers that each
+        // own their cache.
+        let w = world();
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .without_screenshots();
+        let cache = crate::RenderCache::new();
+        let shared_a = QuietBrowser::with_cache(&w, cfg, &cache);
+        let shared_b = QuietBrowser::with_cache(&w, cfg, &cache);
+        let private = QuietBrowser::new(&w, cfg);
+        for url in w.campaigns().iter().filter_map(|c| c.tds_url(0)).take(6) {
+            for t in [SimTime(0), SimTime(60 * 24)] {
+                if let Ok((fu, page)) = private.load(&url, t) {
+                    let want = private.render_screenshot(&fu, &page, t);
+                    assert_eq!(shared_a.render_screenshot(&fu, &page, t), want);
+                    assert_eq!(
+                        shared_b.screenshot_dhash(&fu, &page, t),
+                        seacma_vision::dhash::dhash128(&want)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn screenshot_dhash_equals_hash_of_rendered_screenshot() {
         // The render-free hash path must produce exactly the bits the
         // milker would get by rendering and hashing — across campaign
@@ -275,7 +325,7 @@ mod tests {
         let w = world();
         let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
             .without_screenshots();
-        let mut quiet = QuietBrowser::new(&w, cfg);
+        let quiet = QuietBrowser::new(&w, cfg);
         let mut urls: Vec<Url> = w.campaigns().iter().filter_map(|c| c.tds_url(0)).take(8).collect();
         urls.extend(w.publishers().iter().take(4).map(|p| p.url()));
         for t in [SimTime(0), SimTime(31), SimTime(60 * 24 * 5)] {

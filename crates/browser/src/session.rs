@@ -11,15 +11,33 @@ use seacma_util::impl_json_struct;
 use seacma_simweb::{
     det::{det_hash, str_word},
     ClientProfile, ClickAction, HostResponse, LockTactic, Page, RedirectKind, SimDuration,
-    SimTime, UaProfile, Url, Vantage, World,
+    SimTime, UaProfile, Url, Vantage, VisualTemplate, World,
 };
 use seacma_vision::bitmap::Bitmap;
+use seacma_vision::dhash::{dhash128, Dhash};
 
 use crate::log::{BrowserEvent, EventLog, NavCause};
+use crate::render_cache::RenderCache;
 
 /// Maximum redirect hops followed per navigation (matches browser
 /// behaviour; the simulated chains are ≤ 4 hops).
 pub const MAX_REDIRECTS: usize = 12;
+
+/// What the session captures of each loaded page's appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenshotMode {
+    /// Capture nothing per load (on-demand rendering stays available
+    /// through [`BrowserSession::render_screenshot`]). High-frequency
+    /// milking sessions run here.
+    Off,
+    /// Capture only the perceptual hash, through the fused noise+downsample
+    /// pass — no pixel buffer is ever materialized. The crawl farm runs
+    /// here: everything downstream of a crawl consumes dhashes, not pixels.
+    Hash,
+    /// Render the full pixel buffer per load (the paper's instrumented
+    /// Chromium behaviour; required by dataset exports that write PGMs).
+    Full,
+}
 
 /// Browser instrumentation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,28 +53,33 @@ pub struct BrowserConfig {
     /// storms, `onbeforeunload`). Without it the session wedges on
     /// aggressive SE pages.
     pub bypass_locks: bool,
-    /// Render a screenshot on every page load. High-frequency milking
-    /// sessions disable this and render on demand only for never-seen
-    /// domains.
-    pub capture_screenshots: bool,
+    /// Per-load screenshot capture policy.
+    pub screenshots: ScreenshotMode,
 }
 
 impl BrowserConfig {
     /// The fully instrumented crawler configuration used in the paper's
     /// measurements.
     pub fn instrumented(ua: UaProfile, vantage: Vantage) -> Self {
-        Self { ua, vantage, stealth: true, bypass_locks: true, capture_screenshots: true }
+        Self { ua, vantage, stealth: true, bypass_locks: true, screenshots: ScreenshotMode::Full }
     }
 
     /// A stock automation tool (Selenium-like): detectable and lockable.
     pub fn stock_automation(ua: UaProfile, vantage: Vantage) -> Self {
-        Self { ua, vantage, stealth: false, bypass_locks: false, capture_screenshots: true }
+        Self { ua, vantage, stealth: false, bypass_locks: false, screenshots: ScreenshotMode::Full }
     }
 
-    /// Disables per-load screenshot rendering (on-demand rendering stays
+    /// Disables per-load screenshot capture (on-demand rendering stays
     /// available through [`BrowserSession::render_screenshot`]).
     pub fn without_screenshots(mut self) -> Self {
-        self.capture_screenshots = false;
+        self.screenshots = ScreenshotMode::Off;
+        self
+    }
+
+    /// Captures only perceptual hashes per load — the render-free crawl
+    /// fast path ([`ScreenshotMode::Hash`]).
+    pub fn hash_screenshots(mut self) -> Self {
+        self.screenshots = ScreenshotMode::Hash;
         self
     }
 
@@ -66,15 +89,72 @@ impl BrowserConfig {
     }
 }
 
-/// A successfully loaded document plus its screenshot.
+/// What a load captured of the page's appearance, per the session's
+/// [`ScreenshotMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Screenshot {
+    /// Capture was off for this load.
+    Skipped,
+    /// The hash's inputs were captured; the fused pass runs on demand.
+    /// Most loads in a crawl (publisher reloads, same-domain landings)
+    /// never have their hash read, so deferring the pass — rather than
+    /// hashing eagerly per load — is where the crawl fast path's time
+    /// goes from: only recorded landings ever pay it.
+    Deferred {
+        /// Visual template of the loaded page.
+        template: VisualTemplate,
+        /// Instance-noise seed the capture would render with.
+        seed: u64,
+    },
+    /// The full pixel buffer was rendered.
+    Rendered(Bitmap),
+}
+
+impl Screenshot {
+    /// The perceptual hash of this capture. For a `Rendered` buffer this
+    /// hashes the pixels; for `Deferred` it runs the fused noise+downsample
+    /// pass over the template's clean render — bit-identical by the
+    /// `dhash_from_clean == dhash128 ∘ render` identity. A `Skipped`
+    /// capture hashes to `Dhash(0)`, exactly what the placeholder 1×1
+    /// bitmap of the pre-mode API hashed to (constant images hash to
+    /// zero).
+    pub fn dhash(&self) -> Dhash {
+        self.dhash_via(None)
+    }
+
+    /// [`dhash`](Self::dhash), resolving a `Deferred` capture's clean
+    /// render through `cache` when one is supplied (the crawl farm passes
+    /// its crawl-wide [`RenderCache`], so each template's clean pass runs
+    /// once per crawl, not once per recorded landing).
+    pub fn dhash_via(&self, cache: Option<&RenderCache>) -> Dhash {
+        match self {
+            Screenshot::Skipped => Dhash(0),
+            Screenshot::Deferred { template, seed } => match cache {
+                Some(cache) => cache.dhash(*template, *seed),
+                None => VisualTemplate::dhash_from_clean(&template.render_clean(), *seed),
+            },
+            Screenshot::Rendered(bm) => dhash128(bm),
+        }
+    }
+
+    /// The pixel buffer, when one was rendered.
+    pub fn bitmap(&self) -> Option<&Bitmap> {
+        match self {
+            Screenshot::Rendered(bm) => Some(bm),
+            _ => None,
+        }
+    }
+}
+
+/// A successfully loaded document plus its screenshot capture.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadedPage {
     /// Final URL after all redirects.
     pub url: Url,
     /// The document.
     pub page: Page,
-    /// Rendered screenshot.
-    pub screenshot: Bitmap,
+    /// Screenshot capture, per the session's [`ScreenshotMode`].
+    pub screenshot: Screenshot,
     /// Redirect hops traversed to get here: `(from, to, kind)`.
     pub hops: Vec<(Url, Url, RedirectKind)>,
 }
@@ -135,12 +215,27 @@ pub struct BrowserSession<'w> {
     clock: SimTime,
     /// Set when a locking page wedged the (non-bypassing) session.
     locked: bool,
+    /// Shared clean-render memo, when the caller farms many sessions.
+    cache: Option<&'w RenderCache>,
 }
 
 impl<'w> BrowserSession<'w> {
     /// Opens a browser at simulated time `start`.
     pub fn new(world: &'w World, config: BrowserConfig, start: SimTime) -> Self {
-        Self { world, config, log: EventLog::new(), clock: start, locked: false }
+        Self { world, config, log: EventLog::new(), clock: start, locked: false, cache: None }
+    }
+
+    /// Opens a browser that renders and hashes screenshots through a
+    /// shared [`RenderCache`]. Captures are bit-identical to the uncached
+    /// session's — the cache only deduplicates the template-constant
+    /// clean pass across sessions and worker threads.
+    pub fn with_cache(
+        world: &'w World,
+        config: BrowserConfig,
+        start: SimTime,
+        cache: &'w RenderCache,
+    ) -> Self {
+        Self { cache: Some(cache), ..Self::new(world, config, start) }
     }
 
     /// The session's instrumentation configuration.
@@ -264,10 +359,13 @@ impl<'w> BrowserSession<'w> {
         if page.is_locking() && !self.config.bypass_locks {
             self.locked = true;
         }
-        let screenshot = if self.config.capture_screenshots {
-            self.render_screenshot(&url, &page)
-        } else {
-            Bitmap::new(1, 1)
+        let screenshot = match self.config.screenshots {
+            ScreenshotMode::Off => Screenshot::Skipped,
+            ScreenshotMode::Hash => Screenshot::Deferred {
+                template: page.visual,
+                seed: screenshot_seed(self.world, &url, self.clock),
+            },
+            ScreenshotMode::Full => Screenshot::Rendered(self.render_screenshot(&url, &page)),
         };
         LoadedPage { url, page, screenshot, hops }
     }
@@ -276,7 +374,23 @@ impl<'w> BrowserSession<'w> {
     /// (URL, time) so repeated visits to one campaign differ slightly, as
     /// real creatives do.
     pub fn render_screenshot(&self, url: &Url, page: &Page) -> Bitmap {
-        page.visual.render(screenshot_seed(self.world, url, self.clock))
+        let seed = screenshot_seed(self.world, url, self.clock);
+        match self.cache {
+            Some(cache) => cache.render(page.visual, seed),
+            None => page.visual.render(seed),
+        }
+    }
+
+    /// The perceptual hash [`render_screenshot`](Self::render_screenshot)
+    /// would hash to, computed through the fused render-free pass (no
+    /// pixel buffer). Bit-identity with render-then-hash is pinned by
+    /// `seacma-simweb`'s split-render properties.
+    pub fn hash_screenshot(&self, url: &Url, page: &Page) -> Dhash {
+        let seed = screenshot_seed(self.world, url, self.clock);
+        match self.cache {
+            Some(cache) => cache.dhash(page.visual, seed),
+            None => VisualTemplate::dhash_from_clean(&page.visual.render_clean(), seed),
+        }
     }
 
     /// Clicks an element's action (or a page-level ad listener action),
@@ -479,7 +593,7 @@ mod tests {
 
     #[test]
     fn screenshots_of_same_campaign_cluster_together() {
-        use seacma_vision::dhash::{dhash128, hamming};
+        use seacma_vision::dhash::hamming;
         let w = world();
         let client_cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
         let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
@@ -488,10 +602,42 @@ mod tests {
             let mut s = BrowserSession::new(&w, client_cfg, SimTime(k * 60));
             let tds = c.tds_url(0).unwrap();
             let loaded = s.navigate(&tds).unwrap();
-            hashes.push(dhash128(&loaded.screenshot));
+            hashes.push(loaded.screenshot.dhash());
         }
         for pair in hashes.windows(2) {
             assert!(hamming(pair[0], pair[1]) <= 12);
+        }
+    }
+
+    #[test]
+    fn screenshot_modes_agree_on_the_hash() {
+        // Off / Hash / Full captures of the same load must agree on the
+        // perceptual hash (Skipped excepted), cached or not.
+        let w = world();
+        let base = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+        let cache = crate::RenderCache::new();
+        let c = w.campaigns().iter().find(|c| c.tds_domain.is_some()).unwrap();
+        let url = c.tds_url(0).unwrap();
+        for t in [SimTime(0), SimTime(45)] {
+            let full = BrowserSession::new(&w, base, t).navigate(&url).unwrap();
+            let hash = BrowserSession::new(&w, base.hash_screenshots(), t)
+                .navigate(&url)
+                .unwrap();
+            let cached = BrowserSession::with_cache(&w, base.hash_screenshots(), t, &cache)
+                .navigate(&url)
+                .unwrap();
+            let cached_full = BrowserSession::with_cache(&w, base, t, &cache)
+                .navigate(&url)
+                .unwrap();
+            assert!(matches!(hash.screenshot, Screenshot::Deferred { .. }));
+            assert_eq!(full.screenshot.dhash(), hash.screenshot.dhash());
+            assert_eq!(full.screenshot.dhash(), cached.screenshot.dhash());
+            assert_eq!(full.screenshot, cached_full.screenshot, "cached render must be exact");
+            let off = BrowserSession::new(&w, base.without_screenshots(), t)
+                .navigate(&url)
+                .unwrap();
+            assert_eq!(off.screenshot, Screenshot::Skipped);
+            assert_eq!(off.screenshot.bitmap(), None);
         }
     }
 
@@ -508,4 +654,5 @@ mod tests {
         assert_eq!(s.now(), SimTime(102));
     }
 }
-impl_json_struct!(BrowserConfig { ua, vantage, stealth, bypass_locks, capture_screenshots });
+seacma_util::impl_json_enum!(ScreenshotMode { Off, Hash, Full });
+impl_json_struct!(BrowserConfig { ua, vantage, stealth, bypass_locks, screenshots });

@@ -1,7 +1,7 @@
 //! Behavioural tests of the browser session against adversarial worlds:
 //! failure injection, redirect depth, log integrity.
 
-use seacma_browser::{BrowserConfig, BrowserEvent, BrowserSession, NavError};
+use seacma_browser::{BrowserConfig, BrowserEvent, BrowserSession, NavError, Screenshot};
 use seacma_simweb::{SimTime, UaProfile, Url, Vantage, World, WorldConfig};
 
 fn flaky_world() -> World {
@@ -83,7 +83,7 @@ fn screenshots_disabled_sessions_render_on_demand() {
     let mut s = BrowserSession::new(&w, cfg, SimTime::EPOCH);
     let p = w.publishers().iter().find(|p| !p.stale).unwrap();
     let loaded = s.navigate(&p.url()).unwrap();
-    assert_eq!(loaded.screenshot.width(), 1, "placeholder screenshot expected");
+    assert_eq!(loaded.screenshot, Screenshot::Skipped, "no capture expected");
     let real = s.render_screenshot(&loaded.url, &loaded.page);
     assert!(real.width() > 1);
 }

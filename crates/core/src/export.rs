@@ -73,7 +73,11 @@ pub fn export_run(
         if let Ok(loaded) = session.navigate(&rep.landing_url) {
             fs::write(
                 dir.join("screenshots").join(format!("cluster{i:03}.pgm")),
-                loaded.screenshot.to_pgm(),
+                loaded
+                    .screenshot
+                    .bitmap()
+                    .expect("instrumented sessions capture full screenshots")
+                    .to_pgm(),
             )?;
             shots += 1;
         }

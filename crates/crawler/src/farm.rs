@@ -10,11 +10,10 @@
 //! may execute that schedule.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-use seacma_util::impl_json_struct;
+use seacma_util::{impl_json_struct, resolve_workers};
 
-use seacma_browser::BrowserConfig;
+use seacma_browser::{BrowserConfig, RenderCache};
 use seacma_simweb::{PublisherId, SimDuration, SimTime, UaProfile, Vantage, World};
 
 use crate::record::{CrawlDataset, SiteVisit};
@@ -69,18 +68,22 @@ pub struct CrawlFarm<'w> {
 impl<'w> CrawlFarm<'w> {
     /// Builds a farm with `workers` OS threads (0 ⇒ available parallelism).
     pub fn new(world: &'w World, workers: usize, policy: CrawlPolicy) -> Self {
-        let workers = if workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        } else {
-            workers
-        };
-        Self { world, workers, policy }
+        Self { world, workers: resolve_workers(workers), policy }
     }
 
     /// Crawls `publishers` once per UA in `uas`, from `vantage`, stealth
     /// instrumentation on. UA passes run back to back in virtual time
     /// (the paper avoids revisiting a site with the *same* UA but visits
     /// it with each different one).
+    ///
+    /// Every pass runs the render-free fast path: screenshots are
+    /// captured as fused perceptual hashes through one crawl-wide
+    /// [`RenderCache`], so each campaign/page template's clean render is
+    /// computed once per crawl instead of once per visit — and no landing
+    /// pixel buffer is ever materialized. The dataset is byte-identical
+    /// to full-render visits (it stores hashes, and the fused-hash ==
+    /// render-then-hash identity is pinned in `seacma-simweb`) and to any
+    /// other worker count.
     pub fn crawl(
         &self,
         publishers: &[PublisherId],
@@ -88,11 +91,12 @@ impl<'w> CrawlFarm<'w> {
         vantage: Vantage,
         schedule: CrawlSchedule,
     ) -> CrawlDataset {
+        let cache = RenderCache::new();
         let mut all: Vec<SiteVisit> = Vec::with_capacity(publishers.len() * uas.len());
         let mut pass_start = schedule.start;
         for &ua in uas {
             let pass_schedule = CrawlSchedule { start: pass_start, ..schedule };
-            let visits = self.crawl_pass(publishers, ua, vantage, pass_schedule);
+            let visits = self.crawl_pass(publishers, ua, vantage, pass_schedule, &cache);
             pass_start = pass_schedule.pass_end(publishers.len());
             all.extend(visits);
         }
@@ -106,40 +110,53 @@ impl<'w> CrawlFarm<'w> {
         ua: UaProfile,
         vantage: Vantage,
         schedule: CrawlSchedule,
+        cache: &RenderCache,
     ) -> Vec<SiteVisit> {
-        let config = BrowserConfig::instrumented(ua, vantage);
+        let config = BrowserConfig::instrumented(ua, vantage).hash_screenshots();
         // Job queue: the jobs are just the indices 0..n, so a shared
         // atomic counter is the whole queue — each fetch_add claims the
         // next index, no lock or channel needed.
         let next = AtomicUsize::new(0);
 
-        let results: Mutex<Vec<(usize, SiteVisit)>> =
-            Mutex::new(Vec::with_capacity(publishers.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let next = &next;
-                let results = &results;
-                let world = self.world;
-                let policy = self.policy;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= publishers.len() {
-                            break;
+        // Each worker accumulates its own (job index, visit) shard; the
+        // shards are merged by job index below. No shared funnel, no
+        // result lock, no sort — the merge is a deterministic scatter
+        // into pre-sized slots, the same simulate/merge shape as the
+        // parallel milker.
+        let shards: Vec<Vec<(usize, SiteVisit)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| {
+                    let next = &next;
+                    let world = self.world;
+                    let policy = self.policy;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= publishers.len() {
+                                break;
+                            }
+                            let p = &world.publishers()[publishers[idx].0 as usize];
+                            let t = schedule.job_time(idx);
+                            local.push((
+                                idx,
+                                visit_publisher(world, p, config, t, policy, Some(cache)),
+                            ));
                         }
-                        let p = &world.publishers()[publishers[idx].0 as usize];
-                        let t = schedule.job_time(idx);
-                        local.push((idx, visit_publisher(world, p, config, t, policy)));
-                    }
-                    results.lock().expect("results lock").extend(local);
-                });
-            }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
         });
 
-        let mut visits = results.into_inner().expect("no worker panicked");
-        visits.sort_by_key(|(idx, _)| *idx);
-        visits.into_iter().map(|(_, v)| v).collect()
+        let mut slots: Vec<Option<SiteVisit>> =
+            (0..publishers.len()).map(|_| None).collect();
+        for (idx, visit) in shards.into_iter().flatten() {
+            debug_assert!(slots[idx].is_none(), "job {idx} executed twice");
+            slots[idx] = Some(visit);
+        }
+        slots.into_iter().map(|s| s.expect("every claimed job produced a visit")).collect()
     }
 }
 

@@ -24,6 +24,8 @@
 //!   of *virtual* crawler lanes), so the dataset is identical no matter
 //!   how many OS threads execute it.
 
+#![deny(missing_docs)]
+
 pub mod farm;
 pub mod record;
 pub mod visit;

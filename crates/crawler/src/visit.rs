@@ -2,10 +2,9 @@
 
 use seacma_util::impl_json_struct;
 
-use seacma_browser::{BrowserConfig, BrowserSession, NavError};
+use seacma_browser::{BrowserConfig, BrowserSession, NavError, RenderCache};
 use seacma_graph::{milkable, BacktrackGraph};
 use seacma_simweb::{ClickAction, PublisherSite, SimDuration, SimTime, World};
-use seacma_vision::dhash::dhash128;
 
 use crate::record::{LandingRecord, SiteVisit};
 
@@ -36,12 +35,19 @@ impl Default for CrawlPolicy {
 /// page-level ad listener), record any third-party landing with its
 /// screenshot hash, involved URLs and milking candidate, then reopen the
 /// browser and reload the publisher for the next interaction.
+///
+/// `cache` optionally shares clean template renders across visits (the
+/// farm passes one cache per crawl); the visit record is byte-identical
+/// with or without it, and identical across `ScreenshotMode::Hash` and
+/// `ScreenshotMode::Full` configurations — the record stores hashes,
+/// never pixels.
 pub fn visit_publisher(
     world: &World,
     publisher: &PublisherSite,
     config: BrowserConfig,
     start: SimTime,
     policy: CrawlPolicy,
+    cache: Option<&RenderCache>,
 ) -> SiteVisit {
     let mut visit = SiteVisit {
         publisher: publisher.id,
@@ -53,7 +59,10 @@ pub fn visit_publisher(
         load_failed: false,
     };
     let deadline = start + policy.timeout;
-    let mut session = BrowserSession::new(world, config, start);
+    let mut session = match cache {
+        Some(cache) => BrowserSession::with_cache(world, config, start, cache),
+        None => BrowserSession::new(world, config, start),
+    };
     let pub_url = publisher.url();
 
     let loaded = match session.navigate(&pub_url) {
@@ -104,7 +113,7 @@ pub fn visit_publisher(
             vantage: config.vantage,
             click_ordinal: click - 1,
             landing_e2ld: landed.url.e2ld(),
-            dhash: dhash128(&landed.screenshot),
+            dhash: landed.screenshot.dhash_via(cache),
             truth_is_attack: landed.page.visual.is_attack(),
             hops: landed.hops,
             involved_urls: involved,
@@ -149,7 +158,7 @@ mod tests {
         let w = world();
         let mut total = 0;
         for p in w.publishers().iter().take(40) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default());
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None);
             assert!(!v.load_failed);
             assert!(v.clicks <= CrawlPolicy::default().max_clicks);
             for l in &v.landings {
@@ -166,7 +175,7 @@ mod tests {
         let w = world();
         let policy = CrawlPolicy { max_ads: 2, ..Default::default() };
         for p in w.publishers().iter().take(20) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, policy);
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, policy, None);
             assert!(v.landings.len() <= 2);
         }
     }
@@ -175,9 +184,32 @@ mod tests {
     fn visits_are_deterministic() {
         let w = world();
         let p = &w.publishers()[3];
-        let a = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default());
-        let b = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default());
+        let a = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None);
+        let b = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_mode_with_cache_equals_full_render_visits() {
+        // The farm's fast path (fused hashes through a shared clean-render
+        // cache) must reproduce the full-render visit records byte for
+        // byte — SiteVisit stores dhashes, never pixels, so equality here
+        // pins the whole record including landing hashes.
+        let w = world();
+        let cache = RenderCache::new();
+        for p in w.publishers().iter().take(30) {
+            let full = visit_publisher(&w, p, cfg(), SimTime(77), CrawlPolicy::default(), None);
+            let fast = visit_publisher(
+                &w,
+                p,
+                cfg().hash_screenshots(),
+                SimTime(77),
+                CrawlPolicy::default(),
+                Some(&cache),
+            );
+            assert_eq!(full, fast, "fast path diverged at {}", p.domain);
+        }
+        assert!(!cache.is_empty(), "cache must have been warmed");
     }
 
     #[test]
@@ -186,7 +218,7 @@ mod tests {
         let mut with_candidate = 0;
         let mut attacks = 0;
         for p in w.publishers().iter().take(120) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default());
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None);
             for l in &v.landings {
                 if l.truth_is_attack {
                     attacks += 1;
@@ -209,7 +241,7 @@ mod tests {
         let w = world();
         let cfg = BrowserConfig::stock_automation(UaProfile::Ie10Windows, Vantage::Residential);
         for p in w.publishers().iter().take(30) {
-            let v = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default());
+            let v = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None);
             assert!(v.clicks > 0 || v.load_failed);
         }
     }

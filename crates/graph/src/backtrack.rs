@@ -51,11 +51,18 @@ pub struct PathStep {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BacktrackGraph {
+    /// Symbol table: every distinct URL seen in the log, in first-seen
+    /// order. Edge maps below speak u32 symbols into this table, so graph
+    /// construction and traversal clone each URL string once per log
+    /// instead of once per event/step.
+    urls: Vec<Url>,
+    /// `url → symbol` lookup side of the table.
+    ids: HashMap<Url, u32>,
     /// `child → (parent, kind)`; last writer wins, which matches "the most
     /// recent cause" for URLs visited repeatedly in one session.
-    parent: HashMap<Url, (Url, EdgeKind)>,
+    parent: HashMap<u32, (u32, EdgeKind)>,
     /// `document → scripts it included`.
-    scripts: HashMap<Url, Vec<Url>>,
+    scripts: HashMap<u32, Vec<u32>>,
 }
 
 impl BacktrackGraph {
@@ -65,25 +72,45 @@ impl BacktrackGraph {
         for e in log.events() {
             match e {
                 BrowserEvent::Redirected { from, to, kind } => {
-                    g.parent.insert(to.clone(), (from.clone(), EdgeKind::Redirect(*kind)));
+                    let (f, t) = (g.intern(from), g.intern(to));
+                    g.parent.insert(t, (f, EdgeKind::Redirect(*kind)));
                 }
                 BrowserEvent::TabOpened { opener, url } => {
-                    g.parent.insert(url.clone(), (opener.clone(), EdgeKind::WindowOpen));
+                    let (o, u) = (g.intern(opener), g.intern(url));
+                    g.parent.insert(u, (o, EdgeKind::WindowOpen));
                 }
                 BrowserEvent::NavigationStart {
                     url,
                     cause: seacma_browser::NavCause::UserClick,
                     initiator: Some(init),
                 } => {
-                    g.parent.insert(url.clone(), (init.clone(), EdgeKind::UserClick));
+                    let (i, u) = (g.intern(init), g.intern(url));
+                    g.parent.insert(u, (i, EdgeKind::UserClick));
                 }
                 BrowserEvent::ScriptLoaded { page, src } => {
-                    g.scripts.entry(page.clone()).or_default().push(src.clone());
+                    let (p, s) = (g.intern(page), g.intern(src));
+                    g.scripts.entry(p).or_default().push(s);
                 }
                 _ => {}
             }
         }
         g
+    }
+
+    /// The symbol for `url`, allocating one on first sight.
+    fn intern(&mut self, url: &Url) -> u32 {
+        if let Some(&id) = self.ids.get(url) {
+            return id;
+        }
+        let id = self.urls.len() as u32;
+        self.urls.push(url.clone());
+        self.ids.insert(url.clone(), id);
+        id
+    }
+
+    /// The URL a symbol stands for.
+    fn url(&self, id: u32) -> &Url {
+        &self.urls[id as usize]
     }
 
     /// Number of nodes with a known parent.
@@ -98,41 +125,82 @@ impl BacktrackGraph {
 
     /// Direct parent of a URL, if known.
     pub fn parent_of(&self, url: &Url) -> Option<(&Url, EdgeKind)> {
-        self.parent.get(url).map(|(p, k)| (p, *k))
+        let id = self.ids.get(url)?;
+        self.parent.get(id).map(|&(p, k)| (self.url(p), k))
     }
 
-    /// Scripts included by a document.
-    pub fn scripts_of(&self, url: &Url) -> &[Url] {
-        self.scripts.get(url).map(Vec::as_slice).unwrap_or(&[])
+    /// Scripts included by a document, in inclusion order.
+    pub fn scripts_of<'g>(&'g self, url: &Url) -> impl Iterator<Item = &'g Url> + 'g {
+        self.ids
+            .get(url)
+            .and_then(|id| self.scripts.get(id))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&s| self.url(s))
+    }
+
+    /// The backward path from `start` as symbols, starting node first.
+    /// Cycles are broken by visited-set; the path is capped at 64 steps.
+    /// `start` itself is reported as `None` when it never appears in the
+    /// log (the caller clones it instead of interning into `&self`).
+    fn backtrack_ids(&self, start: &Url) -> Vec<(Option<u32>, Option<EdgeKind>)> {
+        let Some(&start_id) = self.ids.get(start) else {
+            return vec![(None, None)];
+        };
+        let mut path = vec![(Some(start_id), None)];
+        let mut cur = start_id;
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(cur);
+        while let Some(&(p, k)) = self.parent.get(&cur) {
+            if !seen.insert(p) || path.len() >= 64 {
+                break;
+            }
+            path.push((Some(p), Some(k)));
+            cur = p;
+        }
+        path
     }
 
     /// The backward path from `start` to the root (the publisher page the
     /// crawler originally visited), starting node first. Cycles are broken
     /// by visited-set; the path is capped at 64 steps.
     pub fn backtrack(&self, start: &Url) -> Vec<PathStep> {
-        let mut path = vec![PathStep { url: start.clone(), via: None }];
-        let mut cur = start.clone();
-        let mut seen = std::collections::HashSet::new();
-        seen.insert(cur.clone());
-        while let Some((p, k)) = self.parent_of(&cur) {
-            if !seen.insert(p.clone()) || path.len() >= 64 {
-                break;
-            }
-            path.push(PathStep { url: p.clone(), via: Some(k) });
-            cur = p.clone();
-        }
-        path
+        self.backtrack_ids(start)
+            .into_iter()
+            .map(|(id, via)| PathStep {
+                url: id.map(|i| self.url(i).clone()).unwrap_or_else(|| start.clone()),
+                via,
+            })
+            .collect()
     }
 
     /// Every URL involved in delivering `start`: the backward path plus all
-    /// scripts included by documents on it. This is the URL set attribution
-    /// scans (§3.6: "for each URL in the ad loading and landing page
-    /// redirection process").
+    /// scripts included by documents on it, deduplicated in first-seen
+    /// order (a script shared by several path documents — one ad-network
+    /// tag loaded on every hop — counts once). This is the URL set
+    /// attribution scans (§3.6: "for each URL in the ad loading and landing
+    /// page redirection process").
     pub fn involved_urls(&self, start: &Url) -> Vec<Url> {
         let mut out = Vec::new();
-        for step in self.backtrack(start) {
-            out.extend(self.scripts_of(&step.url).iter().cloned());
-            out.push(step.url);
+        let mut emitted = std::collections::HashSet::new();
+        let mut push = |out: &mut Vec<Url>, id: u32| {
+            if emitted.insert(id) {
+                out.push(self.url(id).clone());
+            }
+        };
+        for (id, _) in self.backtrack_ids(start) {
+            let Some(id) = id else {
+                // `start` never appeared in the log: the path is just it.
+                out.push(start.clone());
+                continue;
+            };
+            if let Some(scripts) = self.scripts.get(&id) {
+                for &s in scripts {
+                    push(&mut out, s);
+                }
+            }
+            push(&mut out, id);
         }
         out
     }
@@ -302,6 +370,53 @@ mod tests {
     }
 
     #[test]
+    fn involved_urls_dedup_scripts_across_path_steps() {
+        // One ad-network tag loaded by *every* document on the path (the
+        // real-web shape that used to duplicate entries), plus a doubled
+        // include on a single document.
+        let mut log = figure3_log();
+        let tag = u("nsvf17p9.com", "/tag.js");
+        let tds = u("findglo210.info", "/go");
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        for page in [u("verbeinlaliga.com", "/"), tds.clone(), attack.clone()] {
+            log.push(BrowserEvent::ScriptLoaded { page, src: tag.clone() });
+        }
+        log.push(BrowserEvent::ScriptLoaded { page: tds, src: tag.clone() });
+        let g = BacktrackGraph::from_log(&log);
+        let urls = g.involved_urls(&attack);
+        assert_eq!(urls.iter().filter(|x| **x == tag).count(), 1, "tag must appear once");
+        // First-seen order: the walk starts at the attack page, whose
+        // script list is scanned before the attack URL itself.
+        assert_eq!(urls[0], tag);
+        assert_eq!(urls[1], attack);
+        let mut sorted = urls.clone();
+        sorted.sort_by_key(|x| x.to_string());
+        sorted.dedup();
+        assert_eq!(sorted.len(), urls.len(), "no other duplicates either");
+    }
+
+    #[test]
+    fn json_shape_survives_interning_and_roundtrips() {
+        use seacma_util::json;
+        let g = BacktrackGraph::from_log(&figure3_log());
+        let text = json::to_string(&g);
+        // External shape: URL-keyed maps, exactly as before interning.
+        let v = json::parse(&text).expect("graph serializes to valid json");
+        assert!(v.get("parent").is_some() && v.get("scripts").is_some());
+        let back: BacktrackGraph = json::from_str(&text).expect("graph parses back");
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.backtrack(&attack), g.backtrack(&attack));
+        assert_eq!(back.involved_urls(&attack), g.involved_urls(&attack));
+        for step in g.backtrack(&attack) {
+            assert_eq!(
+                back.scripts_of(&step.url).collect::<Vec<_>>(),
+                g.scripts_of(&step.url).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn repeated_visits_keep_most_recent_parent() {
         let mut log = EventLog::new();
         let a = u("a.com", "/");
@@ -328,4 +443,56 @@ impl_json_enum!(EdgeKind {
     ScriptInclude,
 });
 impl_json_struct!(PathStep { url, via });
-impl_json_struct!(BacktrackGraph { parent, scripts });
+
+// The JSON shape predates URL interning and must stay stable: an object
+// with URL-keyed `parent` and `scripts` maps. The symbol table is an
+// in-memory representation detail, so serialization projects edges back
+// onto URLs and parsing re-interns them.
+impl seacma_util::json::ToJson for BacktrackGraph {
+    fn to_json(&self) -> seacma_util::json::Value {
+        let parent: HashMap<Url, (Url, EdgeKind)> = self
+            .parent
+            .iter()
+            .map(|(&c, &(p, k))| (self.url(c).clone(), (self.url(p).clone(), k)))
+            .collect();
+        let scripts: HashMap<Url, Vec<Url>> = self
+            .scripts
+            .iter()
+            .map(|(&d, ss)| {
+                (self.url(d).clone(), ss.iter().map(|&s| self.url(s).clone()).collect())
+            })
+            .collect();
+        seacma_util::json::Value::Obj(vec![
+            ("parent".to_string(), seacma_util::json::ToJson::to_json(&parent)),
+            ("scripts".to_string(), seacma_util::json::ToJson::to_json(&scripts)),
+        ])
+    }
+}
+
+impl seacma_util::json::FromJson for BacktrackGraph {
+    fn from_json(
+        v: &seacma_util::json::Value,
+    ) -> Result<Self, seacma_util::json::JsonError> {
+        use seacma_util::json::{FromJson, JsonError};
+        if v.as_object().is_none() {
+            return Err(JsonError::expected("object for BacktrackGraph", v));
+        }
+        let parent: HashMap<Url, (Url, EdgeKind)> = FromJson::from_json(
+            v.get("parent").ok_or_else(|| JsonError::missing_field("parent"))?,
+        )?;
+        let scripts: HashMap<Url, Vec<Url>> = FromJson::from_json(
+            v.get("scripts").ok_or_else(|| JsonError::missing_field("scripts"))?,
+        )?;
+        let mut g = BacktrackGraph::default();
+        for (child, (par, kind)) in &parent {
+            let (c, p) = (g.intern(child), g.intern(par));
+            g.parent.insert(c, (p, *kind));
+        }
+        for (doc, srcs) in &scripts {
+            let d = g.intern(doc);
+            let ids = srcs.iter().map(|s| g.intern(s)).collect();
+            g.scripts.insert(d, ids);
+        }
+        Ok(g)
+    }
+}

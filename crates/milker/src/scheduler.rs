@@ -9,10 +9,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use seacma_util::impl_json_struct;
+use seacma_util::{impl_json_struct, resolve_workers};
 
 use seacma_blacklist::{GsbService, VirusTotal};
-use seacma_browser::{BrowserConfig, BrowserSession};
+use seacma_browser::{BrowserConfig, BrowserSession, RenderCache};
 use seacma_simweb::{ClickAction, SimDuration, SimTime, Url, Vantage, World};
 use seacma_vision::dhash::{dhash128, hamming};
 
@@ -303,17 +303,15 @@ impl<'w> Milker<'w> {
         start: SimTime,
         workers: usize,
     ) -> MilkingOutcome {
-        let workers = if workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        } else {
-            workers
-        };
-        let workers = workers.min(sources.len()).max(1);
+        let workers = resolve_workers(workers).min(sources.len()).max(1);
 
         // Phase 1: fan out per-source simulations. Job dispatch is a
         // shared counter; results come home over a channel and are
         // re-ordered by source index, so OS scheduling cannot leak into
-        // the merge.
+        // the merge. One clean-render cache is shared by all workers:
+        // sources tracking the same campaign hash against the same
+        // cached clean render.
+        let cache = RenderCache::new();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<crate::simulate::SourceTimeline>();
         std::thread::scope(|scope| {
@@ -322,10 +320,12 @@ impl<'w> Milker<'w> {
                 let next = &next;
                 let world = self.world;
                 let config = self.config;
+                let cache = &cache;
                 scope.spawn(move || loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(src) = sources.get(idx) else { break };
-                    let tl = crate::simulate::simulate_source(world, config, idx, src, start);
+                    let tl =
+                        crate::simulate::simulate_source(world, config, idx, src, start, cache);
                     if tx.send(tl).is_err() {
                         break;
                     }

@@ -20,7 +20,7 @@
 
 use std::collections::HashSet;
 
-use seacma_browser::{BrowserConfig, QuietBrowser};
+use seacma_browser::{BrowserConfig, QuietBrowser, RenderCache};
 use seacma_simweb::{ClickAction, FilePayload, SimTime, Url, Vantage, World};
 use seacma_vision::dhash::hamming;
 
@@ -75,11 +75,15 @@ pub(crate) fn simulate_source(
     source_idx: usize,
     src: &MilkingSource,
     start: SimTime,
+    cache: &RenderCache,
 ) -> SourceTimeline {
     // Per-source constant, hoisted out of the tick loop.
     let browser_cfg =
         BrowserConfig::instrumented(src.ua, Vantage::Residential).without_screenshots();
-    let mut browser = QuietBrowser::new(world, browser_cfg);
+    // `cache` is the run-wide clean-render memo: sources tracking the
+    // same campaign share one clean render of its creative instead of
+    // each worker re-rendering it privately.
+    let mut browser = QuietBrowser::with_cache(world, browser_cfg, cache);
     let end = start + config.duration;
 
     let mut done: HashSet<String> = HashSet::new();

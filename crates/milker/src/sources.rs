@@ -10,7 +10,7 @@ use seacma_util::impl_json_struct;
 
 use seacma_browser::{BrowserConfig, BrowserSession};
 use seacma_simweb::{SimTime, UaProfile, Url, Vantage, World};
-use seacma_vision::dhash::{dhash128, hamming, Dhash};
+use seacma_vision::dhash::{hamming, Dhash};
 
 /// Maximum dhash distance for a milked landing to count as "the same SE
 /// attack" (the DBSCAN eps ball: 0.1 × 128 bits).
@@ -59,13 +59,15 @@ pub fn validate_candidates(
         }
         // Milking runs from residential space so cloaking networks can't
         // starve it (§3.2) — though validated sources are usually TDS
-        // URLs that don't cloak.
-        let cfg = BrowserConfig::instrumented(c.ua, Vantage::Residential);
+        // URLs that don't cloak. The match check compares dhash bits,
+        // never pixels, so the session runs in hash mode (fused
+        // noise+downsample pass, no pixel buffer).
+        let cfg = BrowserConfig::instrumented(c.ua, Vantage::Residential).hash_screenshots();
         let mut session = BrowserSession::new(world, cfg, t);
         let Ok(loaded) = session.navigate(&c.url) else {
             continue;
         };
-        let d = dhash128(&loaded.screenshot);
+        let d = loaded.screenshot.dhash();
         if hamming(d, c.reference) <= MATCH_THRESHOLD {
             out.push(MilkingSource {
                 url: c.url,
@@ -82,6 +84,7 @@ pub fn validate_candidates(
 mod tests {
     use super::*;
     use seacma_simweb::{SeCategory, WorldConfig};
+    use seacma_vision::dhash::dhash128;
 
     fn world() -> World {
         World::generate(WorldConfig {

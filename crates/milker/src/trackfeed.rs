@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use seacma_browser::{BrowserConfig, QuietBrowser};
+use seacma_browser::{BrowserConfig, QuietBrowser, RenderCache};
 use seacma_simweb::{SimTime, Vantage, World};
 use seacma_vision::cluster::ScreenshotPoint;
 
@@ -32,7 +32,10 @@ pub fn discovery_points(
     outcome: &MilkingOutcome,
 ) -> Vec<(SimTime, ScreenshotPoint)> {
     // One quiet browser per source: configs differ by UA, and reusing a
-    // browser keeps the probe/render caches warm across discoveries.
+    // browser keeps the probe caches warm across discoveries. Clean
+    // renders are shared across all sources through one cache — sources
+    // tracking the same campaign hash against the same clean render.
+    let cache = RenderCache::new();
     let mut browsers: HashMap<usize, QuietBrowser> = HashMap::new();
     outcome
         .discoveries
@@ -40,10 +43,11 @@ pub fn discovery_points(
         .filter_map(|d| {
             let src = &sources[d.source_idx];
             let browser = browsers.entry(d.source_idx).or_insert_with(|| {
-                QuietBrowser::new(
+                QuietBrowser::with_cache(
                     world,
                     BrowserConfig::instrumented(src.ua, Vantage::Residential)
                         .without_screenshots(),
+                    &cache,
                 )
             });
             // The load cannot fail at a tick where the scheduler already

@@ -29,6 +29,8 @@
 //! sim time)`, so crawling is embarrassingly parallel and milking rounds are
 //! reproducible.
 
+#![deny(missing_docs)]
+
 pub mod adnet;
 pub mod campaign;
 pub mod categorize;

@@ -18,25 +18,45 @@ pub struct PublisherId(pub u32);
 /// Topical categories of publisher sites (Table 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SiteCategory {
+    /// Sites flagged suspicious by the categorizer.
     Suspicious,
+    /// Pornography sites.
     Pornography,
+    /// Free/low-cost web hosting.
     WebHosting,
+    /// Entertainment portals.
     Entertainment,
+    /// Personal sites and blogs.
     PersonalSites,
+    /// Known malicious sources.
     MaliciousSources,
+    /// Dynamic-DNS hosted sites.
     DynamicDns,
+    /// Technology sites.
     Technology,
+    /// Piracy / copyright-infringing sites.
     Piracy,
+    /// Gaming sites.
     Games,
+    /// TV and video streaming sites.
     TvVideoStreams,
+    /// Phishing sites.
     Phishing,
+    /// Business sites.
     Business,
+    /// Adult/mature content.
     AdultMature,
+    /// Sports sites.
     Sports,
+    /// Education sites.
     Education,
+    /// Social networking sites.
     SocialNetworking,
+    /// Placeholder/parked-like pages.
     Placeholders,
+    /// Health sites.
     Health,
+    /// Daily-living/lifestyle sites.
     DailyLiving,
 }
 

@@ -26,31 +26,64 @@ pub const INSTANCE_NOISE: u8 = 5;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VisualTemplate {
     /// Fake Flash/Java/media-player update dialog (Fake Software category).
-    FakeSoftware { skin: u16 },
+    FakeSoftware {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// "Your computer is infected" scanner page.
-    Scareware { skin: u16 },
+    Scareware {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// Tech-support scam: fake BSOD/alert wall with a phone number.
-    TechSupport { skin: u16 },
+    TechSupport {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// "You won!" lottery/gift-card wheel (mobile-targeted).
-    Lottery { skin: u16 },
+    Lottery {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// Page luring the user to Allow push notifications.
-    ChromeNotification { skin: u16 },
+    ChromeNotification {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// Fake video player demanding account registration.
-    Registration { skin: u16 },
+    Registration {
+        /// Campaign creative skin: selects layout geometry and decoration.
+        skin: u16,
+    },
     /// Domain-parking placeholder; `provider` selects one of the parking
     /// services' shared layouts.
-    Parked { provider: u16 },
+    Parked {
+        /// Parking service, selecting one of the services' shared layouts.
+        provider: u16,
+    },
     /// Stock-photo adult lure page; `image` selects the stock image.
-    StockAdult { image: u16 },
+    StockAdult {
+        /// Stock image selector.
+        image: u16,
+    },
     /// Ad-based URL-shortener interstitial (adf.ly / shorte.st style).
-    ShortenerFrame { service: u16 },
+    ShortenerFrame {
+        /// Shortener service skin.
+        service: u16,
+    },
     /// Blank/failed page load (the paper's one spurious cluster).
     LoadError,
     /// A benign advertiser's landing page; `style` is effectively unique
     /// per advertiser.
-    BenignLanding { style: u64 },
+    BenignLanding {
+        /// Style word, effectively unique per site.
+        style: u64,
+    },
     /// A publisher's own page.
-    PublisherHome { style: u64 },
+    PublisherHome {
+        /// Style word, effectively unique per site.
+        style: u64,
+    },
 }
 
 impl VisualTemplate {
@@ -281,6 +314,14 @@ impl VisualTemplate {
             VisualTemplate::Registration { skin } => Some((6, skin)),
             _ => None,
         }
+    }
+
+    /// A stable 64-bit identity word for this template: equal templates
+    /// always map to the same word, distinct templates to distinct words
+    /// (up to `det_hash` collisions). Concurrent render caches use it to
+    /// pick a shard without hashing the whole enum.
+    pub fn key(&self) -> u64 {
+        self.texture_key()
     }
 
     /// A key identifying this template's page "theme" (background art,

@@ -23,6 +23,22 @@ pub mod bench;
 pub mod json;
 pub mod prop;
 
+/// Resolves a `workers` knob into an actual thread count: `0` means "use
+/// the machine's available parallelism", anything else is taken verbatim.
+///
+/// Every parallel stage in the workspace (crawl farm, screenshot
+/// clustering, milking simulate phase) shares this convention *and* the
+/// guarantee that its output is byte-identical at any worker count — so
+/// the fallback (4, used only when the OS refuses to report a parallelism
+/// estimate) can never leak into results, only into wall-clock.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        workers
+    }
+}
+
 /// Implements [`json::ToJson`] + [`json::FromJson`] for a named-field
 /// struct, mirroring serde's derive output: an object with one pair per
 /// field, in declaration order.
@@ -366,5 +382,12 @@ mod macro_tests {
             v.get("Structured").and_then(|s| s.get("a")).and_then(Value::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn resolve_workers_passes_explicit_counts_through() {
+        assert_eq!(crate::resolve_workers(1), 1);
+        assert_eq!(crate::resolve_workers(7), 7);
+        assert!(crate::resolve_workers(0) >= 1, "0 must resolve to a usable count");
     }
 }

@@ -39,6 +39,8 @@
 use std::collections::HashMap;
 use std::sync::mpsc;
 
+use seacma_util::resolve_workers;
+
 use crate::dbscan::RegionQuery;
 use crate::dhash::{Dhash, HASH_BITS};
 
@@ -300,16 +302,6 @@ impl RegionQuery for PrecomputedRegions {
     fn region(&mut self, p: usize, out: &mut Vec<usize>) {
         out.clear();
         out.extend(self.lists[p].iter().map(|&q| q as usize));
-    }
-}
-
-/// `0` ⇒ available parallelism (the `workers` convention used by the
-/// crawler farm), otherwise the requested count.
-fn resolve_workers(workers: usize) -> usize {
-    if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        workers
     }
 }
 

@@ -16,7 +16,6 @@ use seacma_core::browser::{BrowserConfig, BrowserSession};
 use seacma_core::graph::{milkable, Attributor, BacktrackGraph};
 use seacma_core::milker::{validate_candidates, Milker, MilkingCandidate, MilkingConfig};
 use seacma_core::simweb::{SimDuration, SimTime, UaProfile, Vantage, World, WorldConfig};
-use seacma_core::vision::dhash::dhash128;
 use seacma_core::Pipeline;
 
 fn main() {
@@ -71,7 +70,7 @@ fn main() {
     // 4. Extract + validate the milkable URL.
     let candidate = milkable::candidate(&graph, &landing.url).expect("upstream exists");
     println!("milkable candidate: {candidate}");
-    let reference = dhash128(&landing.screenshot);
+    let reference = landing.screenshot.dhash();
     let sources = validate_candidates(
         &world,
         vec![MilkingCandidate {

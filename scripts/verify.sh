@@ -13,7 +13,11 @@ cargo test -q --offline
 #   milking_scaling — the two-phase simulate/merge scheduler reproduces
 #     the sequential MilkingOutcome byte for byte at 1, 2 and 8 workers;
 #   tracker_scaling — the incremental tracker snapshot equals batch
-#     cluster_screenshots over the same prefix at every epoch boundary.
-for bench in cluster_scaling milking_scaling tracker_scaling; do
+#     cluster_screenshots over the same prefix at every epoch boundary;
+#   crawl_scaling — the farm's render-free fast path (shared clean-render
+#     cache, deferred fused dhashes, sharded assembly) reproduces the
+#     sequential full-render CrawlDataset byte for byte at 1, 2 and 8
+#     workers.
+for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling; do
     cargo run --release --offline -p seacma-bench --bin "$bench" -- --quick
 done

@@ -30,7 +30,7 @@ fn crawl_to_milking_hand_wired() {
     let mut candidates = Vec::new();
     let mut attack_count = 0;
     for (i, p) in w.publishers().iter().enumerate() {
-        let visit = visit_publisher(&w, p, cfg, SimTime(i as u64 * 2), CrawlPolicy::default());
+        let visit = visit_publisher(&w, p, cfg, SimTime(i as u64 * 2), CrawlPolicy::default(), None);
         for l in &visit.landings {
             if !l.truth_is_attack {
                 continue;
@@ -96,7 +96,7 @@ fn attribution_chain_contract() {
         // Hidden-only publishers must attribute Unknown; seed publishers
         // mostly Known.
         let only_hidden = p.networks.iter().all(|id| !w.networks()[id.0 as usize].seed_listed);
-        let visit = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default());
+        let visit = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None);
         for l in &visit.landings {
             match attributor.attribute_urls(l.chain_urls().into_iter()) {
                 Attribution::Known(name) => {
@@ -124,10 +124,10 @@ fn locking_pages_need_instrumentation_end_to_end() {
     let mut li = 0;
     let mut ls = 0;
     for p in w.publishers().iter().take(150) {
-        li += visit_publisher(&w, p, instrumented, SimTime::EPOCH, CrawlPolicy::default())
+        li += visit_publisher(&w, p, instrumented, SimTime::EPOCH, CrawlPolicy::default(), None)
             .landings
             .len();
-        ls += visit_publisher(&w, p, stock, SimTime::EPOCH, CrawlPolicy::default())
+        ls += visit_publisher(&w, p, stock, SimTime::EPOCH, CrawlPolicy::default(), None)
             .landings
             .len();
     }
