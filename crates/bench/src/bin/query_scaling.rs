@@ -1,0 +1,266 @@
+//! Query-serving bench for the resident reputation daemon (DESIGN.md §2g;
+//! EXPERIMENTS.md "Query serving").
+//!
+//! Measures single-core QPS and latency percentiles (p50/p95/p99) for the
+//! daemon's read path — URL lookups, dhash nearest-campaign lookups and
+//! campaign status — against the final published snapshot of an epoch run.
+//! Before any timing, an **exactness gate** proves the daemon's answers at
+//! every epoch boundary are byte-identical to the offline batch pipeline
+//! (`seacma_daemon::offline::replay_batches`), and that a snapshot → resume
+//! → re-query round trip changes neither the serialized state nor one
+//! answer byte.
+//!
+//! The criterion-shaped harness reports min/mean/median/p95 only, so this
+//! bin records per-query latencies itself and writes its own JSON:
+//!
+//! ```text
+//! cargo run --release -p seacma-bench --bin query_scaling -- --json BENCH_query.json
+//! cargo run --release -p seacma-bench --bin query_scaling -- --quick   # tier-1 smoke
+//! ```
+
+use std::time::Instant;
+
+use seacma_daemon::offline::replay_batches;
+use seacma_daemon::{Daemon, ReputationSnapshot};
+use seacma_tracker::TrackerConfig;
+use seacma_util::json::{self, Value};
+use seacma_util::prop::Rng;
+use seacma_vision::cluster::ScreenshotPoint;
+use seacma_vision::dhash::Dhash;
+
+/// The milking-feed-shaped corpus `tracker_scaling` uses: ~1 campaign
+/// template per 150 points, 80 % near-duplicates (≤ 3 flipped bits) on 12
+/// rotating e2LDs per campaign, 20 % uniform noise.
+fn synth(n: usize, seed: u64) -> Vec<ScreenshotPoint> {
+    let mut rng = Rng::new(seed);
+    let centers: Vec<u128> = (0..(n / 150).max(1)).map(|_| rng.u128()).collect();
+    (0..n)
+        .map(|i| {
+            if rng.bool(0.8) {
+                let c = rng.below(centers.len() as u64) as usize;
+                let mut h = centers[c];
+                for _ in 0..rng.below(4) {
+                    h ^= 1u128 << rng.below(128);
+                }
+                ScreenshotPoint::new(Dhash(h), format!("c{c}-{}.club", rng.below(12)))
+            } else {
+                ScreenshotPoint::new(Dhash(rng.u128()), format!("noise{i}.info"))
+            }
+        })
+        .collect()
+}
+
+/// Every probe's answer from one snapshot as one string: the gate's
+/// equality check is string equality over this sheet.
+fn answer_sheet(snap: &ReputationSnapshot, urls: &[String], hashes: &[Dhash]) -> String {
+    let mut out = format!("epoch={}\n", snap.epoch());
+    for u in urls {
+        out.push_str(&json::to_string(&snap.lookup_url(u)));
+        out.push('\n');
+    }
+    for &h in hashes {
+        out.push_str(&json::to_string(&snap.nearest_campaign(h)));
+        out.push('\n');
+    }
+    for id in 0..=(snap.statuses().len() as u32) {
+        out.push_str(&json::to_string(&snap.campaign(id).cloned()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Latency percentile over sorted per-query samples (nearest-rank).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+/// Times `queries` calls of `run` one by one on the current thread,
+/// returning `(total_ns, sorted per-query ns)`. The checksum accumulator
+/// keeps the answers observable so the optimizer cannot skip them.
+fn time_kind(queries: usize, mut run: impl FnMut(usize) -> u64) -> (u64, Vec<u64>) {
+    let mut samples = Vec::with_capacity(queries);
+    let mut checksum = 0u64;
+    let wall = Instant::now();
+    for i in 0..queries {
+        let t = Instant::now();
+        checksum = checksum.wrapping_add(run(i));
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    let total = wall.elapsed().as_nanos() as u64;
+    std::hint::black_box(checksum);
+    samples.sort_unstable();
+    (total, samples)
+}
+
+fn kind_stats(name: &str, total_ns: u64, sorted_ns: &[u64]) -> (String, Value) {
+    let n = sorted_ns.len() as f64;
+    let qps = n / (total_ns as f64 / 1e9);
+    println!(
+        "{name:>14}: {qps:>12.0} qps   p50 {:>7.2} µs   p95 {:>7.2} µs   p99 {:>7.2} µs",
+        percentile_us(sorted_ns, 50.0),
+        percentile_us(sorted_ns, 95.0),
+        percentile_us(sorted_ns, 99.0),
+    );
+    (
+        name.to_string(),
+        Value::Obj(vec![
+            ("queries".into(), Value::UInt(sorted_ns.len() as u128)),
+            ("qps".into(), Value::Float((qps * 10.0).round() / 10.0)),
+            ("p50_us".into(), Value::Float(percentile_us(sorted_ns, 50.0))),
+            ("p95_us".into(), Value::Float(percentile_us(sorted_ns, 95.0))),
+            ("p99_us".into(), Value::Float(percentile_us(sorted_ns, 99.0))),
+        ]),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (epoch_size, epochs, queries_per_kind) =
+        if quick { (500, 4, 2_000) } else { (5_000, 10, 100_000) };
+    let corpus = synth(epoch_size * epochs, 0x5EAC_DAE1);
+    let batches: Vec<Vec<ScreenshotPoint>> =
+        corpus.chunks(epoch_size).map(<[ScreenshotPoint]>::to_vec).collect();
+    let config = TrackerConfig::default();
+
+    // Gate probes: hits, misses and near/far hashes, deterministic.
+    let mut rng = Rng::new(0x5EAC_DAE2);
+    let mut urls: Vec<String> = (0..300.min(corpus.len()))
+        .map(|_| format!("http://www.{}/lp", rng.pick(&corpus).e2ld))
+        .collect();
+    urls.extend((0..50).map(|i| format!("http://unseen{i}.example/")));
+    let mut hashes: Vec<Dhash> =
+        (0..300.min(corpus.len())).map(|_| Dhash(rng.pick(&corpus).dhash.0 ^ 1)).collect();
+    hashes.extend((0..50).map(|_| Dhash(rng.u128())));
+
+    // ── Exactness gate ────────────────────────────────────────────────
+    // 1. Every epoch boundary: daemon answers == offline batch answers.
+    let oracle = replay_batches(config, &batches);
+    let mut daemon = Daemon::new(config);
+    let handle = daemon.handle();
+    for (e, batch) in batches.iter().enumerate() {
+        daemon.ingest_all(batch.iter().cloned());
+        daemon.close_epoch();
+        let live = answer_sheet(&handle.snapshot(), &urls, &hashes);
+        let batch_sheet = answer_sheet(&oracle[e], &urls, &hashes);
+        assert_eq!(live, batch_sheet, "daemon diverged from the batch oracle at epoch {e}");
+    }
+    // 2. Snapshot → resume → re-query: byte-identical state and answers.
+    let frozen = daemon.to_json();
+    let resumed = Daemon::from_json(&frozen).expect("snapshot parses");
+    assert_eq!(resumed.to_json(), frozen, "resume must re-serialize identically");
+    assert_eq!(
+        answer_sheet(&resumed.handle().snapshot(), &urls, &hashes),
+        answer_sheet(&handle.snapshot(), &urls, &hashes),
+        "resumed daemon must answer identically"
+    );
+    println!(
+        "exactness check: daemon == offline batch pipeline at {epochs} boundaries, \
+         snapshot/resume byte-identical ({} probes)\n",
+        urls.len() + hashes.len(),
+    );
+
+    // ── Timing (one core, lock-free reads on the final snapshot) ──────
+    let snap = handle.snapshot();
+    let n_campaigns = snap.statuses().len().max(1) as u32;
+    let hit_urls: Vec<String> = (0..1024)
+        .map(|_| format!("http://www.{}/lp?x=1", rng.pick(&corpus).e2ld))
+        .collect();
+    let miss_urls: Vec<String> =
+        (0..1024).map(|i| format!("http://never{i}.example/download")).collect();
+    let near_hashes: Vec<Dhash> = (0..1024)
+        .map(|_| Dhash(rng.pick(&corpus).dhash.0 ^ (1u128 << rng.below(128))))
+        .collect();
+    let far_hashes: Vec<Dhash> = (0..1024).map(|_| Dhash(rng.u128())).collect();
+
+    println!(
+        "query latency over {} points, {} campaigns, {queries_per_kind} queries/kind:",
+        snap.points().len(),
+        snap.statuses().iter().filter(|s| s.qualified).count(),
+    );
+    let mut kinds = Vec::new();
+    let (total, samples) = time_kind(queries_per_kind, |i| {
+        u64::from(!matches!(
+            snap.lookup_url(&hit_urls[i % hit_urls.len()]),
+            seacma_daemon::UrlVerdict::Unknown
+        ))
+    });
+    kinds.push(kind_stats("url_hit", total, &samples));
+    let mut all_ns = samples;
+    let mut all_total = total;
+
+    let (total, samples) = time_kind(queries_per_kind, |i| {
+        u64::from(!matches!(
+            snap.lookup_url(&miss_urls[i % miss_urls.len()]),
+            seacma_daemon::UrlVerdict::Unknown
+        ))
+    });
+    kinds.push(kind_stats("url_miss", total, &samples));
+    all_ns.extend(&samples);
+    all_total += total;
+
+    let (total, samples) = time_kind(queries_per_kind, |i| {
+        snap.nearest_campaign(near_hashes[i % near_hashes.len()])
+            .map_or(0, |m| u64::from(m.campaign) + 1)
+    });
+    kinds.push(kind_stats("dhash_near", total, &samples));
+    all_ns.extend(&samples);
+    all_total += total;
+
+    let (total, samples) = time_kind(queries_per_kind, |i| {
+        snap.nearest_campaign(far_hashes[i % far_hashes.len()])
+            .map_or(0, |m| u64::from(m.campaign) + 1)
+    });
+    kinds.push(kind_stats("dhash_far", total, &samples));
+    all_ns.extend(&samples);
+    all_total += total;
+
+    let (total, samples) = time_kind(queries_per_kind, |i| {
+        snap.campaign(i as u32 % n_campaigns).map_or(0, |s| u64::from(s.members))
+    });
+    kinds.push(kind_stats("campaign_state", total, &samples));
+    all_ns.extend(&samples);
+    all_total += total;
+
+    all_ns.sort_unstable();
+    let (_, overall) = kind_stats("overall", all_total, &all_ns);
+    let overall_qps = all_ns.len() as f64 / (all_total as f64 / 1e9);
+
+    if let Some(path) = json_path {
+        let doc = Value::Obj(vec![
+            (
+                "config".into(),
+                Value::Obj(vec![
+                    ("points".into(), Value::UInt((epoch_size * epochs) as u128)),
+                    ("epochs".into(), Value::UInt(epochs as u128)),
+                    ("queries_per_kind".into(), Value::UInt(queries_per_kind as u128)),
+                    ("threads".into(), Value::UInt(1)),
+                ]),
+            ),
+            (
+                "exactness".into(),
+                Value::Obj(vec![
+                    ("epochs_compared".into(), Value::UInt(epochs as u128)),
+                    ("probes".into(), Value::UInt((urls.len() + hashes.len()) as u128)),
+                    ("snapshot_resume_byte_identical".into(), Value::Bool(true)),
+                    ("identical_to_batch".into(), Value::Bool(true)),
+                ]),
+            ),
+            ("kinds".into(), Value::Obj(kinds)),
+            ("overall".into(), overall),
+        ]);
+        std::fs::write(&path, json::to_string_pretty(&doc) + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path} (overall {overall_qps:.0} qps on one core)");
+    }
+}

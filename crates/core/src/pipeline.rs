@@ -247,18 +247,10 @@ impl Pipeline {
     /// [`DiscoveryOutput::clusters`] **bit for bit** (the incremental
     /// exactness property) — no downstream table can change.
     pub fn track(&self, discovery: &DiscoveryOutput) -> (CampaignTracker, Vec<EpochSummary>) {
-        let mut tracker = CampaignTracker::new(TrackerConfig {
-            params: self.config.clustering,
-            ledger: self.config.track_ledger,
-        });
-        let points: Vec<ScreenshotPoint> = discovery
-            .landings()
-            .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
-            .collect();
-        let chunk = points.len().div_ceil(self.config.crawl_track_epochs.max(1)).max(1);
+        let mut tracker = CampaignTracker::new(self.tracker_config());
         let mut summaries = Vec::new();
-        for batch in points.chunks(chunk) {
-            tracker.ingest_all(batch.iter().cloned());
+        for batch in self.crawl_epoch_batches(discovery) {
+            tracker.ingest_all(batch);
             summaries.push(tracker.end_epoch());
         }
         debug_assert_eq!(
@@ -267,6 +259,49 @@ impl Pipeline {
             "incremental tracker must reproduce the batch discovery clustering"
         );
         (tracker, summaries)
+    }
+
+    /// The tracker parameters this pipeline tracks (and the resident
+    /// daemon serves) with: the batch clustering knobs plus the lifecycle
+    /// ledger's dormancy windows. Exactness between the daemon's live
+    /// snapshots and the offline batch pipeline requires both sides to use
+    /// exactly this configuration.
+    pub fn tracker_config(&self) -> TrackerConfig {
+        TrackerConfig { params: self.config.clustering, ledger: self.config.track_ledger }
+    }
+
+    /// Pipeline-as-library entry point for epoch schedulers: the per-epoch
+    /// point batches the crawl replay ([`Pipeline::track`]) ingests, in
+    /// ingestion order. Feeding these batches to any epoch-driven consumer
+    /// (a [`CampaignTracker`], the `seacma-daemon` resident process)
+    /// reproduces the tracking phase's crawl epochs exactly — the final
+    /// boundary snapshot equals [`DiscoveryOutput::clusters`] bit for bit.
+    pub fn crawl_epoch_batches(&self, discovery: &DiscoveryOutput) -> Vec<Vec<ScreenshotPoint>> {
+        discovery
+            .crawl
+            .landing_epochs(self.config.crawl_track_epochs)
+            .into_iter()
+            .map(|chunk| {
+                chunk
+                    .into_iter()
+                    .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Pipeline-as-library entry point for epoch schedulers: one point
+    /// batch per virtual day of the milking window (quiet days included),
+    /// exactly as [`Pipeline::track_milking`] ingests them.
+    pub fn milking_epoch_batches(
+        &self,
+        sources: &[MilkingSource],
+        milking: &MilkingOutcome,
+        start: SimTime,
+    ) -> Vec<Vec<ScreenshotPoint>> {
+        let feed = seacma_milker::trackfeed::discovery_points(&self.world, sources, milking);
+        let days = self.config.milking.duration.minutes().div_ceil(DAY.minutes()).max(1);
+        seacma_milker::trackfeed::epoch_batches(&feed, start, days)
     }
 
     /// Feeds the milking discoveries back into the tracker, closing one
@@ -281,20 +316,11 @@ impl Pipeline {
         milking: &MilkingOutcome,
         start: SimTime,
     ) -> Vec<EpochSummary> {
-        // Re-derived `(first_seen, point)` feed, nondecreasing in time.
-        let feed = seacma_milker::trackfeed::discovery_points(&self.world, sources, milking);
-        let days = self.config.milking.duration.minutes().div_ceil(DAY.minutes()).max(1);
         let mut summaries = Vec::new();
-        let mut next = 0usize;
-        for day in 0..days {
-            let end = start + seacma_simweb::SimDuration::from_minutes(DAY.minutes() * (day + 1));
-            while next < feed.len() && feed[next].0 < end {
-                tracker.ingest(feed[next].1.clone());
-                next += 1;
-            }
+        for batch in self.milking_epoch_batches(sources, milking, start) {
+            tracker.ingest_all(batch);
             summaries.push(tracker.end_epoch());
         }
-        debug_assert_eq!(next, feed.len(), "every discovery falls inside the milking window");
         summaries
     }
 

@@ -128,6 +128,21 @@ impl CrawlDataset {
     pub fn merge(&mut self, other: CrawlDataset) {
         self.visits.extend(other.visits);
     }
+
+    /// Splits the flattened landing order into `epochs` contiguous prefix
+    /// chunks — the epoch-step hook the tracking phase and the resident
+    /// daemon's scheduler replay the crawl through. Contiguity in the
+    /// flattened order is load-bearing: batch DBSCAN numbering is
+    /// input-order-sensitive, so an epoch feed assembled from these chunks
+    /// reproduces the batch discovery clustering bit for bit at the final
+    /// boundary. The last chunk may be short; an empty dataset yields no
+    /// chunks (no epoch to close), matching the historical tracking
+    /// behaviour.
+    pub fn landing_epochs(&self, epochs: usize) -> Vec<Vec<&LandingRecord>> {
+        let landings: Vec<&LandingRecord> = self.landings().collect();
+        let chunk = landings.len().div_ceil(epochs.max(1)).max(1);
+        landings.chunks(chunk).map(<[&LandingRecord]>::to_vec).collect()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +188,22 @@ mod tests {
         assert_eq!(d.publishers_with_landings(), 1);
         assert_eq!(d.click_count(), 4 + 2 + 2);
         assert_eq!(d.landings().count(), 2);
+    }
+
+    #[test]
+    fn landing_epochs_are_contiguous_prefix_chunks() {
+        let d = CrawlDataset { visits: vec![visit(1, 3), visit(2, 2), visit(3, 2)] };
+        let flat: Vec<&LandingRecord> = d.landings().collect();
+        let chunks = d.landing_epochs(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 1]);
+        let rejoined: Vec<&LandingRecord> = chunks.into_iter().flatten().collect();
+        assert_eq!(rejoined, flat, "chunking must preserve the flattened order");
+
+        // More epochs than landings: one landing per chunk, none dropped.
+        assert_eq!(d.landing_epochs(100).len(), 7);
+        // Empty dataset: no chunks, no phantom epochs.
+        assert!(CrawlDataset::default().landing_epochs(4).is_empty());
     }
 
     #[test]

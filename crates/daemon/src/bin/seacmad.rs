@@ -1,0 +1,178 @@
+//! `seacmad` — the resident SEACMA reputation daemon.
+//!
+//! Boots a simulated measurement (or resumes a `--resume` snapshot), then
+//! runs the epoch loop on a writer thread while the foreground serves a
+//! line-oriented query REPL on stdin. One JSON answer per line on stdout;
+//! operator notes go to stderr.
+//!
+//! ```text
+//! cargo run --release -p seacma-daemon --bin seacmad -- [--seed N] [--epoch-ms MS] [--resume PATH]
+//!
+//! url <url-or-domain>    reputation of a URL / bare e2LD
+//! dhash <32-hex>         nearest campaign to a screenshot hash
+//! campaign <id>          lifecycle status of a ledger id
+//! status                 daemon status (epoch, points, campaigns)
+//! snapshot <path>        write resumable state at the next epoch boundary
+//! quit                   shut down
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use seacma_core::{Pipeline, PipelineConfig};
+use seacma_daemon::Daemon;
+use seacma_util::json;
+use seacma_vision::dhash::Dhash;
+
+/// Commands the REPL forwards to the writer thread; handled only at epoch
+/// boundaries, so a snapshot is always a clean boundary state.
+enum Command {
+    Snapshot(String),
+    Quit,
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut epoch_ms = 500u64;
+    let mut resume: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--epoch-ms" => {
+                epoch_ms = args.next().and_then(|v| v.parse().ok()).unwrap_or(epoch_ms)
+            }
+            "--resume" => resume = args.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: seacmad [--seed N] [--epoch-ms MS] [--resume PATH]\n\
+                     queries on stdin: url <u> | dhash <32-hex> | campaign <id> | status | \
+                     snapshot <path> | quit"
+                );
+                return;
+            }
+            other => {
+                eprintln!("seacmad: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Boot: a fresh daemon over the simulated measurement, or a resumed
+    // one (byte-identical to the process that wrote the snapshot).
+    let pipeline = Pipeline::new(PipelineConfig::small(seed));
+    let mut daemon = match &resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("seacmad: cannot read snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+            Daemon::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("seacmad: cannot parse snapshot {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => Daemon::new(pipeline.tracker_config()),
+    };
+    let handle = daemon.handle();
+    eprintln!(
+        "seacmad: booted at epoch {} (seed {seed}); crawling the simulated web...",
+        daemon.epoch()
+    );
+
+    // The epoch feed: the pipeline's crawl replay batches. Skip epochs a
+    // resumed daemon already closed, so resume + replay never double-feeds.
+    let discovery = pipeline.discover();
+    let batches: Vec<_> = pipeline
+        .crawl_epoch_batches(&discovery)
+        .into_iter()
+        .skip(daemon.epoch() as usize)
+        .collect();
+    eprintln!(
+        "seacmad: {} landings queued in {} epochs ({epoch_ms} ms each); serving queries",
+        batches.iter().map(Vec::len).sum::<usize>(),
+        batches.len(),
+    );
+
+    let (tx, rx) = mpsc::channel::<Command>();
+    let writer = std::thread::spawn(move || {
+        let mut pending = batches.into_iter();
+        loop {
+            // Pace one epoch per tick; once the feed is drained, park on
+            // the channel so snapshot/quit still work.
+            let cmd = if pending.len() > 0 {
+                rx.recv_timeout(Duration::from_millis(epoch_ms))
+            } else {
+                rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected)
+            };
+            match cmd {
+                Ok(Command::Snapshot(path)) => {
+                    match std::fs::write(&path, daemon.to_json()) {
+                        Ok(()) => eprintln!(
+                            "seacmad: snapshot written to {path} at epoch {}",
+                            daemon.epoch()
+                        ),
+                        Err(e) => eprintln!("seacmad: snapshot to {path} failed: {e}"),
+                    }
+                }
+                Ok(Command::Quit) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(batch) = pending.next() {
+                        daemon.ingest_all(batch);
+                        let summary = daemon.close_epoch();
+                        eprintln!(
+                            "seacmad: epoch {} closed ({} ingested, {} campaigns, {} events)",
+                            summary.epoch,
+                            summary.ingested,
+                            summary.clusters.campaigns.len(),
+                            summary.events.len(),
+                        );
+                    }
+                }
+            }
+        }
+    });
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let mut parts = line.split_whitespace();
+        let answer = match (parts.next(), parts.next()) {
+            (Some("url"), Some(u)) => json::to_string(&handle.url(u)),
+            (Some("dhash"), Some(h)) => match Dhash::parse(h) {
+                Some(d) => json::to_string(&handle.dhash(d)),
+                None => r#"{"error":"dhash wants 32 hex digits"}"#.to_string(),
+            },
+            (Some("campaign"), Some(id)) => match id.parse::<u32>() {
+                Ok(id) => json::to_string(&handle.campaign(id)),
+                Err(_) => r#"{"error":"campaign wants a numeric id"}"#.to_string(),
+            },
+            (Some("status"), None) => {
+                let snap = handle.snapshot();
+                format!(
+                    r#"{{"epoch":{},"points":{},"campaigns":{}}}"#,
+                    snap.epoch(),
+                    snap.points().len(),
+                    snap.statuses().iter().filter(|s| s.qualified).count(),
+                )
+            }
+            (Some("snapshot"), Some(path)) => {
+                let _ = tx.send(Command::Snapshot(path.to_string()));
+                r#"{"ok":"snapshot queued for the next boundary"}"#.to_string()
+            }
+            (Some("quit"), None) => break,
+            (None, None) => continue,
+            _ => r#"{"error":"commands: url, dhash, campaign, status, snapshot, quit"}"#
+                .to_string(),
+        };
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{answer}");
+        let _ = out.flush();
+    }
+
+    let _ = tx.send(Command::Quit);
+    let _ = writer.join();
+    eprintln!("seacmad: bye");
+}

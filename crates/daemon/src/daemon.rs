@@ -1,0 +1,176 @@
+//! The resident daemon: one writer mutating the tracker, any number of
+//! readers on published snapshots.
+
+use std::sync::Arc;
+
+use seacma_simweb::SimTime;
+use seacma_tracker::{CampaignTracker, EpochSummary, TrackerConfig};
+use seacma_util::json::JsonError;
+use seacma_vision::cluster::ScreenshotPoint;
+
+use crate::scheduler::EpochScheduler;
+use crate::snapshot::{QueryHandle, ReputationSnapshot, SnapshotCell};
+
+/// The resident SEACMA process core: owns the [`CampaignTracker`] (the
+/// single writer) and publishes an immutable [`ReputationSnapshot`] at
+/// every epoch boundary for concurrent readers.
+///
+/// The restart story is the tracker's byte-identical snapshot/resume:
+/// [`Daemon::to_json`] is exactly [`CampaignTracker::to_json`], and
+/// [`Daemon::from_json`] republishes the reputation snapshot on boot, so a
+/// resumed daemon answers byte-identically to one that never restarted.
+///
+/// ```
+/// use seacma_daemon::Daemon;
+/// use seacma_tracker::TrackerConfig;
+/// use seacma_vision::cluster::ScreenshotPoint;
+/// use seacma_vision::dhash::Dhash;
+///
+/// let mut daemon = Daemon::new(TrackerConfig::default());
+/// let batches: Vec<Vec<ScreenshotPoint>> = (0..2)
+///     .map(|e| {
+///         (0..12u32)
+///             .map(|i| ScreenshotPoint::new(
+///                 Dhash(0xFACE ^ (1 << ((e + i) % 3))),
+///                 format!("evil{}.club", i % 6),
+///             ))
+///             .collect()
+///     })
+///     .collect();
+/// let summaries = daemon.run_epochs(batches);
+/// assert_eq!(summaries.len(), 2);
+/// assert_eq!(daemon.handle().epoch(), 2);
+///
+/// // Restart: resume from the JSON snapshot, answers are identical.
+/// let resumed = Daemon::from_json(&daemon.to_json()).unwrap();
+/// assert_eq!(resumed.to_json(), daemon.to_json());
+/// assert_eq!(resumed.handle().epoch(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Daemon {
+    tracker: CampaignTracker,
+    cell: Arc<SnapshotCell>,
+}
+
+impl Daemon {
+    /// A fresh daemon with an empty epoch-0 snapshot published.
+    pub fn new(config: TrackerConfig) -> Self {
+        let tracker = CampaignTracker::new(config);
+        let cell = Arc::new(SnapshotCell::new(ReputationSnapshot::build(&tracker)));
+        Self { tracker, cell }
+    }
+
+    /// A cloneable query handle onto the published snapshots. Handles stay
+    /// valid for the daemon's lifetime and across epoch swaps.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle::new(Arc::clone(&self.cell))
+    }
+
+    /// The live tracker (read access; the daemon is the single writer).
+    pub fn tracker(&self) -> &CampaignTracker {
+        &self.tracker
+    }
+
+    /// The number of epochs closed so far.
+    pub fn epoch(&self) -> u32 {
+        self.tracker.epoch()
+    }
+
+    /// Feeds one point into the current (open) epoch. Readers are
+    /// unaffected until [`Daemon::close_epoch`] publishes the boundary.
+    pub fn ingest(&mut self, point: ScreenshotPoint) {
+        self.tracker.ingest(point);
+    }
+
+    /// Feeds a batch of points into the current epoch.
+    pub fn ingest_all(&mut self, points: impl IntoIterator<Item = ScreenshotPoint>) {
+        self.tracker.ingest_all(points);
+    }
+
+    /// Closes the current epoch and atomically publishes the new
+    /// reputation snapshot. Queries in flight keep the previous snapshot;
+    /// queries started after this call see the new one.
+    pub fn close_epoch(&mut self) -> EpochSummary {
+        let summary = self.tracker.end_epoch();
+        self.cell.publish(ReputationSnapshot::build(&self.tracker));
+        summary
+    }
+
+    /// Runs one epoch per batch: ingest, then close. This is the shape the
+    /// pipeline's entry points produce
+    /// ([`Pipeline::crawl_epoch_batches`](seacma_core::Pipeline::crawl_epoch_batches),
+    /// [`Pipeline::milking_epoch_batches`](seacma_core::Pipeline::milking_epoch_batches)).
+    pub fn run_epochs(
+        &mut self,
+        batches: impl IntoIterator<Item = Vec<ScreenshotPoint>>,
+    ) -> Vec<EpochSummary> {
+        batches
+            .into_iter()
+            .map(|batch| {
+                self.ingest_all(batch);
+                self.close_epoch()
+            })
+            .collect()
+    }
+
+    /// Drives a timestamped feed through the virtual-time scheduler until
+    /// `until`: every boundary at or before `until` closes an epoch
+    /// holding exactly the feed entries before it. The feed must be
+    /// nondecreasing in time (the simulator's merge-sweep order).
+    ///
+    /// ```
+    /// use seacma_daemon::{Daemon, EpochScheduler};
+    /// use seacma_simweb::{SimTime, DAY};
+    /// use seacma_tracker::TrackerConfig;
+    /// use seacma_vision::cluster::ScreenshotPoint;
+    /// use seacma_vision::dhash::Dhash;
+    ///
+    /// let mut daemon = Daemon::new(TrackerConfig::default());
+    /// let mut sched = EpochScheduler::new(SimTime::EPOCH, DAY);
+    /// let feed: Vec<(SimTime, ScreenshotPoint)> = (0..12u64)
+    ///     .map(|i| (
+    ///         SimTime(i * 200),
+    ///         ScreenshotPoint::new(Dhash(0xFACE ^ (1 << (i % 3))), format!("evil{i}.club")),
+    ///     ))
+    ///     .collect();
+    /// let summaries = daemon.run_feed(&feed, &mut sched, SimTime::EPOCH + DAY * 2);
+    /// assert_eq!(summaries.len(), 2); // two whole virtual days closed
+    /// assert_eq!(sched.closed(), 2);
+    /// ```
+    pub fn run_feed(
+        &mut self,
+        feed: &[(SimTime, ScreenshotPoint)],
+        sched: &mut EpochScheduler,
+        until: SimTime,
+    ) -> Vec<EpochSummary> {
+        let mut summaries = Vec::new();
+        let mut next = 0usize;
+        while sched.next_boundary() <= until {
+            let boundary = sched.next_boundary();
+            while next < feed.len() && feed[next].0 < boundary {
+                self.ingest(feed[next].1.clone());
+                next += 1;
+            }
+            summaries.push(self.close_epoch());
+            sched.advance();
+        }
+        summaries
+    }
+
+    /// Serializes the daemon's full resumable state — exactly the
+    /// tracker's canonical JSON ([`CampaignTracker::to_json`]), including
+    /// any points of the open epoch.
+    pub fn to_json(&self) -> String {
+        self.tracker.to_json()
+    }
+
+    /// Boots a daemon from a [`Daemon::to_json`] snapshot and republishes
+    /// the reputation snapshot. Resuming is byte-identical: the restored
+    /// tracker re-serializes to the same bytes, and the republished
+    /// snapshot answers every query exactly like the pre-restart one.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let tracker = CampaignTracker::from_json(text)?;
+        let cell = Arc::new(SnapshotCell::new(ReputationSnapshot::build(&tracker)));
+        Ok(Self { tracker, cell })
+    }
+}

@@ -1,0 +1,79 @@
+//! The virtual-time epoch scheduler.
+//!
+//! The daemon's write loop runs on the simulator's virtual clock, not wall
+//! time: an epoch closes when the feed's virtual timestamps cross the next
+//! boundary, exactly as the batch pipeline's tracking phase buckets its
+//! feeds. Keeping the schedule virtual is what makes the resident process
+//! byte-comparable to the offline run — both close the same epochs on the
+//! same points regardless of how fast the host machine is.
+
+use seacma_simweb::{SimDuration, SimTime};
+
+/// Fixed-length epoch boundaries over virtual time.
+///
+/// Epoch `k` (0-based) covers `start + k·len <= t < start + (k+1)·len`;
+/// [`advance`](EpochScheduler::advance) closes the current epoch and moves
+/// to the next. The scheduler is pure bookkeeping — it never blocks — so
+/// the daemon's writer drives it as fast as the feed allows.
+///
+/// ```
+/// use seacma_daemon::EpochScheduler;
+/// use seacma_simweb::{SimTime, DAY};
+///
+/// let mut sched = EpochScheduler::new(SimTime::EPOCH, DAY);
+/// assert_eq!(sched.closed(), 0);
+/// assert_eq!(sched.next_boundary(), SimTime::EPOCH + DAY);
+/// assert_eq!(sched.epoch_of(SimTime(25 * 60)), 1);
+/// sched.advance();
+/// assert_eq!(sched.closed(), 1);
+/// assert_eq!(sched.next_boundary(), SimTime::EPOCH + DAY * 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochScheduler {
+    start: SimTime,
+    len: SimDuration,
+    closed: u64,
+}
+
+impl EpochScheduler {
+    /// A scheduler starting at `start` with epochs of length `len`
+    /// (clamped to at least one virtual minute).
+    pub fn new(start: SimTime, len: SimDuration) -> Self {
+        let len = SimDuration::from_minutes(len.minutes().max(1));
+        Self { start, len, closed: 0 }
+    }
+
+    /// The schedule's origin.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The epoch length.
+    pub fn epoch_len(&self) -> SimDuration {
+        self.len
+    }
+
+    /// Number of epochs closed so far — the epoch index the next close
+    /// will carry, matching [`CampaignTracker::epoch`](seacma_tracker::CampaignTracker::epoch).
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// The virtual instant the current epoch ends: a point with
+    /// `t < next_boundary()` belongs to the current (or an earlier) epoch.
+    pub fn next_boundary(&self) -> SimTime {
+        self.start + self.len * (self.closed + 1)
+    }
+
+    /// Which epoch a virtual instant falls into (times before `start`
+    /// clamp to epoch 0 — `SimTime` subtraction saturates).
+    pub fn epoch_of(&self, t: SimTime) -> u64 {
+        (t - self.start).minutes() / self.len.minutes()
+    }
+
+    /// Closes the current epoch and returns the boundary of the next one.
+    pub fn advance(&mut self) -> SimTime {
+        self.closed += 1;
+        self.next_boundary()
+    }
+}

@@ -1,0 +1,282 @@
+//! Immutable reputation snapshots and their atomic publication cell.
+//!
+//! The daemon's read path never blocks on an in-flight epoch: every epoch
+//! close builds a fresh immutable [`ReputationSnapshot`] and publishes it
+//! into the [`SnapshotCell`] with a pointer swap. Readers clone the `Arc`
+//! under a read lock held for nanoseconds, then answer any number of
+//! queries lock-free against the frozen snapshot — a query that started
+//! against snapshot `N` keeps answering from snapshot `N` even while
+//! snapshot `N + 1` is being built and published.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use seacma_simweb::domain::e2ld;
+use seacma_simweb::Url;
+use seacma_tracker::CampaignTracker;
+use seacma_vision::cluster::ScreenshotPoint;
+use seacma_vision::dhash::Dhash;
+use seacma_vision::index::HammingIndex;
+
+use crate::query::{CampaignStatus, DhashMatch, UrlVerdict};
+
+/// One epoch boundary's frozen reputation state: the unique points, an
+/// exact banded Hamming index over their hashes, the ledger's point
+/// assignments, and per-campaign statuses.
+///
+/// All queries are read-only and a pure function of the snapshot, so the
+/// same snapshot always returns byte-identical answers — the invariant the
+/// offline oracle ([`crate::offline::replay_batches`]) checks against.
+///
+/// ```
+/// use seacma_daemon::{ReputationSnapshot, UrlVerdict};
+/// use seacma_tracker::{CampaignTracker, TrackerConfig};
+/// use seacma_vision::cluster::ScreenshotPoint;
+/// use seacma_vision::dhash::Dhash;
+///
+/// let mut tracker = CampaignTracker::new(TrackerConfig::default());
+/// for i in 0..12u32 {
+///     tracker.ingest(ScreenshotPoint::new(
+///         Dhash(0xFACE ^ (1 << (i % 3))),
+///         format!("evil{}.club", i % 6),
+///     ));
+/// }
+/// tracker.end_epoch();
+/// let snap = ReputationSnapshot::build(&tracker);
+/// assert_eq!(snap.epoch(), 1);
+/// assert!(matches!(snap.lookup_url("http://evil3.club/lp"), UrlVerdict::Tracked { .. }));
+/// assert_eq!(snap.lookup_url("https://example.com/"), UrlVerdict::Unknown);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReputationSnapshot {
+    epoch: u32,
+    points: Vec<ScreenshotPoint>,
+    index: HammingIndex,
+    assignments: Vec<Option<u32>>,
+    domains: HashMap<String, u32>,
+    statuses: Vec<CampaignStatus>,
+}
+
+impl ReputationSnapshot {
+    /// Freezes a tracker's state at its current epoch boundary.
+    ///
+    /// Points ingested since the last [`end_epoch`](CampaignTracker::end_epoch)
+    /// appear in the index but are unassigned, so they cannot influence any
+    /// answer — a snapshot built mid-epoch answers exactly like the one
+    /// published at the last boundary.
+    pub fn build(tracker: &CampaignTracker) -> Self {
+        let points = tracker.unique_points().to_vec();
+        let mut assignments = tracker.ledger().assignments().to_vec();
+        assignments.resize(points.len(), None);
+        let statuses =
+            tracker.ledger().records().iter().map(CampaignStatus::from_record).collect();
+        Self::from_parts(
+            tracker.epoch(),
+            points,
+            assignments,
+            statuses,
+            tracker.config().params.eps,
+        )
+    }
+
+    /// Assembles a snapshot from its constituent parts — the entry point
+    /// the offline oracle shares with [`ReputationSnapshot::build`], so
+    /// both sides derive the domain map and the Hamming index the same
+    /// deterministic way.
+    ///
+    /// `assignments[i]` is the ledger id of `points[i]` (`None` = noise or
+    /// not yet observed); `statuses` lists every ledger record in id order;
+    /// `eps` is the clustering radius the index answers dhash queries for.
+    /// The domain map assigns each e2LD of a non-merged record to the
+    /// smallest claiming ledger id (records are scanned in id order).
+    pub fn from_parts(
+        epoch: u32,
+        points: Vec<ScreenshotPoint>,
+        assignments: Vec<Option<u32>>,
+        statuses: Vec<CampaignStatus>,
+        eps: f64,
+    ) -> Self {
+        debug_assert_eq!(points.len(), assignments.len());
+        let hashes: Vec<Dhash> = points.iter().map(|p| p.dhash).collect();
+        let index = HammingIndex::build(&hashes, eps);
+        let mut domains = HashMap::new();
+        for s in statuses.iter().filter(|s| !matches!(s.state, seacma_tracker::LifeState::Merged))
+        {
+            for d in &s.domains {
+                domains.entry(d.clone()).or_insert(s.id);
+            }
+        }
+        Self { epoch, points, index, assignments, domains, statuses }
+    }
+
+    /// The number of closed epochs this snapshot reflects.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The distinct `(dhash, e2LD)` points frozen into the snapshot.
+    pub fn points(&self) -> &[ScreenshotPoint] {
+        &self.points
+    }
+
+    /// Every ledger record's status, in id order.
+    pub fn statuses(&self) -> &[CampaignStatus] {
+        &self.statuses
+    }
+
+    /// The status of ledger id `id`, if it exists.
+    pub fn campaign(&self, id: u32) -> Option<&CampaignStatus> {
+        self.statuses.get(id as usize)
+    }
+
+    /// Reputation of a bare effective second-level domain.
+    pub fn lookup_domain(&self, e2ld: &str) -> UrlVerdict {
+        match self.domains.get(e2ld) {
+            Some(&id) => {
+                let s = &self.statuses[id as usize];
+                UrlVerdict::Tracked { campaign: id, state: s.state, qualified: s.qualified }
+            }
+            None => UrlVerdict::Unknown,
+        }
+    }
+
+    /// Reputation of a URL: parses it (falling back to treating the input
+    /// as a bare hostname), reduces the host to its e2LD, and looks that
+    /// up. The answer depends only on the e2LD — campaigns rotate hosts
+    /// and paths freely, the e2LD is what the θc filter counts.
+    pub fn lookup_url(&self, url: &str) -> UrlVerdict {
+        let key = match url.parse::<Url>() {
+            Ok(u) => u.e2ld(),
+            Err(_) => e2ld(url.trim()),
+        };
+        self.lookup_domain(&key)
+    }
+
+    /// The nearest tracked campaign within the clustering radius of probe
+    /// hash `h`: among assigned points in the `eps`-ball, the one with
+    /// minimal `(distance, point index)`. `None` when no assigned point is
+    /// within the radius — an unassigned (noise or mid-epoch) point never
+    /// produces a match.
+    pub fn nearest_campaign(&self, h: Dhash) -> Option<DhashMatch> {
+        let mut scratch = Vec::new();
+        self.index.neighbours_of_hash(h, &mut scratch);
+        scratch
+            .iter()
+            .filter_map(|&q| {
+                self.assignments[q]
+                    .map(|id| ((h.0 ^ self.points[q].dhash.0).count_ones(), q, id))
+            })
+            .min_by_key(|&(d, q, _)| (d, q))
+            .map(|(distance, _, id)| {
+                let s = &self.statuses[id as usize];
+                DhashMatch { campaign: id, distance, state: s.state, qualified: s.qualified }
+            })
+    }
+}
+
+/// The atomic publication cell: a single slot holding the current
+/// [`ReputationSnapshot`] behind an `Arc`.
+///
+/// [`publish`](SnapshotCell::publish) takes the write lock only for the
+/// pointer swap; [`load`](SnapshotCell::load) takes the read lock only to
+/// clone the `Arc`. No query work happens under either lock, so readers
+/// never block on an in-flight epoch and the writer never waits for
+/// readers to finish a query.
+///
+/// ```
+/// use seacma_daemon::{ReputationSnapshot, SnapshotCell};
+/// use seacma_tracker::{CampaignTracker, TrackerConfig};
+///
+/// let tracker = CampaignTracker::new(TrackerConfig::default());
+/// let cell = SnapshotCell::new(ReputationSnapshot::build(&tracker));
+/// let before = cell.load();            // readers hold snapshot 0...
+/// cell.publish(ReputationSnapshot::build(&tracker));
+/// assert_eq!(before.epoch(), cell.load().epoch()); // ...swap does not touch it
+/// ```
+#[derive(Debug)]
+pub struct SnapshotCell {
+    slot: RwLock<Arc<ReputationSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding `initial`.
+    pub fn new(initial: ReputationSnapshot) -> Self {
+        Self { slot: RwLock::new(Arc::new(initial)) }
+    }
+
+    /// The current snapshot. The read lock is held only for the `Arc`
+    /// clone; queries run lock-free afterwards.
+    pub fn load(&self) -> Arc<ReputationSnapshot> {
+        self.slot.read().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Atomically replaces the current snapshot. In-flight readers keep
+    /// their `Arc` to the previous snapshot; new loads see `snapshot`.
+    pub fn publish(&self, snapshot: ReputationSnapshot) {
+        *self.slot.write().expect("snapshot cell poisoned") = Arc::new(snapshot);
+    }
+}
+
+/// A cloneable, thread-safe handle serving reputation queries from the
+/// latest published snapshot.
+///
+/// Each query loads the current snapshot once and answers from it, so a
+/// single call is internally consistent; callers that need several answers
+/// from the *same* epoch take [`QueryHandle::snapshot`] once and query
+/// that.
+///
+/// ```
+/// use seacma_daemon::{Daemon, UrlVerdict};
+/// use seacma_tracker::TrackerConfig;
+/// use seacma_vision::cluster::ScreenshotPoint;
+/// use seacma_vision::dhash::Dhash;
+///
+/// let mut daemon = Daemon::new(TrackerConfig::default());
+/// let handle = daemon.handle();        // clones can move to other threads
+/// for i in 0..12u32 {
+///     daemon.ingest(ScreenshotPoint::new(
+///         Dhash(0xFACE ^ (1 << (i % 3))),
+///         format!("evil{}.club", i % 6),
+///     ));
+/// }
+/// assert_eq!(handle.epoch(), 0);       // mid-epoch points are not served yet
+/// daemon.close_epoch();
+/// assert_eq!(handle.epoch(), 1);
+/// assert!(matches!(handle.url("http://evil0.club/"), UrlVerdict::Tracked { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    cell: Arc<SnapshotCell>,
+}
+
+impl QueryHandle {
+    /// A handle reading from `cell`.
+    pub fn new(cell: Arc<SnapshotCell>) -> Self {
+        Self { cell }
+    }
+
+    /// The latest published snapshot, for multi-query consistency.
+    pub fn snapshot(&self) -> Arc<ReputationSnapshot> {
+        self.cell.load()
+    }
+
+    /// The number of closed epochs in the latest published snapshot.
+    pub fn epoch(&self) -> u32 {
+        self.snapshot().epoch()
+    }
+
+    /// URL reputation, per [`ReputationSnapshot::lookup_url`].
+    pub fn url(&self, url: &str) -> UrlVerdict {
+        self.snapshot().lookup_url(url)
+    }
+
+    /// Nearest-campaign lookup, per [`ReputationSnapshot::nearest_campaign`].
+    pub fn dhash(&self, h: Dhash) -> Option<DhashMatch> {
+        self.snapshot().nearest_campaign(h)
+    }
+
+    /// Campaign status, per [`ReputationSnapshot::campaign`].
+    pub fn campaign(&self, id: u32) -> Option<CampaignStatus> {
+        self.snapshot().campaign(id).cloned()
+    }
+}

@@ -1,0 +1,264 @@
+//! Property suites for the resident daemon (ISSUE: the forall! gates).
+//!
+//! 1. Any query served mid-epoch against published snapshot `N` answers
+//!    byte-identically to the offline **batch** pipeline's snapshot at
+//!    epoch `N` (the two-implementation oracle in `seacma_daemon::offline`).
+//! 2. Snapshot/resume under live concurrent query load stays
+//!    byte-identical: the resumed daemon re-serializes to the same bytes
+//!    and serves the same answers, and both runs stay identical when fed
+//!    the same remaining epochs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use seacma_daemon::offline::replay_batches;
+use seacma_daemon::{Daemon, ReputationSnapshot};
+use seacma_tracker::{LedgerConfig, TrackerConfig};
+use seacma_util::prop::Rng;
+use seacma_util::{forall, json};
+use seacma_vision::cluster::ScreenshotPoint;
+use seacma_vision::dhash::Dhash;
+
+/// A campaign-shaped corpus: most points are near-duplicates of a few
+/// templates on rotating domains, the rest uniform noise.
+fn synth(rng: &mut Rng, n: usize) -> Vec<ScreenshotPoint> {
+    let centers: Vec<u128> = (0..rng.range(1, 4)).map(|_| rng.u128()).collect();
+    (0..n)
+        .map(|i| {
+            if rng.bool(0.8) {
+                let c = rng.below(centers.len() as u64) as usize;
+                let mut h = centers[c];
+                for _ in 0..rng.below(4) {
+                    h ^= 1u128 << rng.below(128);
+                }
+                ScreenshotPoint::new(Dhash(h), format!("c{c}-{}.club", rng.below(8)))
+            } else {
+                ScreenshotPoint::new(Dhash(rng.u128()), format!("noise{i}.info"))
+            }
+        })
+        .collect()
+}
+
+/// Contiguous random split of `corpus` into `epochs` batches (some may be
+/// empty — quiet epochs must close too).
+fn split_epochs(rng: &mut Rng, corpus: &[ScreenshotPoint], epochs: usize) -> Vec<Vec<ScreenshotPoint>> {
+    let mut cuts: Vec<usize> = (0..epochs - 1).map(|_| rng.range(0, corpus.len() + 1)).collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(epochs);
+    let mut prev = 0;
+    for c in cuts {
+        out.push(corpus[prev..c].to_vec());
+        prev = c;
+    }
+    out.push(corpus[prev..].to_vec());
+    out
+}
+
+/// A probe set exercising hits, misses and boundaries of a corpus.
+fn probes(rng: &mut Rng, corpus: &[ScreenshotPoint]) -> (Vec<String>, Vec<Dhash>) {
+    let mut urls: Vec<String> = corpus.iter().map(|p| format!("http://www.{}/lp", p.e2ld)).collect();
+    urls.push("http://never-seen.example/x".into());
+    urls.push("bare-host.club".into());
+    let mut hashes: Vec<Dhash> = corpus.iter().map(|p| p.dhash).collect();
+    for i in 0..corpus.len().min(16) {
+        hashes.push(Dhash(corpus[i].dhash.0 ^ (1u128 << rng.below(128))));
+    }
+    hashes.push(Dhash(rng.u128()));
+    (urls, hashes)
+}
+
+/// Serializes every probe's answer from one snapshot into one string, so
+/// snapshot equivalence reduces to string equality.
+fn answer_sheet(snap: &ReputationSnapshot, urls: &[String], hashes: &[Dhash]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("epoch={}\n", snap.epoch()));
+    for u in urls {
+        out.push_str(&json::to_string(&snap.lookup_url(u)));
+        out.push('\n');
+    }
+    for &h in hashes {
+        out.push_str(&json::to_string(&snap.nearest_campaign(h)));
+        out.push('\n');
+    }
+    for id in 0..=(snap.statuses().len() as u32) {
+        out.push_str(&json::to_string(&snap.campaign(id).cloned()));
+        out.push('\n');
+    }
+    out
+}
+
+/// The empty boot snapshot — the oracle for queries before epoch 1.
+fn empty_oracle(config: TrackerConfig) -> ReputationSnapshot {
+    ReputationSnapshot::from_parts(0, Vec::new(), Vec::new(), Vec::new(), config.params.eps)
+}
+
+#[test]
+fn mid_epoch_queries_match_offline_batch_answers() {
+    forall!(10, |rng| {
+        let config = TrackerConfig {
+            ledger: LedgerConfig {
+                quiet_window: rng.range(1, 3) as u32,
+                death_window: rng.range(3, 5) as u32,
+            },
+            ..Default::default()
+        };
+        let n = rng.range(40, 120);
+        let corpus = synth(rng, n);
+        let epochs = rng.range(2, 5);
+        let batches = split_epochs(rng, &corpus, epochs);
+        let (urls, hashes) = probes(rng, &corpus);
+
+        let oracle = replay_batches(config, &batches);
+        let boot = empty_oracle(config);
+        let oracle_at =
+            |e: usize| if e == 0 { &boot } else { &oracle[e - 1] };
+
+        let mut daemon = Daemon::new(config);
+        let handle = daemon.handle();
+        for (e, batch) in batches.iter().enumerate() {
+            // Mid-epoch: ingest a strict prefix, then query. The served
+            // snapshot must still answer as of the last closed boundary.
+            let cut = rng.range(0, batch.len() + 1);
+            daemon.ingest_all(batch[..cut].iter().cloned());
+            let served = handle.snapshot();
+            assert_eq!(served.epoch() as usize, e);
+            assert_eq!(
+                answer_sheet(&served, &urls, &hashes),
+                answer_sheet(oracle_at(e), &urls, &hashes),
+                "mid-epoch answers diverged from the batch oracle at epoch {e}"
+            );
+
+            daemon.ingest_all(batch[cut..].iter().cloned());
+            daemon.close_epoch();
+            assert_eq!(
+                answer_sheet(&handle.snapshot(), &urls, &hashes),
+                answer_sheet(oracle_at(e + 1), &urls, &hashes),
+                "boundary answers diverged from the batch oracle at epoch {}",
+                e + 1
+            );
+        }
+    });
+}
+
+#[test]
+fn concurrent_readers_always_see_a_published_oracle_state() {
+    let mut rng = Rng::new(0x5EAC_DAE0);
+    let config = TrackerConfig::default();
+    let corpus = synth(&mut rng, 400);
+    let batches = split_epochs(&mut rng, &corpus, 6);
+    let (urls, hashes) = probes(&mut rng, &corpus);
+
+    // Sheet per epoch (0 = boot), precomputed from the batch oracle.
+    let mut sheets: Vec<String> =
+        vec![answer_sheet(&empty_oracle(config), &urls, &hashes)];
+    for snap in replay_batches(config, &batches) {
+        sheets.push(answer_sheet(&snap, &urls, &hashes));
+    }
+    let sheets = Arc::new(sheets);
+
+    let mut daemon = Daemon::new(config);
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for reader in 0..4 {
+            let handle = daemon.handle();
+            let urls = &urls;
+            let hashes = &hashes;
+            let sheets = Arc::clone(&sheets);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last_epoch = 0u32;
+                let mut rounds = 0u32;
+                while !done.load(Ordering::Relaxed) || rounds == 0 {
+                    // Whatever snapshot a reader grabs mid-write, it must
+                    // be a published boundary, answer exactly like the
+                    // batch oracle at that epoch, and never run backwards.
+                    let snap = handle.snapshot();
+                    let e = snap.epoch();
+                    assert!(e >= last_epoch, "reader {reader} saw the epoch go backwards");
+                    last_epoch = e;
+                    assert_eq!(
+                        answer_sheet(&snap, urls, hashes),
+                        sheets[e as usize],
+                        "reader {reader} saw a non-oracle state at epoch {e}"
+                    );
+                    rounds += 1;
+                }
+            });
+        }
+        // The single writer: epochs close while the readers are spinning.
+        for batch in &batches {
+            daemon.ingest_all(batch.iter().cloned());
+            daemon.close_epoch();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(daemon.epoch() as usize, batches.len());
+}
+
+#[test]
+fn snapshot_resume_stays_byte_identical_under_live_queries() {
+    forall!(6, |rng| {
+        let config = TrackerConfig::default();
+        let n = rng.range(40, 100);
+        let corpus = synth(rng, n);
+        let batches = split_epochs(rng, &corpus, 3);
+        let (urls, hashes) = probes(rng, &corpus);
+
+        let mut daemon = Daemon::new(config);
+        // A reader hammering the handle for the whole scenario — snapshots
+        // and resumes must not be perturbed by (or perturb) live loads.
+        let live = daemon.handle();
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            {
+                let live = live.clone();
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = live.snapshot();
+                        let _ = snap.lookup_url("http://c0-0.club/");
+                        let _ = snap.nearest_campaign(Dhash(0));
+                    }
+                });
+            }
+
+            let mut resumed: Option<Daemon> = None;
+            for (e, batch) in batches.iter().enumerate() {
+                // Snapshot mid-epoch (open points included), resume, and
+                // check byte identity plus answer identity right away.
+                let cut = rng.range(0, batch.len() + 1);
+                daemon.ingest_all(batch[..cut].iter().cloned());
+                if let Some(r) = resumed.as_mut() {
+                    r.ingest_all(batch[..cut].iter().cloned());
+                }
+                let frozen = daemon.to_json();
+                let r = Daemon::from_json(&frozen).expect("snapshot parses");
+                assert_eq!(r.to_json(), frozen, "resume must re-serialize identically");
+                assert_eq!(
+                    answer_sheet(&r.handle().snapshot(), &urls, &hashes),
+                    answer_sheet(&live.snapshot(), &urls, &hashes),
+                    "resumed daemon answers diverged at epoch {e}"
+                );
+                if resumed.is_none() {
+                    resumed = Some(r);
+                }
+
+                daemon.ingest_all(batch[cut..].iter().cloned());
+                daemon.close_epoch();
+                if let Some(r) = resumed.as_mut() {
+                    r.ingest_all(batch[cut..].iter().cloned());
+                    r.close_epoch();
+                }
+            }
+            // The earliest resumed daemon, fed the identical remainder,
+            // ends byte-identical to the never-restarted one.
+            let resumed = resumed.expect("at least one epoch ran");
+            assert_eq!(resumed.to_json(), daemon.to_json());
+            assert_eq!(
+                answer_sheet(&resumed.handle().snapshot(), &urls, &hashes),
+                answer_sheet(&live.snapshot(), &urls, &hashes),
+            );
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+}

@@ -61,6 +61,39 @@ pub fn discovery_points(
         .collect()
 }
 
+/// Buckets a [`discovery_points`] feed into one batch per virtual day —
+/// the epoch-step hook the tracking phase and the resident daemon's
+/// scheduler drive. Batch `d` holds every discovery with
+/// `start + d·DAY <= first_seen < start + (d+1)·DAY`; quiet days yield
+/// empty batches (they must still close an epoch, or dormancy and death
+/// would never fire), and `days` is clamped to at least one.
+///
+/// The feed is nondecreasing in `first_seen` (merge-sweep order), so each
+/// batch preserves the feed's ingestion order and concatenating all
+/// batches reproduces the feed exactly.
+pub fn epoch_batches(
+    feed: &[(SimTime, ScreenshotPoint)],
+    start: SimTime,
+    days: u64,
+) -> Vec<Vec<ScreenshotPoint>> {
+    let days = days.max(1);
+    let mut out = Vec::with_capacity(days as usize);
+    let mut next = 0usize;
+    for day in 0..days {
+        let end = start + seacma_simweb::SimDuration::from_minutes(
+            seacma_simweb::DAY.minutes() * (day + 1),
+        );
+        let mut batch = Vec::new();
+        while next < feed.len() && feed[next].0 < end {
+            batch.push(feed[next].1.clone());
+            next += 1;
+        }
+        out.push(batch);
+    }
+    debug_assert_eq!(next, feed.len(), "every discovery falls inside the window");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +154,28 @@ mod tests {
         }
         // Merge-sweep order ⇒ nondecreasing first_seen.
         assert!(points.windows(2).all(|w| w[0].0 <= w[1].0));
+
+        // The epoch-step hook: day buckets partition the feed in order,
+        // quiet days close as empty batches.
+        let days = 2u64;
+        let batches = epoch_batches(&points, t0, days);
+        assert_eq!(batches.len(), days as usize);
+        let rejoined: Vec<ScreenshotPoint> = batches.iter().flatten().cloned().collect();
+        let flat: Vec<ScreenshotPoint> = points.iter().map(|(_, p)| p.clone()).collect();
+        assert_eq!(rejoined, flat, "bucketing must preserve the feed order");
+        for (d, batch) in batches.iter().enumerate() {
+            let end = t0 + SimDuration::from_minutes(seacma_simweb::DAY.minutes() * (d as u64 + 1));
+            let mut idx = 0;
+            for (t, p) in points.iter().filter(|(t, _)| {
+                *t < end
+                    && (d == 0
+                        || *t >= t0
+                            + SimDuration::from_minutes(seacma_simweb::DAY.minutes() * d as u64))
+            }) {
+                assert_eq!(&batch[idx], p, "misplaced discovery at {t:?}");
+                idx += 1;
+            }
+            assert_eq!(idx, batch.len(), "day {d} holds exactly its window");
+        }
     }
 }

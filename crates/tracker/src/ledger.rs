@@ -205,6 +205,18 @@ impl CampaignLedger {
         self.records.iter().filter(|r| r.campaign && r.state != LifeState::Merged)
     }
 
+    /// The ledger id each unique point belonged to at the last closed
+    /// epoch (`None` = noise). Indexed by the clusterer's unique-point
+    /// order; its length is the unique count at the last observation, so
+    /// points ingested since then are implicitly unassigned.
+    ///
+    /// This is the publication handle the reputation daemon snapshots:
+    /// together with the unique points it fixes every dhash→campaign
+    /// answer at an epoch boundary.
+    pub fn assignments(&self) -> &[Option<u32>] {
+        &self.assign
+    }
+
     /// Closes an epoch: re-identifies `clusters` against the previous
     /// observation, journals every life event, and returns the events in
     /// deterministic order (cluster index order, merges before updates).

@@ -95,6 +95,20 @@ impl CampaignTracker {
         &self.ledger
     }
 
+    /// The distinct `(dhash, e2LD)` points seen so far, in arrival order —
+    /// the clustering domain the ledger's
+    /// [`assignments`](CampaignLedger::assignments) index into. Snapshot
+    /// publication handle for the reputation daemon: at an epoch boundary
+    /// these points plus the assignments fix every reputation answer.
+    pub fn unique_points(&self) -> &[ScreenshotPoint] {
+        self.clusterer.unique_points()
+    }
+
+    /// Number of distinct `(dhash, e2LD)` pairs seen so far.
+    pub fn unique_len(&self) -> usize {
+        self.clusterer.unique_len()
+    }
+
     /// Feeds one screenshot point into the current epoch.
     pub fn ingest(&mut self, point: ScreenshotPoint) {
         self.clusterer.insert(point);

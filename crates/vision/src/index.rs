@@ -211,12 +211,25 @@ impl HammingIndex {
     /// `radius` bits of point `p` (including `p` itself) — exactly the set
     /// the naive O(n) scan returns, in the same order.
     pub fn neighbours_into(&self, p: usize, out: &mut Vec<usize>) {
+        self.neighbours_of_hash(self.hashes[p], out);
+    }
+
+    /// Writes into `out` the ascending indices of every indexed point
+    /// within `radius` bits of an arbitrary **probe** hash `h` — the hash
+    /// need not itself be indexed. This is the read-only query view the
+    /// reputation daemon serves dhash lookups from: the pigeonhole
+    /// argument is symmetric in the probe, so the candidate superset (the
+    /// probe's `B` band buckets) is still complete and every candidate is
+    /// verified with the true 128-bit distance.
+    ///
+    /// For an indexed `p`, `neighbours_of_hash(hash_of(p))` equals
+    /// [`HammingIndex::neighbours_into`]`(p)` — same set, same order.
+    pub fn neighbours_of_hash(&self, h: Dhash, out: &mut Vec<usize>) {
         out.clear();
         if self.radius >= HASH_BITS {
             out.extend(0..self.hashes.len());
             return;
         }
-        let h = self.hashes[p];
         // Verification is one XOR+popcount per candidate; a verified
         // neighbour is emitted only from its *first* matching band (a
         // neighbour matching band j also matches no earlier band iff the
@@ -239,6 +252,19 @@ impl HammingIndex {
             }
         }
         out.sort_unstable();
+    }
+
+    /// The nearest indexed point within `radius` bits of probe `h`, as
+    /// `(point index, distance)` — ties break to the lowest point index,
+    /// so the answer is a pure function of the indexed set. `None` when no
+    /// indexed point is within the radius.
+    pub fn nearest_of_hash(&self, h: Dhash, scratch: &mut Vec<usize>) -> Option<(usize, u32)> {
+        self.neighbours_of_hash(h, scratch);
+        scratch
+            .iter()
+            .map(|&q| (q, (h.0 ^ self.hashes[q].0).count_ones()))
+            .min_by_key(|&(q, d)| (d, q))
+            .map(|(q, d)| (q, d))
     }
 
     /// Precomputes every point's neighbour list, sharding the queries
@@ -399,6 +425,49 @@ mod tests {
         let mut out = Vec::new();
         one.neighbours_into(0, &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn probe_hash_queries_match_brute_force() {
+        use seacma_util::prop::Rng;
+        let mut rng = Rng::new(0xD0_5EAC);
+        let base = rng.u128();
+        let hashes: Vec<Dhash> = (0..70)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Dhash(base ^ (1u128 << (i % 11)))
+                } else {
+                    Dhash(rng.u128())
+                }
+            })
+            .collect();
+        let index = HammingIndex::build(&hashes, 0.1);
+        let mut out = Vec::new();
+        // Probes that are NOT in the index: near the planted cluster,
+        // random, and exactly at the radius boundary of a known point.
+        let mut probes = vec![Dhash(base ^ 3), Dhash(rng.u128())];
+        probes.push(Dhash(hashes[0].0 ^ ((1u128 << index.radius()) - 1)));
+        probes.push(Dhash(hashes[0].0 ^ ((1u128 << (index.radius() + 1)) - 1)));
+        for h in probes {
+            index.neighbours_of_hash(h, &mut out);
+            let brute: Vec<usize> = (0..hashes.len())
+                .filter(|&q| hamming(h, hashes[q]) <= index.radius())
+                .collect();
+            assert_eq!(out, brute, "probe {h:?}");
+            let nearest = index.nearest_of_hash(h, &mut out);
+            let brute_nearest = (0..hashes.len())
+                .map(|q| (q, hamming(h, hashes[q])))
+                .filter(|&(_, d)| d <= index.radius())
+                .min_by_key(|&(q, d)| (d, q));
+            assert_eq!(nearest, brute_nearest, "nearest for probe {h:?}");
+        }
+        // For indexed points, the probe path equals the by-index path.
+        let mut by_index = Vec::new();
+        for p in 0..hashes.len() {
+            index.neighbours_into(p, &mut by_index);
+            index.neighbours_of_hash(hashes[p], &mut out);
+            assert_eq!(out, by_index, "p={p}");
+        }
     }
 
     #[test]

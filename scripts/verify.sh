@@ -17,7 +17,37 @@ cargo test -q --offline
 #   crawl_scaling — the farm's render-free fast path (shared clean-render
 #     cache, deferred fused dhashes, sharded assembly) reproduces the
 #     sequential full-render CrawlDataset byte for byte at 1, 2 and 8
-#     workers.
-for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling; do
+#     workers;
+#   query_scaling — the resident daemon's served answers are byte-
+#     identical to the offline batch pipeline at every epoch boundary,
+#     and a snapshot → resume round trip changes neither the serialized
+#     state nor one answer byte.
+for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling query_scaling; do
     cargo run --release --offline -p seacma-bench --bin "$bench" -- --quick
 done
+
+# Daemon end-to-end smoke: boot seacmad over the simulated measurement,
+# let the epoch loop drain, query, snapshot — then resume from that
+# snapshot and re-issue the same queries. The two answer transcripts
+# must be byte-identical (the daemon's restart story).
+snap=$(mktemp) first=$(mktemp) second=$(mktemp)
+trap 'rm -f "$snap" "$first" "$second"' EXIT
+queries='url http://c0-0.club/lp
+dhash 00000000000000000000000000000000
+campaign 0
+status'
+{
+    sleep 2 # every epoch (10 ms each) has closed by now
+    printf '%s\n' "$queries"
+    printf 'snapshot %s\nquit\n' "$snap"
+} | cargo run --release --offline -p seacma-daemon --bin seacmad -- \
+        --seed 42 --epoch-ms 10 2>/dev/null | grep -v '"ok"' >"$first"
+printf '%s\nquit\n' "$queries" \
+    | cargo run --release --offline -p seacma-daemon --bin seacmad -- \
+        --seed 42 --resume "$snap" 2>/dev/null >"$second"
+diff "$first" "$second"
+echo "daemon smoke: resumed answers byte-identical"
+
+# ISSUE.md is per-PR scaffolding, not part of the artifact — a checkout
+# without one must still verify clean.
+[ -f ISSUE.md ] || echo "note: no ISSUE.md in this checkout (fine)"
