@@ -4,7 +4,7 @@
 //! ~1,300 loads per source — and discards the instrumented event log of
 //! every one of them (backtracking graphs are built during the crawl, not
 //! during milking). [`QuietBrowser`] serves that workload: it follows the
-//! exact redirect semantics of [`BrowserSession::navigate`] without
+//! exact redirect semantics of [`BrowserSession::navigate`](crate::session::BrowserSession::navigate) without
 //! allocating log events, holds the per-source client profile once instead
 //! of rebuilding it per visit, and caches the expensive clean pass of each
 //! campaign creative's render so repeat screenshots pay only the

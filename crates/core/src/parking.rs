@@ -2,7 +2,7 @@
 //!
 //! The paper found that 11 of its 22 benign clusters were parked or
 //! inaccessible domains and noted: "Most of these domains could be
-//! automatically filtered out using parking detection algorithms [38].
+//! automatically filtered out using parking detection algorithms \[38\].
 //! We leave adding this automated filtering component to future work."
 //! This module implements that component, following the structural cues
 //! of Vissers et al. (NDSS'15): parking pages are script-light, carry no

@@ -510,6 +510,39 @@ impl EthicsReport {
 }
 
 // ---------------------------------------------------------------------------
+// Analysis extraction (feeds the seacma-report Analysis implementations)
+// ---------------------------------------------------------------------------
+
+/// GSB listing lags across a milking outcome, in fractional virtual days,
+/// ascending. Domains GSB never listed are excluded — count them with
+/// [`gsb_unlisted`]; together the two cover every discovery exactly once.
+pub fn gsb_lag_days(milking: &MilkingOutcome) -> Vec<f64> {
+    let mut lags: Vec<f64> = milking
+        .discoveries
+        .iter()
+        .filter_map(|d| d.gsb_lag())
+        .map(|lag| lag.minutes() as f64 / (24.0 * 60.0))
+        .collect();
+    lags.sort_by(f64::total_cmp);
+    lags
+}
+
+/// Number of milked domains GSB never listed (the paper's blacklist-gap
+/// headline; the complement of [`gsb_lag_days`]).
+pub fn gsb_unlisted(milking: &MilkingOutcome) -> usize {
+    milking.discoveries.iter().filter(|d| d.gsb_listed_at.is_none()).count()
+}
+
+/// Campaign-cluster sizes (screenshot counts per θc-surviving cluster),
+/// descending — the raw series behind the cluster-size distribution.
+pub fn cluster_sizes(discovery: &DiscoveryOutput) -> Vec<u32> {
+    let mut sizes: Vec<u32> =
+        discovery.clusters.campaigns.iter().map(|c| c.len() as u32).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+// ---------------------------------------------------------------------------
 // CSV rendering (machine-readable exports of the same tables)
 // ---------------------------------------------------------------------------
 

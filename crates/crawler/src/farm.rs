@@ -2,10 +2,10 @@
 //!
 //! The paper ran container replicas across five servers plus residential
 //! laptops; here each replica is a worker thread executing
-//! [`visit_publisher`](crate::visit::visit_publisher) jobs. Because every
+//! [`visit_publisher`] jobs. Because every
 //! fetch is a pure function of `(seed, url, client, time)`, the visit
 //! schedule fixes virtual time per job **independently of thread count**:
-//! the farm pretends to have [`CrawlSchedule::VIRTUAL_LANES`] crawlers
+//! the farm pretends to have [`CrawlSchedule::lanes`] crawlers
 //! running 2-minute sessions back to back, and any number of OS threads
 //! may execute that schedule.
 

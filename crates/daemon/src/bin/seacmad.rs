@@ -12,16 +12,23 @@
 //! dhash <32-hex>         nearest campaign to a screenshot hash
 //! campaign <id>          lifecycle status of a ledger id
 //! status                 daemon status (epoch, points, campaigns)
+//! dash [frames]          live ANSI dashboard on stderr (refreshes per epoch)
 //! snapshot <path>        write resumable state at the next epoch boundary
+//! help                   list commands
 //! quit                   shut down
 //! ```
+//!
+//! The dashboard keeps stdout a clean one-JSON-answer-per-line transcript
+//! by drawing on stderr; `dash 20` redraws for up to 20 epoch boundaries.
 
 use std::io::{BufRead, Write as _};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use seacma_core::{Pipeline, PipelineConfig};
+use seacma_daemon::dash::{render_frame, QueryCounters};
 use seacma_daemon::Daemon;
+use seacma_report::ansi::CLEAR_SCREEN;
 use seacma_util::json;
 use seacma_vision::dhash::Dhash;
 
@@ -48,7 +55,7 @@ fn main() {
                 eprintln!(
                     "usage: seacmad [--seed N] [--epoch-ms MS] [--resume PATH]\n\
                      queries on stdin: url <u> | dhash <32-hex> | campaign <id> | status | \
-                     snapshot <path> | quit"
+                     dash [frames] | snapshot <path> | help | quit"
                 );
                 return;
             }
@@ -89,6 +96,7 @@ fn main() {
         .into_iter()
         .skip(daemon.epoch() as usize)
         .collect();
+    let epochs_total = daemon.epoch() + batches.len() as u32;
     eprintln!(
         "seacmad: {} landings queued in {} epochs ({epoch_ms} ms each); serving queries",
         batches.iter().map(Vec::len).sum::<usize>(),
@@ -136,20 +144,32 @@ fn main() {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut counters = QueryCounters::default();
+    let started = Instant::now();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         let mut parts = line.split_whitespace();
         let answer = match (parts.next(), parts.next()) {
-            (Some("url"), Some(u)) => json::to_string(&handle.url(u)),
+            (Some("url"), Some(u)) => {
+                counters.url += 1;
+                json::to_string(&handle.url(u))
+            }
             (Some("dhash"), Some(h)) => match Dhash::parse(h) {
-                Some(d) => json::to_string(&handle.dhash(d)),
+                Some(d) => {
+                    counters.dhash += 1;
+                    json::to_string(&handle.dhash(d))
+                }
                 None => r#"{"error":"dhash wants 32 hex digits"}"#.to_string(),
             },
             (Some("campaign"), Some(id)) => match id.parse::<u32>() {
-                Ok(id) => json::to_string(&handle.campaign(id)),
+                Ok(id) => {
+                    counters.campaign += 1;
+                    json::to_string(&handle.campaign(id))
+                }
                 Err(_) => r#"{"error":"campaign wants a numeric id"}"#.to_string(),
             },
             (Some("status"), None) => {
+                counters.status += 1;
                 let snap = handle.snapshot();
                 format!(
                     r#"{{"epoch":{},"points":{},"campaigns":{}}}"#,
@@ -158,14 +178,63 @@ fn main() {
                     snap.statuses().iter().filter(|s| s.qualified).count(),
                 )
             }
+            (Some("dash"), frames) => {
+                // Draw on stderr so stdout stays a clean query transcript.
+                // With a frame budget > 1 the dashboard waits for epoch
+                // boundaries and redraws, live-tailing the writer thread
+                // through the shared QueryHandle.
+                let budget: u32 = frames.and_then(|f| f.parse().ok()).unwrap_or(1);
+                let mut rendered = 0u32;
+                let mut last_epoch = 0u32;
+                while rendered < budget {
+                    let snap = handle.snapshot();
+                    if rendered > 0 && snap.epoch() == last_epoch {
+                        std::thread::sleep(Duration::from_millis((epoch_ms / 4).max(10)));
+                        continue;
+                    }
+                    last_epoch = snap.epoch();
+                    let frame = render_frame(
+                        &snap,
+                        &counters,
+                        epochs_total,
+                        Some(started.elapsed().as_secs_f64()),
+                    );
+                    let mut err = std::io::stderr().lock();
+                    if budget > 1 {
+                        let _ = write!(err, "{CLEAR_SCREEN}");
+                    }
+                    for l in &frame {
+                        let _ = writeln!(err, "{}", l.ansi());
+                    }
+                    rendered += 1;
+                    if last_epoch >= epochs_total {
+                        break; // feed drained: no further boundary will come
+                    }
+                }
+                format!(r#"{{"ok":"dash drew {rendered} frame(s) on stderr"}}"#)
+            }
             (Some("snapshot"), Some(path)) => {
                 let _ = tx.send(Command::Snapshot(path.to_string()));
                 r#"{"ok":"snapshot queued for the next boundary"}"#.to_string()
             }
+            (Some("help"), None) => concat!(
+                r#"{"commands":{"#,
+                r#""url <url-or-e2ld>":"reputation verdict for a URL or bare domain","#,
+                r#""dhash <32-hex>":"nearest campaign to a screenshot hash","#,
+                r#""campaign <id>":"lifecycle status of a ledger id","#,
+                r#""status":"daemon status: epoch, points, qualified campaigns","#,
+                r#""dash [frames]":"live ANSI dashboard on stderr, redrawn per epoch boundary","#,
+                r#""snapshot <path>":"write resumable state at the next epoch boundary","#,
+                r#""help":"this list","#,
+                r#""quit":"shut down"}}"#
+            )
+            .to_string(),
             (Some("quit"), None) => break,
             (None, None) => continue,
-            _ => r#"{"error":"commands: url, dhash, campaign, status, snapshot, quit"}"#
-                .to_string(),
+            _ => {
+                r#"{"error":"commands: url, dhash, campaign, status, dash, snapshot, help, quit"}"#
+                    .to_string()
+            }
         };
         let mut out = stdout.lock();
         let _ = writeln!(out, "{answer}");

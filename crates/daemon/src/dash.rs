@@ -1,0 +1,217 @@
+//! The live ANSI dashboard served by `seacmad`'s `dash` command.
+//!
+//! A dashboard frame is a pure function of three inputs — the latest
+//! published [`ReputationSnapshot`], the REPL's [`QueryCounters`] and the
+//! epoch-feed length — rendered into [`Line`]s with seacma-report's
+//! std-only ANSI primitives (no ratatui; the hermetic build has no TUI
+//! dependency to reach for). The frame reuses the same [`Analysis`]
+//! implementations the HTML report ships: what the operator watches live
+//! is literally the report's tables computed over the daemon's served
+//! snapshot.
+//!
+//! ```
+//! use seacma_daemon::dash::{render_frame, QueryCounters};
+//! use seacma_daemon::ReputationSnapshot;
+//! use seacma_tracker::{CampaignTracker, TrackerConfig};
+//!
+//! let snap = ReputationSnapshot::build(&CampaignTracker::new(TrackerConfig::default()));
+//! let frame = render_frame(&snap, &QueryCounters::default(), 12, Some(1.5));
+//! assert!(frame[0].plain().contains("seacmad"));
+//! assert!(frame.iter().any(|l| l.plain().contains("epoch 0/12")));
+//! ```
+
+use seacma_report::ansi::{meter, Line, Span, Style};
+use seacma_report::{Analysis, CampaignObs, ReportInputs};
+use seacma_tracker::LifeState;
+
+use crate::snapshot::ReputationSnapshot;
+
+/// Width of the epoch progress meter, in cells.
+const METER_WIDTH: usize = 40;
+
+/// Cumulative per-kind query counts for the REPL session. The dashboard
+/// derives totals and QPS from these; the REPL increments them as it
+/// answers.
+///
+/// ```
+/// use seacma_daemon::dash::QueryCounters;
+///
+/// let mut c = QueryCounters::default();
+/// c.url += 2;
+/// c.status += 1;
+/// assert_eq!(c.total(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// `url <u>` queries answered.
+    pub url: u64,
+    /// `dhash <h>` queries answered.
+    pub dhash: u64,
+    /// `campaign <id>` queries answered.
+    pub campaign: u64,
+    /// `status` queries answered.
+    pub status: u64,
+}
+
+impl QueryCounters {
+    /// Total queries answered across all kinds.
+    pub fn total(&self) -> u64 {
+        self.url + self.dhash + self.campaign + self.status
+    }
+}
+
+/// Projects the daemon's served statuses into the analyses' input bundle:
+/// campaigns map field-for-field, and qualified campaigns' member counts
+/// stand in for cluster sizes (the snapshot serves exactly the clusters
+/// that met θc).
+pub fn snapshot_inputs(snapshot: &ReputationSnapshot) -> ReportInputs {
+    let mut inputs = ReportInputs::new(0);
+    inputs.epoch = snapshot.epoch();
+    inputs.campaigns = snapshot
+        .statuses()
+        .iter()
+        .map(|s| CampaignObs {
+            id: s.id,
+            state: s.state,
+            qualified: s.qualified,
+            members: s.members,
+            domains: s.domains.len() as u32,
+            birth_epoch: s.birth_epoch,
+            last_growth_epoch: s.last_growth_epoch,
+        })
+        .collect();
+    inputs.cluster_sizes = snapshot
+        .statuses()
+        .iter()
+        .filter(|s| s.qualified)
+        .map(|s| s.members)
+        .collect();
+    inputs.cluster_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    inputs
+}
+
+fn count_state(snapshot: &ReputationSnapshot, state: LifeState) -> u64 {
+    snapshot.statuses().iter().filter(|s| s.state == state).count() as u64
+}
+
+/// Renders one dashboard frame: header, epoch progress meter, campaign
+/// status counts, query counters (with QPS when a session duration is
+/// known) and the report analyses computed over the snapshot. Pure
+/// function of its arguments — tests assert on the plain projection.
+pub fn render_frame(
+    snapshot: &ReputationSnapshot,
+    counters: &QueryCounters,
+    epochs_total: u32,
+    elapsed_secs: Option<f64>,
+) -> Vec<Line> {
+    let mut lines = Vec::new();
+    lines.push(Line::styled("seacmad — live campaign dashboard", Style::TITLE));
+
+    // Epoch progress.
+    let epoch = snapshot.epoch();
+    lines.push(Line(vec![
+        Span::raw(format!("epoch {epoch}/{epochs_total}  ")),
+        Span::styled(meter(u64::from(epoch), u64::from(epochs_total), METER_WIDTH), Style::CYAN),
+        Span::raw(if epoch >= epochs_total { "  (feed drained)" } else { "" }),
+    ]));
+
+    // Campaign status counts.
+    let qualified = snapshot.statuses().iter().filter(|s| s.qualified).count();
+    lines.push(Line(vec![
+        Span::raw(format!("campaigns {qualified} qualified  |  ")),
+        Span::styled(format!("{} active", count_state(snapshot, LifeState::Active)), Style::GREEN),
+        Span::raw("  "),
+        Span::styled(
+            format!("{} dormant", count_state(snapshot, LifeState::Dormant)),
+            Style::YELLOW,
+        ),
+        Span::raw("  "),
+        Span::styled(format!("{} dead", count_state(snapshot, LifeState::Dead)), Style::RED),
+        Span::raw("  "),
+        Span::styled(format!("{} merged", count_state(snapshot, LifeState::Merged)), Style::DIM),
+    ]));
+
+    // Query counters.
+    let mut counter_spans = vec![
+        Span::raw("queries "),
+        Span::styled(counters.total().to_string(), Style::BOLD),
+        Span::raw(format!(
+            "  (url {} | dhash {} | campaign {} | status {})",
+            counters.url, counters.dhash, counters.campaign, counters.status
+        )),
+    ];
+    if let Some(secs) = elapsed_secs {
+        if secs > 0.0 {
+            counter_spans.push(Span::styled(
+                format!("  {:.1} q/s", counters.total() as f64 / secs),
+                Style::CYAN,
+            ));
+        }
+    }
+    lines.push(Line(counter_spans));
+    lines.push(Line::default());
+
+    // The report's own analyses over the served snapshot.
+    let inputs = snapshot_inputs(snapshot);
+    let analyses: [&dyn Analysis; 2] = [
+        &seacma_report::CampaignGrowth,
+        &seacma_report::ClusterSizeDistribution,
+    ];
+    for a in analyses {
+        lines.extend(a.render_ansi(&a.compute(&inputs)));
+        lines.push(Line::default());
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seacma_tracker::{CampaignTracker, TrackerConfig};
+    use seacma_vision::cluster::ScreenshotPoint;
+    use seacma_vision::dhash::Dhash;
+
+    fn tracked_snapshot() -> ReputationSnapshot {
+        let mut tracker = CampaignTracker::new(TrackerConfig::default());
+        for i in 0..12u32 {
+            tracker.ingest(ScreenshotPoint::new(
+                Dhash(0xFACE ^ (1 << (i % 3))),
+                format!("evil{}.club", i % 6),
+            ));
+        }
+        tracker.end_epoch();
+        ReputationSnapshot::build(&tracker)
+    }
+
+    #[test]
+    fn frame_reflects_snapshot_and_counters() {
+        let snap = tracked_snapshot();
+        let mut counters = QueryCounters::default();
+        counters.url = 3;
+        counters.dhash = 2;
+        let frame = render_frame(&snap, &counters, 10, Some(2.0));
+        let text: Vec<String> = frame.iter().map(Line::plain).collect();
+        assert!(text.iter().any(|l| l.contains("epoch 1/10")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("queries 5")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("2.5 q/s")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Campaign growth")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Cluster-size distribution")), "{text:?}");
+    }
+
+    #[test]
+    fn frame_is_deterministic() {
+        let snap = tracked_snapshot();
+        let c = QueryCounters::default();
+        assert_eq!(render_frame(&snap, &c, 10, None), render_frame(&snap, &c, 10, None));
+    }
+
+    #[test]
+    fn snapshot_inputs_projects_statuses() {
+        let snap = tracked_snapshot();
+        let inputs = snapshot_inputs(&snap);
+        assert_eq!(inputs.campaigns.len(), snap.statuses().len());
+        assert_eq!(inputs.epoch, snap.epoch());
+        let descending = inputs.cluster_sizes.windows(2).all(|w| w[0] >= w[1]);
+        assert!(descending);
+    }
+}

@@ -54,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod daemon;
+pub mod dash;
 pub mod offline;
 pub mod query;
 pub mod scheduler;

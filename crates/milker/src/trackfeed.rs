@@ -1,7 +1,8 @@
 //! Feed milking discoveries back into the campaign tracker.
 //!
 //! The tracker clusters `(dhash, e2LD)` screenshot points, but a
-//! [`DomainDiscovery`] records only the landing URL and time — the
+//! [`DomainDiscovery`](crate::DomainDiscovery) records only the landing
+//! URL and time — the
 //! scheduler compares dhash bits and throws the hash away. Every render in
 //! the simulator is a pure function of `(seed, url, client, time)`, so the
 //! screenshot the milker matched can be re-derived bit for bit: load the

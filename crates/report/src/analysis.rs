@@ -1,0 +1,169 @@
+//! The [`Analysis`] trait and the report composer.
+//!
+//! An analysis is compute-then-render: [`Analysis::compute`] turns
+//! [`ReportInputs`] into a typed [`Table`] (the machine-checkable
+//! artifact), and the render methods project that table into an HTML
+//! [`Section`] or dashboard [`Line`]s. The default renders cover the
+//! common table-shaped case; an analysis overrides them only to add
+//! shape (meters, extra prose) on top of the same table.
+
+use crate::ansi::{table_lines, Line};
+use crate::html::{table_html, Section};
+use crate::inputs::ReportInputs;
+use crate::table::Table;
+
+/// One report analysis: a stable id, a computation into a [`Table`], and
+/// HTML/ANSI projections of that table.
+///
+/// ```
+/// use seacma_report::{Analysis, Cell, ReportInputs, Table};
+///
+/// struct SeedEcho;
+/// impl Analysis for SeedEcho {
+///     fn id(&self) -> &'static str { "seed-echo" }
+///     fn title(&self) -> &'static str { "Seed echo" }
+///     fn compute(&self, inputs: &ReportInputs) -> Table {
+///         let mut t = Table::new(self.id(), self.title(), &["seed"]);
+///         t.push([Cell::UInt(inputs.seed)]);
+///         t
+///     }
+/// }
+///
+/// let table = SeedEcho.compute(&ReportInputs::new(42));
+/// let section = SeedEcho.render_html(&table);
+/// assert_eq!(section.id, "seed-echo");
+/// assert!(section.html.contains("<td class=\"num\">42</td>"));
+/// assert_eq!(SeedEcho.render_ansi(&table)[0].plain(), "Seed echo");
+/// ```
+pub trait Analysis {
+    /// Stable identifier — the HTML section anchor and the table id. Must
+    /// be unique within a report; the composer asserts it.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable section title.
+    fn title(&self) -> &'static str;
+
+    /// One sentence of context rendered above the table (paper mapping,
+    /// units). Empty by default.
+    fn note(&self) -> &'static str {
+        ""
+    }
+
+    /// Computes the machine-checkable table from the inputs. Must be a
+    /// pure function of `inputs` — the determinism gate diffs two runs.
+    fn compute(&self, inputs: &ReportInputs) -> Table;
+
+    /// Projects a computed table into an HTML section.
+    fn render_html(&self, table: &Table) -> Section {
+        Section::new(self.id(), self.title(), table_html(table, self.note()))
+    }
+
+    /// Projects a computed table into dashboard lines.
+    fn render_ansi(&self, table: &Table) -> Vec<Line> {
+        table_lines(table)
+    }
+}
+
+/// Composes analyses into the final self-contained HTML document.
+///
+/// Sections are emitted in ascending [`Analysis::id`] order regardless of
+/// registration order — the report's layout is part of its byte-identity
+/// contract, and callers should not have to care how their analysis list
+/// happened to be assembled. Duplicate ids are a programming error and
+/// panic.
+///
+/// ```
+/// use seacma_report::{compose_html, standard_analyses, ReportInputs};
+///
+/// let html = compose_html("SEACMA report", &standard_analyses(), &ReportInputs::new(42));
+/// assert!(html.starts_with("<!DOCTYPE html>"));
+/// assert!(html.contains("<section id=\"blacklist-lag\">"));
+/// ```
+pub fn compose_html(title: &str, analyses: &[Box<dyn Analysis>], inputs: &ReportInputs) -> String {
+    let mut order: Vec<usize> = (0..analyses.len()).collect();
+    order.sort_by_key(|&i| analyses[i].id());
+    for pair in order.windows(2) {
+        assert_ne!(
+            analyses[pair[0]].id(),
+            analyses[pair[1]].id(),
+            "duplicate analysis id"
+        );
+    }
+    let sections: Vec<Section> = order
+        .iter()
+        .map(|&i| {
+            let a = &analyses[i];
+            a.render_html(&a.compute(inputs))
+        })
+        .collect();
+    let intro = format!(
+        "Deterministic analysis report over the simulated SEACMA measurement at seed {} \
+         ({} closed tracking epochs). Every section is computed by a seacma-report \
+         `Analysis` and is a pure function of the measurement outputs.",
+        inputs.seed, inputs.epoch
+    );
+    crate::html::render_document(title, &intro, &sections)
+}
+
+/// The standard report: the five shipped analyses, one instance each.
+///
+/// ```
+/// use seacma_report::standard_analyses;
+///
+/// let ids: Vec<&str> = standard_analyses().iter().map(|a| a.id()).collect();
+/// assert_eq!(
+///     ids,
+///     [
+///         "campaign-growth",
+///         "blacklist-lag",
+///         "adnet-attribution",
+///         "cluster-size-distribution",
+///         "bench-trajectory",
+///     ],
+/// );
+/// ```
+pub fn standard_analyses() -> Vec<Box<dyn Analysis>> {
+    vec![
+        Box::new(crate::analyses::CampaignGrowth),
+        Box::new(crate::analyses::BlacklistLag),
+        Box::new(crate::analyses::AdnetAttribution),
+        Box::new(crate::analyses::ClusterSizeDistribution),
+        Box::new(crate::analyses::BenchTrajectory),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    struct Fixed(&'static str);
+    impl Analysis for Fixed {
+        fn id(&self) -> &'static str {
+            self.0
+        }
+        fn title(&self) -> &'static str {
+            self.0
+        }
+        fn compute(&self, _inputs: &ReportInputs) -> Table {
+            let mut t = Table::new(self.id(), self.title(), &["v"]);
+            t.push([Cell::UInt(1)]);
+            t
+        }
+    }
+
+    #[test]
+    fn composition_is_registration_order_independent() {
+        let inputs = ReportInputs::new(1);
+        let ab: Vec<Box<dyn Analysis>> = vec![Box::new(Fixed("a")), Box::new(Fixed("b"))];
+        let ba: Vec<Box<dyn Analysis>> = vec![Box::new(Fixed("b")), Box::new(Fixed("a"))];
+        assert_eq!(compose_html("t", &ab, &inputs), compose_html("t", &ba, &inputs));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate analysis id")]
+    fn duplicate_ids_panic() {
+        let dup: Vec<Box<dyn Analysis>> = vec![Box::new(Fixed("a")), Box::new(Fixed("a"))];
+        compose_html("t", &dup, &ReportInputs::new(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Std-only ANSI terminal primitives for the live dashboard.
+//!
+//! The hermetic build forbids ratatui, so this module is the in-tree
+//! replacement: styled [`Span`]s composed into [`Line`]s, a table renderer
+//! over [`Table`], and unicode block-character meters. Every line renders
+//! two ways — [`Line::ansi`] with escape codes for a terminal and
+//! [`Line::plain`] without, so tests and docs can assert on stable bytes.
+
+use crate::table::Table;
+
+/// Clears the screen and homes the cursor (start of a dashboard frame).
+pub const CLEAR_SCREEN: &str = "\x1b[2J\x1b[H";
+
+/// An ANSI SGR style, stored as the parameter string between `\x1b[` and
+/// `m`. Styles are plain constants, so a [`Span`] is `Copy`-cheap to
+/// build and the rendered bytes are a pure function of the span.
+///
+/// ```
+/// use seacma_report::ansi::Style;
+///
+/// assert_eq!(Style::BOLD.wrap("x"), "\x1b[1mx\x1b[0m");
+/// assert_eq!(Style::PLAIN.wrap("x"), "x");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Style(pub &'static str);
+
+impl Style {
+    /// No styling; renders verbatim.
+    pub const PLAIN: Style = Style("");
+    /// Bold.
+    pub const BOLD: Style = Style("1");
+    /// Dim (separators, chrome).
+    pub const DIM: Style = Style("2");
+    /// Green — healthy / active.
+    pub const GREEN: Style = Style("32");
+    /// Yellow — dormant / warning.
+    pub const YELLOW: Style = Style("33");
+    /// Red — dead / alarming.
+    pub const RED: Style = Style("31");
+    /// Cyan — headings and counters.
+    pub const CYAN: Style = Style("36");
+    /// Bold cyan — frame titles.
+    pub const TITLE: Style = Style("1;36");
+
+    /// Wraps `text` in this style's escape codes (no-op for
+    /// [`Style::PLAIN`]).
+    pub fn wrap(self, text: &str) -> String {
+        if self.0.is_empty() {
+            text.to_string()
+        } else {
+            format!("\x1b[{}m{}\x1b[0m", self.0, text)
+        }
+    }
+}
+
+/// A styled run of text — the atom of dashboard rendering.
+///
+/// ```
+/// use seacma_report::ansi::{Span, Style};
+///
+/// let s = Span::styled("42", Style::GREEN);
+/// assert_eq!(s.plain(), "42");
+/// assert_eq!(s.ansi(), "\x1b[32m42\x1b[0m");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The text content.
+    pub text: String,
+    /// The style applied when rendering with escapes.
+    pub style: Style,
+}
+
+impl Span {
+    /// An unstyled span.
+    pub fn raw(text: impl Into<String>) -> Self {
+        Self { text: text.into(), style: Style::PLAIN }
+    }
+
+    /// A styled span.
+    pub fn styled(text: impl Into<String>, style: Style) -> Self {
+        Self { text: text.into(), style }
+    }
+
+    /// The span without escape codes.
+    pub fn plain(&self) -> String {
+        self.text.clone()
+    }
+
+    /// The span with escape codes.
+    pub fn ansi(&self) -> String {
+        self.style.wrap(&self.text)
+    }
+}
+
+/// One dashboard line: a sequence of spans.
+///
+/// ```
+/// use seacma_report::ansi::{Line, Span, Style};
+///
+/// let l = Line(vec![Span::raw("epoch "), Span::styled("7", Style::BOLD)]);
+/// assert_eq!(l.plain(), "epoch 7");
+/// assert_eq!(l.ansi(), "epoch \x1b[1m7\x1b[0m");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Line(pub Vec<Span>);
+
+impl Line {
+    /// A line holding a single unstyled span.
+    pub fn raw(text: impl Into<String>) -> Self {
+        Line(vec![Span::raw(text)])
+    }
+
+    /// A line holding a single styled span.
+    pub fn styled(text: impl Into<String>, style: Style) -> Self {
+        Line(vec![Span::styled(text, style)])
+    }
+
+    /// The line without escape codes.
+    pub fn plain(&self) -> String {
+        self.0.iter().map(Span::plain).collect()
+    }
+
+    /// The line with escape codes.
+    pub fn ansi(&self) -> String {
+        self.0.iter().map(|s| s.ansi()).collect()
+    }
+}
+
+/// A fixed-width horizontal meter: `filled` out of `total` as solid
+/// blocks, padded with dots. `total == 0` renders an empty meter.
+///
+/// ```
+/// use seacma_report::ansi::meter;
+///
+/// assert_eq!(meter(3, 4, 8), "██████··");
+/// assert_eq!(meter(0, 0, 4), "····");
+/// assert_eq!(meter(9, 4, 4), "████"); // clamped
+/// ```
+pub fn meter(filled: u64, total: u64, width: usize) -> String {
+    let cells = if total == 0 {
+        0
+    } else {
+        ((filled.min(total) as u128 * width as u128) / total as u128) as usize
+    };
+    let mut out = "█".repeat(cells);
+    out.push_str(&"·".repeat(width - cells));
+    out
+}
+
+/// Renders a [`Table`] as styled lines: a title line, a bold header row
+/// and dim grid separators. The plain projection of these lines equals
+/// [`Table::render_text`] prefixed with the title.
+///
+/// ```
+/// use seacma_report::ansi::table_lines;
+/// use seacma_report::{Cell, Table};
+///
+/// let mut t = Table::new("demo", "Demo", &["k", "v"]);
+/// t.push([Cell::text("a"), Cell::UInt(1)]);
+/// let lines = table_lines(&t);
+/// assert_eq!(lines[0].plain(), "Demo");
+/// assert!(lines.iter().any(|l| l.plain().contains("| a")));
+/// ```
+pub fn table_lines(table: &Table) -> Vec<Line> {
+    let mut lines = vec![Line::styled(table.title().to_string(), Style::TITLE)];
+    for (i, row) in table.render_text().lines().enumerate() {
+        let style = if row.starts_with('+') {
+            Style::DIM
+        } else if i == 1 {
+            // The header row sits between the first two grid separators.
+            Style::BOLD
+        } else {
+            Style::PLAIN
+        };
+        lines.push(Line::styled(row.to_string(), style));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    #[test]
+    fn plain_projection_matches_render_text() {
+        let mut t = Table::new("x", "X", &["a"]);
+        t.push([Cell::UInt(7)]);
+        let plain: Vec<String> = table_lines(&t).iter().skip(1).map(Line::plain).collect();
+        let expected: Vec<String> = t.render_text().lines().map(str::to_string).collect();
+        assert_eq!(plain, expected);
+    }
+
+    #[test]
+    fn meter_is_monotone() {
+        let mut prev = 0;
+        for f in 0..=10 {
+            let m = meter(f, 10, 10);
+            let blocks = m.chars().filter(|&c| c == '█').count();
+            assert!(blocks >= prev);
+            assert_eq!(m.chars().count(), 10);
+            prev = blocks;
+        }
+    }
+
+    #[test]
+    fn ansi_codes_strip_back_to_plain() {
+        let l = Line(vec![
+            Span::styled("a", Style::RED),
+            Span::raw("b"),
+            Span::styled("c", Style::TITLE),
+        ]);
+        let ansi = l.ansi();
+        let stripped: String = {
+            // Tiny inline SGR stripper: drop ESC '[' ... 'm' runs.
+            let mut out = String::new();
+            let mut chars = ansi.chars();
+            while let Some(c) = chars.next() {
+                if c == '\x1b' {
+                    for d in chars.by_ref() {
+                        if d == 'm' {
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        };
+        assert_eq!(stripped, l.plain());
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic, self-contained HTML rendering.
+//!
+//! One report is ONE file: inline CSS, no scripts, no external assets of
+//! any kind — `<link>`, `<script src>`, `<img>` and web fonts are all
+//! banned (the property suite greps for them). Given equal sections the
+//! composer emits byte-identical documents: there are no timestamps,
+//! random ids or map-ordered iterations anywhere on this path.
+
+use crate::table::Table;
+
+/// Escapes a string for HTML text/attribute context.
+///
+/// ```
+/// use seacma_report::html::escape;
+///
+/// assert_eq!(escape("a<b & \"c\""), "a&lt;b &amp; &quot;c&quot;");
+/// assert_eq!(escape("plain"), "plain");
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One rendered report section: an anchor id, a heading and a body
+/// fragment (already-escaped HTML).
+///
+/// ```
+/// use seacma_report::html::Section;
+///
+/// let s = Section::new("blacklist-lag", "Blacklist lag", "<p>CDF</p>".to_string());
+/// assert_eq!(s.id, "blacklist-lag");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Anchor id (`<section id=...>`); also the table id by convention.
+    pub id: String,
+    /// Section heading.
+    pub title: String,
+    /// Body HTML fragment (trusted: produced by this crate's renderers).
+    pub html: String,
+}
+
+impl Section {
+    /// Creates a section. `id` and `title` are escaped at render time.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, html: String) -> Self {
+        Self { id: id.into(), title: title.into(), html }
+    }
+}
+
+/// Renders a [`Table`] as an HTML fragment: an optional note paragraph
+/// followed by a `<table>` with right-aligned numeric cells.
+///
+/// ```
+/// use seacma_report::{Cell, Table};
+/// use seacma_report::html::table_html;
+///
+/// let mut t = Table::new("t", "T", &["name", "n"]);
+/// t.push([Cell::text("a&b"), Cell::UInt(2)]);
+/// let html = table_html(&t, "note");
+/// assert!(html.contains("<td class=\"num\">2</td>"));
+/// assert!(html.contains("a&amp;b"));
+/// ```
+pub fn table_html(table: &Table, note: &str) -> String {
+    let mut out = String::new();
+    if !note.is_empty() {
+        out.push_str("<p class=\"note\">");
+        out.push_str(&escape(note));
+        out.push_str("</p>\n");
+    }
+    out.push_str("<table>\n<thead><tr>");
+    for c in table.columns() {
+        out.push_str("<th>");
+        out.push_str(&escape(c));
+        out.push_str("</th>");
+    }
+    out.push_str("</tr></thead>\n<tbody>\n");
+    for row in table.rows() {
+        out.push_str("<tr>");
+        for cell in row {
+            if cell.is_numeric() {
+                out.push_str("<td class=\"num\">");
+            } else {
+                out.push_str("<td>");
+            }
+            out.push_str(&escape(&cell.render()));
+            out.push_str("</td>");
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</tbody>\n</table>\n");
+    out
+}
+
+/// The report's single inline stylesheet. Plain system fonts — loading a
+/// web font would break the self-containment contract.
+const CSS: &str = "\
+body{font:14px/1.5 -apple-system,'Segoe UI',sans-serif;margin:2rem auto;max-width:60rem;\
+padding:0 1rem;color:#1a1a1a;background:#fff}\
+h1{font-size:1.5rem;border-bottom:2px solid #1a1a1a;padding-bottom:.3rem}\
+h2{font-size:1.15rem;margin-top:2rem}\
+table{border-collapse:collapse;margin:.7rem 0}\
+th,td{border:1px solid #bbb;padding:.25rem .6rem;text-align:left}\
+th{background:#f0f0f0}\
+td.num{text-align:right;font-variant-numeric:tabular-nums}\
+p.note{color:#444;max-width:46rem}\
+nav ul{list-style:none;padding-left:0}\
+nav li{display:inline-block;margin-right:1.2rem}\
+a{color:#0a4da0;text-decoration:none}\
+a:hover{text-decoration:underline}\
+footer{margin-top:3rem;color:#666;border-top:1px solid #bbb;padding-top:.5rem}";
+
+/// Composes the final self-contained document: title, intro paragraph,
+/// table-of-contents, every section in the given order, and a footer.
+/// Pure function of its arguments — equal inputs give byte-identical
+/// output.
+///
+/// ```
+/// use seacma_report::html::{render_document, Section};
+///
+/// let doc = render_document(
+///     "SEACMA report",
+///     "seed 42",
+///     &[Section::new("s1", "First", "<p>x</p>".to_string())],
+/// );
+/// assert!(doc.starts_with("<!DOCTYPE html>"));
+/// assert!(doc.contains("<section id=\"s1\">"));
+/// assert!(doc.contains("href=\"#s1\""));
+/// assert!(!doc.contains("<script"));
+/// ```
+pub fn render_document(title: &str, intro: &str, sections: &[Section]) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<title>");
+    out.push_str(&escape(title));
+    out.push_str("</title>\n<style>");
+    out.push_str(CSS);
+    out.push_str("</style>\n</head>\n<body>\n<h1>");
+    out.push_str(&escape(title));
+    out.push_str("</h1>\n<p>");
+    out.push_str(&escape(intro));
+    out.push_str("</p>\n<nav><ul>\n");
+    for s in sections {
+        out.push_str("<li><a href=\"#");
+        out.push_str(&escape(&s.id));
+        out.push_str("\">");
+        out.push_str(&escape(&s.title));
+        out.push_str("</a></li>\n");
+    }
+    out.push_str("</ul></nav>\n");
+    for s in sections {
+        out.push_str("<section id=\"");
+        out.push_str(&escape(&s.id));
+        out.push_str("\">\n<h2>");
+        out.push_str(&escape(&s.title));
+        out.push_str("</h2>\n");
+        out.push_str(&s.html);
+        out.push_str("</section>\n");
+    }
+    out.push_str("<footer>seacma-report — deterministic analysis report; \
+regenerate with the same seed for byte-identical output.</footer>\n</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    #[test]
+    fn document_is_self_contained() {
+        let doc = render_document("t", "i", &[Section::new("a", "A", String::new())]);
+        for banned in ["<script", "<link", "<img", "src=", "http://", "https://", "@import"] {
+            assert!(!doc.contains(banned), "found banned token {banned:?}");
+        }
+    }
+
+    #[test]
+    fn sections_render_in_given_order() {
+        let doc = render_document(
+            "t",
+            "i",
+            &[
+                Section::new("b", "B", String::new()),
+                Section::new("a", "A", String::new()),
+            ],
+        );
+        let b = doc.find("<section id=\"b\">").unwrap();
+        let a = doc.find("<section id=\"a\">").unwrap();
+        assert!(b < a, "composer must not reorder what it is given");
+    }
+
+    #[test]
+    fn table_html_escapes_and_aligns() {
+        let mut t = Table::new("x", "X", &["<col>", "n"]);
+        t.push([Cell::text("<i>"), Cell::fixed(1.5, 1)]);
+        let html = table_html(&t, "a<b");
+        assert!(html.contains("&lt;col&gt;"));
+        assert!(html.contains("&lt;i&gt;"));
+        assert!(html.contains("a&lt;b"));
+        assert!(html.contains("<td class=\"num\">1.5</td>"));
+    }
+}

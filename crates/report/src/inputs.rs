@@ -1,0 +1,284 @@
+//! The one input bundle every [`Analysis`](crate::Analysis) computes from.
+//!
+//! [`ReportInputs`] decouples analyses from where their data came from:
+//! the `report` binary fills it from a full batch [`PipelineRun`], the
+//! `seacmad` dashboard fills it from the daemon's live
+//! `ReputationSnapshot`, and tests fill it by hand. Fields an origin
+//! cannot provide stay empty and the corresponding analyses render their
+//! deterministic "(no data)" row instead of failing.
+
+use std::path::Path;
+
+use seacma_core::report::{self as core_report, Table3Row};
+use seacma_core::simweb::World;
+use seacma_core::tracker::LifeState;
+use seacma_core::PipelineRun;
+use seacma_util::impl_json_struct;
+use seacma_util::json::{self, Value};
+
+/// One tracked campaign as the analyses see it: the lifecycle ledger's
+/// record (or the daemon's served status) reduced to the numbers the
+/// growth/lifetime histograms consume.
+///
+/// ```
+/// use seacma_report::CampaignObs;
+/// use seacma_core::tracker::LifeState;
+///
+/// let c = CampaignObs {
+///     id: 3,
+///     state: LifeState::Active,
+///     qualified: true,
+///     members: 41,
+///     domains: 7,
+///     birth_epoch: 2,
+///     last_growth_epoch: 5,
+/// };
+/// assert_eq!(c.lifetime_epochs(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignObs {
+    /// Stable ledger id.
+    pub id: u32,
+    /// Life state at observation.
+    pub state: LifeState,
+    /// Whether the domain count meets θc.
+    pub qualified: bool,
+    /// Screenshot count.
+    pub members: u32,
+    /// Distinct e2LD count.
+    pub domains: u32,
+    /// Epoch first observed.
+    pub birth_epoch: u32,
+    /// Last epoch the member count grew.
+    pub last_growth_epoch: u32,
+}
+
+impl CampaignObs {
+    /// Observed lifetime in epochs, birth through last growth, inclusive.
+    pub fn lifetime_epochs(&self) -> u32 {
+        self.last_growth_epoch - self.birth_epoch + 1
+    }
+}
+
+/// One measurement harvested from a checked-in `BENCH_*.json` file.
+///
+/// ```
+/// use seacma_report::BenchPoint;
+///
+/// let p = BenchPoint {
+///     series: "cluster".into(),
+///     name: "cluster/indexed/10000".into(),
+///     metric: "median_ms".into(),
+///     value: 76.28,
+/// };
+/// assert_eq!(p.series, "cluster");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Which file the point came from (`BENCH_<series>.json`).
+    pub series: String,
+    /// The benchmark's own name (e.g. `cluster/indexed/10000`).
+    pub name: String,
+    /// What `value` measures (`median_ms` or `qps`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// Everything the standard analyses consume, already extracted from
+/// pipeline / tracker / daemon / bench artifacts.
+///
+/// ```
+/// use seacma_report::ReportInputs;
+///
+/// let inputs = ReportInputs::new(42);
+/// assert_eq!(inputs.seed, 42);
+/// assert!(inputs.campaigns.is_empty()); // analyses render "(no data)"
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportInputs {
+    /// The world seed the measurement ran at (reproduction recipe).
+    pub seed: u64,
+    /// Closed epochs at observation (0 for a pure batch run).
+    pub epoch: u32,
+    /// Every tracked campaign's lifecycle observation.
+    pub campaigns: Vec<CampaignObs>,
+    /// Campaign-cluster sizes, descending.
+    pub cluster_sizes: Vec<u32>,
+    /// GSB listing lags over milked domains, fractional days, ascending.
+    pub gsb_lag_days: Vec<f64>,
+    /// Milked domains GSB never listed.
+    pub gsb_unlisted: u64,
+    /// Per-ad-network attribution rows (core's Table 3).
+    pub adnets: Vec<Table3Row>,
+    /// Bench trajectory points from `BENCH_*.json` files.
+    pub bench: Vec<BenchPoint>,
+}
+
+impl ReportInputs {
+    /// An empty bundle for the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            epoch: 0,
+            campaigns: Vec::new(),
+            cluster_sizes: Vec::new(),
+            gsb_lag_days: Vec::new(),
+            gsb_unlisted: 0,
+            adnets: Vec::new(),
+            bench: Vec::new(),
+        }
+    }
+
+    /// Extracts the full bundle from a completed batch measurement: the
+    /// ledger's campaign records, the discovery clustering, the milking
+    /// outcome's GSB lags and the attribution table.
+    pub fn from_run(world: &World, run: &PipelineRun) -> Self {
+        let campaigns = run
+            .tracking
+            .tracker
+            .ledger()
+            .records()
+            .iter()
+            .map(|r| CampaignObs {
+                id: r.id,
+                state: r.state,
+                qualified: r.campaign,
+                members: r.members,
+                domains: r.domains.len() as u32,
+                birth_epoch: r.birth_epoch,
+                last_growth_epoch: r.last_growth_epoch,
+            })
+            .collect();
+        Self {
+            seed: world.seed(),
+            epoch: run.tracking.tracker.epoch(),
+            campaigns,
+            cluster_sizes: core_report::cluster_sizes(&run.discovery),
+            gsb_lag_days: core_report::gsb_lag_days(&run.milking),
+            gsb_unlisted: core_report::gsb_unlisted(&run.milking) as u64,
+            adnets: core_report::table3(world, &run.discovery),
+            bench: Vec::new(),
+        }
+    }
+
+    /// Loads every `BENCH_*.json` under `dir` into [`ReportInputs::bench`]
+    /// (see [`load_bench_dir`]). Missing directories load zero points.
+    pub fn with_bench_dir(mut self, dir: &Path) -> Self {
+        self.bench = load_bench_dir(dir);
+        self
+    }
+}
+
+/// Harvests bench trajectory points from the checked-in `BENCH_*.json`
+/// files under `dir`, in sorted filename order (deterministic given the
+/// same files). Two shapes are understood: the bench harness's array form
+/// (`[{name, median_ns, ...}]` → one `median_ms` point per entry) and
+/// `BENCH_query.json`'s keyed form (`{"kinds": {name: {qps, ...}}}` → one
+/// `qps` point per kind). Unreadable files are skipped — a report must
+/// render from whatever artifacts exist.
+pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
+    let mut names: Vec<String> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(_) => return Vec::new(),
+    };
+    names.sort();
+    let mut points = Vec::new();
+    for name in names {
+        let series = name.trim_start_matches("BENCH_").trim_end_matches(".json").to_string();
+        let Ok(text) = std::fs::read_to_string(dir.join(&name)) else { continue };
+        let Ok(value) = json::parse(&text) else { continue };
+        match &value {
+            Value::Arr(entries) => {
+                for e in entries {
+                    let (Some(bench_name), Some(median_ns)) = (
+                        e.get("name").and_then(Value::as_str),
+                        e.get("median_ns").and_then(Value::as_f64),
+                    ) else {
+                        continue;
+                    };
+                    points.push(BenchPoint {
+                        series: series.clone(),
+                        name: bench_name.to_string(),
+                        metric: "median_ms".to_string(),
+                        value: median_ns / 1e6,
+                    });
+                }
+            }
+            Value::Obj(_) => {
+                if let Some(Value::Obj(kinds)) = value.get("kinds") {
+                    for (kind, stats) in kinds {
+                        if let Some(qps) = stats.get("qps").and_then(Value::as_f64) {
+                            points.push(BenchPoint {
+                                series: series.clone(),
+                                name: kind.clone(),
+                                metric: "qps".to_string(),
+                                value: qps,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    points
+}
+
+impl_json_struct!(CampaignObs {
+    id,
+    state,
+    qualified,
+    members,
+    domains,
+    birth_epoch,
+    last_growth_epoch,
+});
+impl_json_struct!(BenchPoint { series, name, metric, value });
+impl_json_struct!(ReportInputs {
+    seed,
+    epoch,
+    campaigns,
+    cluster_sizes,
+    gsb_lag_days,
+    gsb_unlisted,
+    adnets,
+    bench,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_dir_loads_sorted_and_tolerates_absence(){
+        assert!(load_bench_dir(Path::new("/nonexistent/dir")).is_empty());
+    }
+
+    #[test]
+    fn inputs_json_roundtrip() {
+        let mut i = ReportInputs::new(7);
+        i.campaigns.push(CampaignObs {
+            id: 0,
+            state: LifeState::Dormant,
+            qualified: true,
+            members: 5,
+            domains: 6,
+            birth_epoch: 1,
+            last_growth_epoch: 3,
+        });
+        i.bench.push(BenchPoint {
+            series: "cluster".into(),
+            name: "n".into(),
+            metric: "median_ms".into(),
+            value: 1.25,
+        });
+        let s = json::to_string(&i);
+        let back: ReportInputs = json::from_str(&s).unwrap();
+        assert_eq!(back, i);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic analysis reports and dashboard primitives for SEACMA.
+//!
+//! This crate turns measurement outputs (pipeline runs, daemon snapshots,
+//! checked-in bench artifacts) into two kinds of renderings of the SAME
+//! computed tables:
+//!
+//! 1. A single self-contained HTML report ([`compose_html`]) — inline CSS,
+//!    no scripts, no external assets, byte-identical across runs at a
+//!    fixed seed.
+//! 2. Std-only ANSI terminal lines ([`ansi`]) for the `seacmad` live
+//!    dashboard — no ratatui, no curses, just SGR escapes.
+//!
+//! The unit of extension is the [`Analysis`] trait: implement `compute`
+//! (inputs → [`Table`]) and reuse the default HTML/ANSI projections. The
+//! five shipped analyses live in [`analyses`] and are assembled by
+//! [`standard_analyses`].
+//!
+//! ```
+//! use seacma_report::{compose_html, standard_analyses, ReportInputs};
+//!
+//! // An empty input bundle still renders a complete, valid report —
+//! // every analysis shows its deterministic "(no data)" row.
+//! let html = compose_html("Empty report", &standard_analyses(), &ReportInputs::new(42));
+//! assert!(html.contains("(no data)"));
+//! assert_eq!(html, compose_html("Empty report", &standard_analyses(), &ReportInputs::new(42)));
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyses;
+pub mod analysis;
+pub mod ansi;
+pub mod html;
+pub mod inputs;
+pub mod table;
+
+pub use analyses::{
+    AdnetAttribution, BenchTrajectory, BlacklistLag, CampaignGrowth, ClusterSizeDistribution,
+};
+pub use analysis::{compose_html, standard_analyses, Analysis};
+pub use inputs::{load_bench_dir, BenchPoint, CampaignObs, ReportInputs};
+pub use table::{Cell, Table};

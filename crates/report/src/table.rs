@@ -1,0 +1,187 @@
+//! The machine-checkable half of every analysis: a typed [`Table`].
+//!
+//! An [`Analysis`](crate::Analysis) first *computes* a `Table` — ids,
+//! column headers and typed cells — and only then *renders* it to HTML or
+//! ANSI. Keeping the two steps apart is what makes reports testable: the
+//! property suites compare tables and rendered bytes independently, and
+//! the determinism contract (same inputs ⇒ byte-identical report) reduces
+//! to "cell formatting is a pure function".
+
+use seacma_util::{impl_json_enum, impl_json_struct};
+
+/// One typed table cell. Rendering is locale-free and deterministic:
+/// [`Cell::Fixed`] always prints exactly `decimals` fraction digits.
+///
+/// ```
+/// use seacma_report::Cell;
+///
+/// assert_eq!(Cell::text("Lottery/Gift").render(), "Lottery/Gift");
+/// assert_eq!(Cell::UInt(108).render(), "108");
+/// assert_eq!(Cell::fixed(7.25, 1).render(), "7.2");
+/// assert_eq!(Cell::fixed(0.0, 2).render(), "0.00");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A verbatim string.
+    Text(String),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A float rendered with a fixed number of fraction digits.
+    Fixed {
+        /// The value.
+        value: f64,
+        /// Fraction digits printed (`{:.N}` formatting).
+        decimals: u8,
+    },
+}
+
+impl Cell {
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Self {
+        Cell::Text(s.into())
+    }
+
+    /// A fixed-precision float cell.
+    pub fn fixed(value: f64, decimals: u8) -> Self {
+        Cell::Fixed { value, decimals }
+    }
+
+    /// Renders the cell to its canonical string form.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::UInt(n) => n.to_string(),
+            Cell::Fixed { value, decimals } => format!("{value:.*}", usize::from(*decimals)),
+        }
+    }
+
+    /// Whether the cell is numeric (right-aligned in renderers).
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, Cell::Text(_))
+    }
+}
+
+/// A computed analysis table: a stable id, a human title, column headers
+/// and typed rows. Row arity is enforced at push time, so renderers never
+/// see ragged data.
+///
+/// ```
+/// use seacma_report::{Cell, Table};
+///
+/// let mut t = Table::new("demo", "Demo", &["campaign", "domains"]);
+/// t.push([Cell::text("fake-av"), Cell::UInt(17)]);
+/// assert_eq!(t.rows().len(), 1);
+/// assert_eq!(t.rows()[0][1].render(), "17");
+/// // Canonical JSON — byte-stable across runs.
+/// let json = seacma_util::json::to_string(&t);
+/// assert!(json.starts_with(r#"{"id":"demo","#));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// An empty table with the given id, title and column headers.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's stable identifier (doubles as the HTML section id).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows pushed so far.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Appends a row. Panics if the arity does not match the headers —
+    /// a programming error in the analysis, not a data condition.
+    pub fn push(&mut self, row: impl Into<Vec<Cell>>) {
+        let row = row.into();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "table {:?}: row arity {} != {} columns",
+            self.id,
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as an aligned plain-text grid (the ANSI layer
+    /// styles these same strings; tests and docs paste them verbatim).
+    pub fn render_text(&self) -> String {
+        let headers: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(Cell::render).collect()).collect();
+        seacma_core::report::render_text_table(&headers, &rows)
+    }
+}
+
+impl_json_enum!(Cell {
+    Text(String),
+    UInt(u64),
+    Fixed { value: f64, decimals: u8 },
+});
+impl_json_struct!(Table { id, title, columns, rows });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rendering_is_stable() {
+        assert_eq!(Cell::fixed(1.0 / 3.0, 3).render(), "0.333");
+        assert_eq!(Cell::fixed(99.999, 1).render(), "100.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new("x", "X", &["a", "b"]);
+        t.push([Cell::UInt(1)]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        use seacma_util::json;
+        let mut t = Table::new("rt", "Round trip", &["k", "v"]);
+        t.push([Cell::text("lag"), Cell::fixed(7.5, 2)]);
+        t.push([Cell::text("n"), Cell::UInt(3)]);
+        let s = json::to_string(&t);
+        let back: Table = json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(json::to_string(&back), s);
+    }
+
+    #[test]
+    fn text_render_aligns() {
+        let mut t = Table::new("a", "A", &["name", "count"]);
+        t.push([Cell::text("x"), Cell::UInt(12345)]);
+        let out = t.render_text();
+        assert!(out.contains("| name"), "{out}");
+        assert!(out.contains("12345"), "{out}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property suite for the report composer's determinism contract:
+//! byte-identical HTML across repeated runs, stability under analysis
+//! registration order, complete section coverage and self-containment —
+//! over randomized (but seeded) input bundles.
+
+use seacma_core::tracker::LifeState;
+use seacma_report::{
+    compose_html, standard_analyses, Analysis, BenchPoint, CampaignObs, ReportInputs,
+};
+use seacma_util::forall;
+use seacma_util::prop::Rng;
+
+/// Builds a randomized-but-valid input bundle from a property rng.
+fn arbitrary_inputs(rng: &mut Rng) -> ReportInputs {
+    let mut inputs = ReportInputs::new(rng.u64());
+    inputs.epoch = rng.below(40) as u32;
+    let states =
+        [LifeState::Active, LifeState::Dormant, LifeState::Dead, LifeState::Merged];
+    for id in 0..rng.below(30) as u32 {
+        let birth = rng.below(20) as u32;
+        inputs.campaigns.push(CampaignObs {
+            id,
+            state: *rng.pick(&states),
+            qualified: rng.bool(0.5),
+            members: rng.range_u64(3, 200) as u32,
+            domains: rng.range_u64(1, 40) as u32,
+            birth_epoch: birth,
+            last_growth_epoch: birth + rng.below(15) as u32,
+        });
+    }
+    for _ in 0..rng.below(50) {
+        inputs.cluster_sizes.push(rng.range_u64(3, 300) as u32);
+    }
+    inputs.cluster_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    for _ in 0..rng.below(80) {
+        inputs.gsb_lag_days.push(rng.f64_range(0.0, 120.0));
+    }
+    inputs.gsb_lag_days.sort_by(f64::total_cmp);
+    inputs.gsb_unlisted = rng.below(200);
+    for i in 0..rng.below(5) {
+        inputs.bench.push(BenchPoint {
+            series: format!("s{i}"),
+            name: format!("bench/{i}"),
+            metric: "median_ms".to_string(),
+            value: rng.f64_range(0.0, 1e4),
+        });
+    }
+    inputs
+}
+
+#[test]
+fn html_is_byte_identical_across_repeated_runs() {
+    forall!(40, |rng| {
+        let inputs = arbitrary_inputs(rng);
+        let a = compose_html("r", &standard_analyses(), &inputs);
+        let b = compose_html("r", &standard_analyses(), &inputs);
+        assert_eq!(a, b);
+    });
+}
+
+#[test]
+fn html_is_stable_under_registration_order() {
+    forall!(25, |rng| {
+        let inputs = arbitrary_inputs(rng);
+        let reference = compose_html("r", &standard_analyses(), &inputs);
+        // A seeded Fisher-Yates shuffle of the registration order.
+        let mut shuffled = standard_analyses();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        assert_eq!(compose_html("r", &shuffled, &inputs), reference);
+    });
+}
+
+#[test]
+fn every_section_id_is_present() {
+    forall!(25, |rng| {
+        let inputs = arbitrary_inputs(rng);
+        let html = compose_html("r", &standard_analyses(), &inputs);
+        for a in standard_analyses() {
+            let anchor = format!("<section id=\"{}\">", a.id());
+            assert!(html.contains(&anchor), "missing section {}", a.id());
+            assert!(html.contains(&format!("href=\"#{}\"", a.id())), "missing TOC entry");
+        }
+    });
+}
+
+#[test]
+fn html_stays_self_contained_for_arbitrary_inputs() {
+    forall!(25, |rng| {
+        let mut inputs = arbitrary_inputs(rng);
+        // Hostile strings must be escaped, never break self-containment.
+        inputs.bench.push(BenchPoint {
+            series: "<script>alert(1)</script>".to_string(),
+            name: "<img src=\"http://evil\">".to_string(),
+            metric: "median_ms".to_string(),
+            value: 1.0,
+        });
+        let html = compose_html("r", &standard_analyses(), &inputs);
+        for banned in ["<script", "<link", "<img", "@import"] {
+            assert!(!html.contains(banned), "found banned token {banned:?}");
+        }
+        assert!(html.contains("&lt;script&gt;"), "hostile markup must appear escaped");
+    });
+}
+
+#[test]
+fn ansi_plain_projection_matches_table_text() {
+    forall!(25, |rng| {
+        let inputs = arbitrary_inputs(rng);
+        for a in standard_analyses() {
+            let table = a.compute(&inputs);
+            let lines = a.render_ansi(&table);
+            let plain: Vec<String> = lines.iter().skip(1).map(|l| l.plain()).collect();
+            let expected: Vec<String> =
+                table.render_text().lines().map(str::to_string).collect();
+            assert_eq!(plain, expected, "{}", a.id());
+        }
+    });
+}

@@ -261,7 +261,7 @@ impl SeCampaign {
     /// The scam call-center number shown on technical-support pages at
     /// time `t`. Numbers rotate far more slowly than domains (call centers
     /// are expensive); the paper notes the system "provides an automatic
-    /// real-time way to collect these scam phone numbers and add [them] to
+    /// real-time way to collect these scam phone numbers and add \[them\] to
     /// a blacklist".
     pub fn scam_phone(&self, world_seed: u64, t: SimTime) -> Option<String> {
         if self.category != SeCategory::TechnicalSupport {

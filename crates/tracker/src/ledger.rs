@@ -147,6 +147,31 @@ pub struct CampaignRecord {
     pub events: Vec<CampaignEvent>,
 }
 
+impl CampaignRecord {
+    /// Observed lifetime in epochs: birth through the last epoch the
+    /// campaign still grew, inclusive. This is the series the lifetime
+    /// histograms in `seacma-report` bucket.
+    ///
+    /// ```
+    /// use seacma_tracker::{CampaignRecord, LifeState};
+    ///
+    /// let r = CampaignRecord {
+    ///     id: 0,
+    ///     birth_epoch: 2,
+    ///     last_growth_epoch: 5,
+    ///     members: 9,
+    ///     domains: vec!["evil.club".into()],
+    ///     campaign: false,
+    ///     state: LifeState::Dormant,
+    ///     events: Vec::new(),
+    /// };
+    /// assert_eq!(r.lifetime_epochs(), 4);
+    /// ```
+    pub fn lifetime_epochs(&self) -> u32 {
+        self.last_growth_epoch - self.birth_epoch + 1
+    }
+}
+
 /// A `(campaign id, event)` pair as returned from an epoch observation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LedgerEvent {

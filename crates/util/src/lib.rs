@@ -11,7 +11,7 @@
 //!   derive-replacement macros (replaces `serde` + `serde_json`).
 //! * [`prop`] — a seeded deterministic generator and the [`forall!`]
 //!   property-test macro (replaces `proptest`).
-//! * [`bench`] — a wall-clock benchmark harness with a criterion-shaped
+//! * [`bench`](mod@bench) — a wall-clock benchmark harness with a criterion-shaped
 //!   API and JSON output, wired up by [`bench_main!`] (replaces
 //!   `criterion`).
 //!

@@ -48,6 +48,27 @@ printf '%s\nquit\n' "$queries" \
 diff "$first" "$second"
 echo "daemon smoke: resumed answers byte-identical"
 
+# Report smoke: generate the HTML report twice from the same seeded run;
+# the two files must be byte-identical (the report's determinism
+# contract) and every standard analysis section must be present.
+r1=$(mktemp) r2=$(mktemp)
+trap 'rm -f "$snap" "$first" "$second" "$r1" "$r2"' EXIT
+cargo run --release --offline -p seacma-report --bin report -- \
+    --seed 42 --out "$r1" --bench-dir . 2>/dev/null
+cargo run --release --offline -p seacma-report --bin report -- \
+    --seed 42 --out "$r2" --bench-dir . 2>/dev/null
+diff "$r1" "$r2"
+for id in campaign-growth blacklist-lag adnet-attribution \
+          cluster-size-distribution bench-trajectory; do
+    grep -q "<section id=\"$id\">" "$r1"
+done
+echo "report smoke: two runs byte-identical, all 5 sections present"
+
+# The rustdoc gate: the public API documents warning-free (intra-doc
+# links resolve, seacma-report's #![deny(missing_docs)] holds).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
+echo "rustdoc gate: warning-free"
+
 # ISSUE.md is per-PR scaffolding, not part of the artifact — a checkout
 # without one must still verify clean.
 [ -f ISSUE.md ] || echo "note: no ISSUE.md in this checkout (fine)"
