@@ -44,12 +44,14 @@ fn build_corpus(args: &BenchArgs) -> Corpus {
     // Re-render each landing's screenshot at both hash widths by crawling
     // a slice of the world directly.
     let discovery = pipeline.discover();
+    let arena = discovery.arena.read();
     let landings: Vec<_> = discovery.landings().collect();
     let mut points = Vec::new();
     let mut points64 = Vec::new();
     let mut truth = Vec::new();
     for l in &landings {
-        points.push(ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()));
+        let e2ld = arena.resolve(l.landing_e2ld);
+        points.push(ScreenshotPoint::new(l.dhash, e2ld));
         // 64-bit variant must re-render; use the labeling helper.
         if let Some(v) = seacma_core::label::visual_of(world, l) {
             let seed = seacma_simweb::det::det_hash(&[
@@ -58,9 +60,9 @@ fn build_corpus(args: &BenchArgs) -> Corpus {
                 seacma_simweb::det::str_word(&l.landing_url.to_string()),
                 l.t.minutes() / 30,
             ]);
-            points64.push(ScreenshotPoint::new(dhash64(&v.render(seed)), l.landing_e2ld.clone()));
+            points64.push(ScreenshotPoint::new(dhash64(&v.render(seed)), e2ld));
         } else {
-            points64.push(ScreenshotPoint::new(Dhash(0), l.landing_e2ld.clone()));
+            points64.push(ScreenshotPoint::new(Dhash(0), e2ld));
         }
         truth.push(l.truth_is_attack);
     }

@@ -29,6 +29,7 @@ use seacma_crawler::{
 };
 use seacma_simweb::{PublisherId, UaProfile, Vantage, World, WorldConfig};
 use seacma_util::bench::{Bench, BenchmarkId, Throughput};
+use seacma_util::sym::{SharedArena, SymbolArena};
 
 /// The pre-fast-path crawl, job for job: full-render visits (pixels
 /// materialized for every screenshot, no shared cache), executed
@@ -39,6 +40,7 @@ fn reference_crawl(
     uas: &[UaProfile],
     schedule: CrawlSchedule,
 ) -> CrawlDataset {
+    let mut arena = SymbolArena::new();
     let mut visits = Vec::with_capacity(publishers.len() * uas.len());
     let mut pass_start = schedule.start;
     for &ua in uas {
@@ -53,6 +55,7 @@ fn reference_crawl(
                 pass.job_time(idx),
                 CrawlPolicy::default(),
                 None,
+                &mut arena,
             ));
         }
         pass_start = pass.pass_end(publishers.len());
@@ -71,6 +74,7 @@ fn farm_crawl(
         uas,
         Vantage::Residential,
         CrawlSchedule::default(),
+        &SharedArena::new(),
     )
 }
 

@@ -1,0 +1,283 @@
+//! Paper-scale end-to-end bench (DESIGN.md §2i; EXPERIMENTS.md
+//! "End-to-end scale").
+//!
+//! Runs the whole measurement — crawl → cluster → track → milk → track —
+//! on one core at paper scale (a 70,000-publisher world, 14 virtual days
+//! of crawl-epoch replay and 14 virtual days of milking at the paper's
+//! 505-source cap) and records wall time, allocation calls and points
+//! processed per phase. A final phase replays the same epoch feed through
+//! the pre-refactor string path (a fresh private-arena tracker fed
+//! materialized `ScreenshotPoint` batches); its resolved snapshot —
+//! cluster set, ledger and every epoch summary — must be **byte-identical**
+//! to the symbol-path tracker's before any result is written. (The raw
+//! `to_json` states differ only in arena content: the world arena also
+//! holds publisher domains, so identity is gated on the resolved form,
+//! which is exactly what every downstream table consumes.)
+//!
+//! ```text
+//! cargo run --release -p seacma-bench --features count-alloc --bin e2e_scaling -- --json BENCH_e2e.json
+//! cargo run -p seacma-bench --features count-alloc --bin e2e_scaling -- --quick   # tier-1 smoke
+//! ```
+//!
+//! Allocation counts only appear when built with `--features count-alloc`
+//! (which installs `seacma_util::alloc::CountingAlloc` as the global
+//! allocator); without it the `allocs` column is null. With `workers = 1`
+//! the program is deterministic, so the quick-mode counts are exact and
+//! `verify.sh` gates them against a checked-in baseline.
+
+use std::time::Instant;
+
+use seacma_blacklist::VirusTotal;
+use seacma_core::{Pipeline, PipelineConfig};
+use seacma_simweb::{SimTime, UaProfile, WorldConfig, HOUR};
+use seacma_tracker::CampaignTracker;
+use seacma_util::impl_json_struct;
+use seacma_util::json;
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static ALLOC: seacma_util::alloc::CountingAlloc = seacma_util::alloc::CountingAlloc;
+
+fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "count-alloc")]
+    {
+        Some(seacma_util::alloc::alloc_count())
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        None
+    }
+}
+
+/// One measured phase row — the shape `load_bench_dir` parses out of
+/// `BENCH_e2e.json` (`wall_ms` and `allocs` points per phase name).
+#[derive(Debug, Clone, PartialEq)]
+struct PhaseRow {
+    name: String,
+    wall_ms: f64,
+    allocs: Option<u64>,
+    points: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct E2eConfig {
+    seed: u64,
+    publishers: u64,
+    uas: u64,
+    workers: u64,
+    crawl_track_epochs: u64,
+    milking_days: u64,
+    milking_sources: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct E2eOutput {
+    config: E2eConfig,
+    identity: bool,
+    arena: u64,
+    resident_points: u64,
+    phases: Vec<PhaseRow>,
+}
+
+impl_json_struct!(PhaseRow { name, wall_ms, allocs, points });
+impl_json_struct!(E2eConfig {
+    seed,
+    publishers,
+    uas,
+    workers,
+    crawl_track_epochs,
+    milking_days,
+    milking_sources,
+});
+impl_json_struct!(E2eOutput { config, identity, arena, resident_points, phases });
+
+/// Single-pass phase timer: one wall-clock and one allocation-counter
+/// bracket around `f`. No warmup or sampling — the full-scale run is the
+/// measurement (paper scale is too large to repeat), and with one worker
+/// the allocation count is exact either way.
+fn timed<T>(phases: &mut Vec<PhaseRow>, name: &str, f: impl FnOnce() -> T) -> T {
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let out = f();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let allocs = alloc_count().zip(a0).map(|(a1, b)| a1 - b);
+    phases.push(PhaseRow { name: name.to_string(), wall_ms, allocs, points: 0 });
+    out
+}
+
+/// The paper-scale configuration: a 70k-publisher pool (paper: 93,427
+/// reversed sites), two UA passes on one worker, 14 crawl-replay epochs
+/// and the default 14-day / 505-source milking window.
+fn paper_config() -> PipelineConfig {
+    PipelineConfig {
+        world: WorldConfig {
+            seed: 0x5EAC_E2E,
+            n_publishers: 70_000,
+            n_hidden_only_publishers: 7_000,
+            n_advertisers: 3_500,
+            ..Default::default()
+        },
+        uas: vec![UaProfile::ChromeMac, UaProfile::ChromeAndroid],
+        workers: 1,
+        crawl_track_epochs: 14,
+        ..Default::default()
+    }
+}
+
+/// The tier-1 smoke configuration: the standard small pipeline pinned to
+/// one worker so allocation counts are reproducible.
+fn quick_config() -> PipelineConfig {
+    PipelineConfig { workers: 1, ..PipelineConfig::small(0x5EAC) }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let json_path =
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let config = if quick { quick_config() } else { paper_config() };
+    let e2e_config = E2eConfig {
+        seed: config.world.seed,
+        publishers: u64::from(config.world.n_publishers),
+        uas: config.uas.len() as u64,
+        workers: config.workers as u64,
+        crawl_track_epochs: config.crawl_track_epochs as u64,
+        milking_days: config.milking.duration.minutes() / seacma_simweb::DAY.minutes(),
+        milking_sources: config.max_milking_sources as u64,
+    };
+
+    let t0 = Instant::now();
+    let pipeline = Pipeline::new(config);
+    println!(
+        "world: {} publishers, {} campaigns (generated in {:.1} ms)",
+        pipeline.world().publishers().len(),
+        pipeline.world().campaigns().len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+
+    let mut phases: Vec<PhaseRow> = Vec::new();
+
+    // ② ③ crawl both vantage pools.
+    let crawled = timed(&mut phases, "crawl", || pipeline.crawl_phase());
+    let landings = crawled.crawl.landing_count() as u64;
+    phases.last_mut().expect("crawl phase recorded").points = landings;
+
+    // ④ ⑤ ⑦ cluster + label + attribute.
+    let discovery = timed(&mut phases, "cluster", || pipeline.cluster_phase(crawled));
+    phases.last_mut().expect("cluster phase recorded").points = landings;
+
+    // ⑧ replay the crawl through the tracker on the symbol fast path.
+    let (mut tracker, crawl_epochs) =
+        timed(&mut phases, "track-crawl", || pipeline.track(&discovery));
+    phases.last_mut().expect("track-crawl phase recorded").points = landings;
+
+    // ⑥ validate sources against live tracker state and milk them.
+    let crawl_end = discovery
+        .crawl
+        .visits
+        .iter()
+        .map(|v| v.started)
+        .max()
+        .unwrap_or(SimTime::EPOCH)
+        + HOUR;
+    let (sources, milking) = timed(&mut phases, "milk", || {
+        let sources = pipeline.milking_sources(&discovery, &tracker, crawl_end);
+        let mut vt = VirusTotal::new(pipeline.world().seed() ^ 0x7A);
+        let outcome = pipeline.milk(&sources, crawl_end, &mut vt);
+        (sources, outcome)
+    });
+    let discoveries = milking.discoveries.len() as u64;
+    phases.last_mut().expect("milk phase recorded").points = discoveries;
+
+    // ⑧ feed the milking discoveries back, one epoch per virtual day.
+    let milking_epochs = timed(&mut phases, "track-milk", || {
+        pipeline.track_milking(&mut tracker, &sources, &milking, crawl_end)
+    });
+    phases.last_mut().expect("track-milk phase recorded").points = discoveries;
+
+    // The pre-refactor reference: a private-arena tracker fed the same
+    // epochs as materialized string points (batch construction included —
+    // that materialization is exactly the cost the symbol path removed).
+    let (reference, ref_summaries) = timed(&mut phases, "track-strings", || {
+        let mut t = CampaignTracker::new(pipeline.tracker_config());
+        let mut summaries = Vec::new();
+        for batch in pipeline.crawl_epoch_batches(&discovery) {
+            t.ingest_all(batch);
+            summaries.push(t.end_epoch());
+        }
+        for batch in pipeline.milking_epoch_batches(&sources, &milking, crawl_end) {
+            t.ingest_all(batch);
+            summaries.push(t.end_epoch());
+        }
+        (t, summaries)
+    });
+    phases.last_mut().expect("track-strings phase recorded").points = landings + discoveries;
+
+    // Byte-identity gate: resolved snapshot (clusters + ledger) and every
+    // epoch summary must match the string-based reference exactly. A
+    // mismatch aborts before any artifact is written.
+    let fast_summaries: Vec<_> = crawl_epochs.iter().chain(milking_epochs.iter()).collect();
+    assert_eq!(
+        json::to_string(&tracker.clusters()),
+        json::to_string(&reference.clusters()),
+        "symbol-path cluster snapshot diverged from the string reference"
+    );
+    assert_eq!(
+        json::to_string(tracker.ledger()),
+        json::to_string(reference.ledger()),
+        "symbol-path ledger diverged from the string reference"
+    );
+    assert_eq!(fast_summaries.len(), ref_summaries.len(), "epoch count diverged");
+    for (fast, reference) in fast_summaries.iter().zip(&ref_summaries) {
+        assert_eq!(
+            json::to_string(*fast),
+            json::to_string(reference),
+            "epoch {} summary diverged from the string reference",
+            reference.epoch,
+        );
+    }
+    println!(
+        "identity: symbol path == string reference over {} epochs ({} resident points)\n",
+        ref_summaries.len(),
+        tracker.unique_len(),
+    );
+
+    for p in &phases {
+        match p.allocs {
+            Some(a) => println!(
+                "{:<14} {:>10.1} ms  {:>12} allocs  {:>8} points",
+                p.name, p.wall_ms, a, p.points
+            ),
+            None => {
+                println!("{:<14} {:>10.1} ms  {:>12} allocs  {:>8} points", p.name, p.wall_ms, "-", p.points)
+            }
+        }
+    }
+    let find = |name: &str| phases.iter().find(|p| p.name == name).expect("phase recorded");
+    let fast_wall = find("track-crawl").wall_ms + find("track-milk").wall_ms;
+    let ref_wall = find("track-strings").wall_ms;
+    print!("\ntracking: strings {ref_wall:.1} ms vs symbols {fast_wall:.1} ms ({:.2}x)", ref_wall / fast_wall);
+    if let (Some(fa), Some(fb), Some(r)) =
+        (find("track-crawl").allocs, find("track-milk").allocs, find("track-strings").allocs)
+    {
+        let fast_allocs = fa + fb;
+        print!(
+            ", {r} vs {fast_allocs} allocs ({:.2}x fewer)",
+            r as f64 / (fast_allocs.max(1)) as f64
+        );
+    }
+    println!();
+
+    let output = E2eOutput {
+        config: e2e_config,
+        identity: true,
+        arena: pipeline.arena().len() as u64,
+        resident_points: tracker.unique_len() as u64,
+        phases,
+    };
+    if let Some(path) = json_path {
+        std::fs::write(&path, json::to_string_pretty(&output)).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

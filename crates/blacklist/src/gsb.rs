@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use seacma_util::sym::SymbolArena;
 use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_simweb::det::{det_f64, str_word};
@@ -78,10 +79,18 @@ struct DomainFate {
 /// filtering and tie-breaking reproduce the scan order exactly (first
 /// campaign in world order wins; within it, the latest in-window epoch is
 /// the activation epoch) — pinned by a property test against the scan.
+///
+/// Keyed through a private [`SymbolArena`]: each generated domain string
+/// is stored once in the arena and the occurrence column is a plain
+/// `Vec` indexed by symbol, so extending coverage by an epoch appends to
+/// dense vectors instead of growing a string-keyed map.
 #[derive(Default)]
 struct AttackIndex {
-    /// domain → `(campaign position, epoch)` occurrences, insertion order.
-    occurrences: HashMap<String, Vec<(u32, u64)>>,
+    /// Generated domain strings, interned once each.
+    arena: SymbolArena,
+    /// Per symbol: `(campaign position, epoch)` occurrences, insertion
+    /// order. Indexed by `Sym::index()`.
+    occurrences: Vec<Vec<(u32, u64)>>,
     /// Per campaign position: epochs `[0, indexed_to)` are in the map.
     indexed_to: Vec<u64>,
 }
@@ -104,12 +113,17 @@ impl AttackIndex {
             while *to <= e_now {
                 for shard in 0..c.category.parallel_shards() {
                     let d = c.attack_domain_at_epoch(world.seed(), *to, shard);
-                    self.occurrences.entry(d).or_default().push((pos as u32, *to));
+                    let sym = self.arena.intern(&d);
+                    if sym.index() == self.occurrences.len() {
+                        self.occurrences.push(Vec::new());
+                    }
+                    self.occurrences[sym.index()].push((pos as u32, *to));
                 }
                 *to += 1;
             }
         }
-        self.occurrences.get(domain).map(Vec::as_slice)
+        let sym = self.arena.lookup(domain)?;
+        Some(self.occurrences[sym.index()].as_slice())
     }
 }
 

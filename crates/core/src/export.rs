@@ -16,8 +16,10 @@ use std::io::Write as _;
 use std::path::Path;
 
 use seacma_util::json::{self, ToJson, Value};
+use seacma_util::sym::SymbolArena;
 
 use seacma_browser::{BrowserConfig, BrowserSession};
+use seacma_crawler::LandingRecord;
 use seacma_simweb::Vantage;
 
 use crate::pipeline::{Pipeline, PipelineRun};
@@ -42,10 +44,13 @@ pub fn export_run(
     fs::create_dir_all(dir.join("screenshots"))?;
     let landings: Vec<_> = run.discovery.landings().collect();
 
-    // landings.jsonl
+    // landings.jsonl — record symbols are resolved back to domain strings
+    // so the release stays self-contained (readable without the run's
+    // symbol table).
+    let arena = run.discovery.arena.read();
     let mut f = fs::File::create(dir.join("landings.jsonl"))?;
     for l in &landings {
-        json::to_writer(&mut f, l)?;
+        json::to_writer(&mut f, &landing_json(l, &arena))?;
         f.write_all(b"\n")?;
     }
 
@@ -86,6 +91,22 @@ pub fn export_run(
     Ok(ExportSummary { landings: landings.len(), campaigns: campaigns.len(), screenshots: shots })
 }
 
+/// One `landings.jsonl` line: the record's JSON with both arena symbols
+/// replaced by the domain strings they stand for.
+fn landing_json(l: &LandingRecord, arena: &SymbolArena) -> Value {
+    let mut v = l.to_json();
+    if let Value::Obj(pairs) = &mut v {
+        for (k, field) in pairs.iter_mut() {
+            match k.as_str() {
+                "publisher_domain" => *field = Value::Str(arena.resolve(l.publisher_domain).into()),
+                "landing_e2ld" => *field = Value::Str(arena.resolve(l.landing_e2ld).into()),
+                _ => {}
+            }
+        }
+    }
+    v
+}
+
 /// One `campaigns.json` entry: the cluster's label, membership and
 /// representative, in a fixed field order so exports are byte-stable.
 fn campaign_record(
@@ -116,6 +137,7 @@ mod tests {
     use seacma_simweb::{
         host::RedirectKind, PublisherId, SeCategory, SimTime, UaProfile, Url, Vantage,
     };
+    use seacma_util::sym::Sym;
     use seacma_vision::cluster::ScreenshotCluster;
     use seacma_vision::dhash::Dhash;
 
@@ -128,19 +150,20 @@ mod tests {
         assert_eq!(&json::from_str::<T>(&pretty).expect("pretty parses"), x);
     }
 
-    /// The `landings.jsonl` line shape survives serialize → parse exactly,
-    /// including string escaping, nested tuple arrays and optionals.
+    /// The in-repo `LandingRecord` shape survives serialize → parse
+    /// exactly, including nested tuple arrays and optionals. (Domain
+    /// symbols serialize as bare numbers here; the release format resolves
+    /// them — see `landing_lines_resolve_arena_symbols`.)
     #[test]
     fn landing_record_roundtrip() {
         let rec = LandingRecord {
             publisher: PublisherId(7),
-            // Exercise every escape class the writer must handle.
-            publisher_domain: "we\"ird\\pub\n\tdomain \u{1}π☂.example".into(),
+            publisher_domain: Sym(0),
             ua: UaProfile::ChromeAndroid,
             vantage: Vantage::Residential,
             click_ordinal: 2,
             landing_url: Url::http("evil.club", "/l/x.php?a=1&b=2"),
-            landing_e2ld: "evil.club".into(),
+            landing_e2ld: Sym(1),
             dhash: Dhash(u128::MAX - 5),
             hops: vec![
                 (
@@ -165,6 +188,36 @@ mod tests {
         roundtrip(&rec);
         let none = LandingRecord { milkable_candidate: None, ..rec };
         roundtrip(&none);
+    }
+
+    /// The release format resolves record symbols to strings, and the
+    /// writer escapes every hostile class those strings can carry.
+    #[test]
+    fn landing_lines_resolve_arena_symbols() {
+        let mut arena = SymbolArena::new();
+        // Exercise every escape class the writer must handle.
+        let hostile = "we\"ird\\pub\n\tdomain \u{1}π☂.example";
+        let rec = LandingRecord {
+            publisher: PublisherId(7),
+            publisher_domain: arena.intern(hostile),
+            ua: UaProfile::ChromeAndroid,
+            vantage: Vantage::Residential,
+            click_ordinal: 2,
+            landing_url: Url::http("evil.club", "/l/x.php?a=1&b=2"),
+            landing_e2ld: arena.intern("evil.club"),
+            dhash: Dhash(u128::MAX - 5),
+            hops: Vec::new(),
+            involved_urls: vec![Url::http("pub.example", "/")],
+            milkable_candidate: None,
+            t: SimTime(123_456),
+            truth_is_attack: true,
+        };
+        let line = json::to_string(&landing_json(&rec, &arena));
+        let parsed = json::parse(&line).expect("resolved line parses");
+        assert_eq!(parsed.get("publisher_domain").and_then(Value::as_str), Some(hostile));
+        assert_eq!(parsed.get("landing_e2ld").and_then(Value::as_str), Some("evil.club"));
+        // Untouched fields keep the record's own serialization.
+        assert_eq!(parsed.get("click_ordinal"), rec.to_json().get("click_ordinal"));
     }
 
     /// The `campaigns.json` entry shape: `campaign_record` output parses

@@ -1,6 +1,7 @@
 //! The end-to-end pipeline (Figure 2).
 
 use seacma_util::impl_json_struct;
+use seacma_util::sym::{SharedArena, Sym};
 
 use seacma_blacklist::{GsbService, VirusTotal};
 use seacma_crawler::{CrawlDataset, CrawlFarm, LandingRecord};
@@ -11,14 +12,34 @@ use seacma_milker::{
 use seacma_simweb::search::SourceSearch;
 use seacma_simweb::{det, PublisherId, SimTime, UaProfile, Vantage, World, DAY};
 use seacma_tracker::{CampaignTracker, EpochSummary, TrackerConfig};
-use seacma_vision::cluster::{cluster_screenshots_parallel, ScreenshotClusters, ScreenshotPoint};
+use seacma_vision::cluster::{cluster_sym_columns_parallel, ScreenshotClusters, ScreenshotPoint};
+use seacma_vision::dhash::Dhash;
 
 use crate::config::PipelineConfig;
 use crate::label::{label_clusters, ClusterLabel};
 use crate::newnet::{discover_networks, NewNetworkDiscovery};
 
+/// Output of the crawl phase alone (stages ②–③): the reversed pools and
+/// the merged dataset, before clustering. Produced by
+/// [`Pipeline::crawl_phase`], consumed by [`Pipeline::cluster_phase`] —
+/// the split exists so the end-to-end bench can time the two phases
+/// separately; [`Pipeline::discover`] composes them.
+pub struct CrawlPhase {
+    /// Seed publisher pool from pattern reversal, institutional part.
+    pub institutional_pool: Vec<PublisherId>,
+    /// Residential pool (publishers embedding cloaking networks).
+    pub residential_pool: Vec<PublisherId>,
+    /// How many residential publishers were actually visited.
+    pub residential_visited: usize,
+    /// The merged crawl dataset.
+    pub crawl: CrawlDataset,
+}
+
 /// Output of the discovery phase (stages ①–⑤ + ⑦).
 pub struct DiscoveryOutput {
+    /// The world-level symbol arena every crawl-record domain symbol
+    /// resolves against (a handle to the pipeline's arena).
+    pub arena: SharedArena,
     /// Seed publisher pool from pattern reversal, institutional part.
     pub institutional_pool: Vec<PublisherId>,
     /// Residential pool (publishers embedding cloaking networks).
@@ -99,18 +120,28 @@ pub struct PipelineRun {
 pub struct Pipeline {
     config: PipelineConfig,
     world: World,
+    arena: SharedArena,
 }
 
 impl Pipeline {
     /// Generates the world and prepares the pipeline.
     pub fn new(config: PipelineConfig) -> Self {
         let world = World::generate(config.world.clone());
-        Self { config, world }
+        Self { config, world, arena: SharedArena::new() }
     }
 
     /// The generated world (the "live web" of the measurement).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// The world-level symbol arena: every domain string a crawl record,
+    /// cluster column or tracker point carries is a symbol into this
+    /// arena. Interning only happens at deterministic sequential points
+    /// (crawl-farm assembly, tracker ingest), so its content is a pure
+    /// function of the configuration.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
     }
 
     /// The pipeline configuration.
@@ -168,9 +199,10 @@ impl Pipeline {
         (institutional, residential)
     }
 
-    /// Stages ②–⑤ + ⑦: reversal, crawling (both vantage pools),
-    /// clustering, labeling, attribution.
-    pub fn discover(&self) -> DiscoveryOutput {
+    /// Stages ②–③ only: reversal plus both vantage crawls. The crawl
+    /// phase of the end-to-end bench; [`Pipeline::cluster_phase`]
+    /// completes it into a [`DiscoveryOutput`].
+    pub fn crawl_phase(&self) -> CrawlPhase {
         let (institutional_pool, residential_pool) = self.reverse_publishers();
 
         // Residential bandwidth cap (paper: 11,182 of 34,068 visited).
@@ -192,6 +224,7 @@ impl Pipeline {
             &self.config.uas,
             Vantage::Institutional,
             self.config.schedule,
+            &self.arena,
         );
         let residential_visited = residential_sample.len();
         // The residential pool is crawled concurrently (the paper's
@@ -201,19 +234,33 @@ impl Pipeline {
             &self.config.uas,
             Vantage::Residential,
             self.config.schedule,
+            &self.arena,
         ));
+        CrawlPhase { institutional_pool, residential_pool, residential_visited, crawl }
+    }
 
-        // Stage ④–⑤: perceptual hashing + clustering + θc filter.
+    /// Stages ④–⑤ + ⑦ over a finished crawl: clustering, labeling,
+    /// attribution.
+    pub fn cluster_phase(&self, phase: CrawlPhase) -> DiscoveryOutput {
+        let CrawlPhase { institutional_pool, residential_pool, residential_visited, crawl } =
+            phase;
+        // Stage ④–⑤: perceptual hashing + clustering + θc filter. The
+        // crawl records already carry `(dhash, e2LD-symbol)`, so the
+        // clustering input is two parallel columns — no string copies.
         let landings: Vec<&LandingRecord> = crawl.landings().collect();
-        let points: Vec<ScreenshotPoint> = landings
-            .iter()
-            .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
-            .collect();
+        let dhashes: Vec<Dhash> = landings.iter().map(|l| l.dhash).collect();
+        let e2lds: Vec<Sym> = landings.iter().map(|l| l.landing_e2ld).collect();
         // Indexed + parallel clustering: same labels as the sequential
         // naive path (the index is exact and workers only precompute
         // neighbour lists), so sharing `config.workers` with the crawl
         // farm cannot change any downstream table.
-        let clusters = cluster_screenshots_parallel(&points, self.config.clustering, self.config.workers);
+        let clusters = cluster_sym_columns_parallel(
+            &dhashes,
+            &e2lds,
+            &self.arena.read(),
+            self.config.clustering,
+            self.config.workers,
+        );
 
         // Ground-truth labeling (the paper's manual step).
         let labels = label_clusters(&self.world, &clusters.campaigns, &landings);
@@ -227,6 +274,7 @@ impl Pipeline {
             .collect();
 
         DiscoveryOutput {
+            arena: self.arena.clone(),
             institutional_pool,
             residential_pool,
             residential_visited,
@@ -235,6 +283,12 @@ impl Pipeline {
             labels,
             attributions,
         }
+    }
+
+    /// Stages ②–⑤ + ⑦: reversal, crawling (both vantage pools),
+    /// clustering, labeling, attribution.
+    pub fn discover(&self) -> DiscoveryOutput {
+        self.cluster_phase(self.crawl_phase())
     }
 
     /// Phase ⑧ (tracking, this repo's extension of §5): replay the crawl
@@ -247,10 +301,14 @@ impl Pipeline {
     /// [`DiscoveryOutput::clusters`] **bit for bit** (the incremental
     /// exactness property) — no downstream table can change.
     pub fn track(&self, discovery: &DiscoveryOutput) -> (CampaignTracker, Vec<EpochSummary>) {
-        let mut tracker = CampaignTracker::new(self.tracker_config());
+        // The tracker shares the world arena, so crawl-record symbols feed
+        // it directly — no string materialization on the replay hot path.
+        let mut tracker = CampaignTracker::with_arena(self.tracker_config(), self.arena.clone());
         let mut summaries = Vec::new();
-        for batch in self.crawl_epoch_batches(discovery) {
-            tracker.ingest_all(batch);
+        for batch in self.crawl_epoch_sym_batches(discovery) {
+            for (dhash, e2ld) in batch {
+                tracker.ingest_sym(dhash, e2ld);
+            }
             summaries.push(tracker.end_epoch());
         }
         debug_assert_eq!(
@@ -277,6 +335,7 @@ impl Pipeline {
     /// reproduces the tracking phase's crawl epochs exactly — the final
     /// boundary snapshot equals [`DiscoveryOutput::clusters`] bit for bit.
     pub fn crawl_epoch_batches(&self, discovery: &DiscoveryOutput) -> Vec<Vec<ScreenshotPoint>> {
+        let arena = self.arena.read();
         discovery
             .crawl
             .landing_epochs(self.config.crawl_track_epochs)
@@ -284,9 +343,22 @@ impl Pipeline {
             .map(|chunk| {
                 chunk
                     .into_iter()
-                    .map(|l| ScreenshotPoint::new(l.dhash, l.landing_e2ld.clone()))
+                    .map(|l| ScreenshotPoint::new(l.dhash, arena.resolve(l.landing_e2ld)))
                     .collect()
             })
+            .collect()
+    }
+
+    /// The per-epoch crawl batches as `(dhash, e2LD-symbol)` column pairs
+    /// — the zero-string variant of [`Pipeline::crawl_epoch_batches`] for
+    /// consumers sharing the world arena ([`Pipeline::track`], the e2e
+    /// bench). Symbols resolve via [`Pipeline::arena`].
+    pub fn crawl_epoch_sym_batches(&self, discovery: &DiscoveryOutput) -> Vec<Vec<(Dhash, Sym)>> {
+        discovery
+            .crawl
+            .landing_epochs(self.config.crawl_track_epochs)
+            .into_iter()
+            .map(|chunk| chunk.into_iter().map(|l| (l.dhash, l.landing_e2ld)).collect())
             .collect()
     }
 
@@ -304,11 +376,37 @@ impl Pipeline {
         seacma_milker::trackfeed::epoch_batches(&feed, start, days)
     }
 
+    /// The per-epoch milking batches as `(dhash, e2LD-symbol)` column
+    /// pairs — the zero-string variant of
+    /// [`Pipeline::milking_epoch_batches`]. Discovered domains are
+    /// interned into the world arena here (a sequential point, so symbol
+    /// assignment is deterministic).
+    pub fn milking_epoch_sym_batches(
+        &self,
+        sources: &[MilkingSource],
+        milking: &MilkingOutcome,
+        start: SimTime,
+    ) -> Vec<Vec<(Dhash, Sym)>> {
+        let feed = seacma_milker::trackfeed::discovery_sym_points(
+            &self.world,
+            sources,
+            milking,
+            &self.arena,
+        );
+        let days = self.config.milking.duration.minutes().div_ceil(DAY.minutes()).max(1);
+        seacma_milker::trackfeed::epoch_batches(&feed, start, days)
+    }
+
     /// Feeds the milking discoveries back into the tracker, closing one
     /// epoch per virtual day of the milking window. Quiet days close too:
     /// campaigns that stop rotating (or were never milkable) sit still
     /// through them, which is exactly what drives the ledger's dormancy
     /// and death transitions.
+    ///
+    /// The replay runs on the symbol fast path, so `tracker` must share
+    /// the world arena (as the tracker from [`Pipeline::track`] does); a
+    /// consumer with a private arena (a resumed snapshot) ingests the
+    /// same points via [`Pipeline::milking_epoch_batches`] instead.
     pub fn track_milking(
         &self,
         tracker: &mut CampaignTracker,
@@ -316,9 +414,15 @@ impl Pipeline {
         milking: &MilkingOutcome,
         start: SimTime,
     ) -> Vec<EpochSummary> {
+        debug_assert!(
+            tracker.arena().ptr_eq(&self.arena),
+            "sym-path milking replay requires a tracker sharing the world arena"
+        );
         let mut summaries = Vec::new();
-        for batch in self.milking_epoch_batches(sources, milking, start) {
-            tracker.ingest_all(batch);
+        for batch in self.milking_epoch_sym_batches(sources, milking, start) {
+            for (dhash, e2ld) in batch {
+                tracker.ingest_sym(dhash, e2ld);
+            }
             summaries.push(tracker.end_epoch());
         }
         summaries

@@ -46,9 +46,10 @@ pub fn table1(world: &World, discovery: &DiscoveryOutput) -> Vec<Table1Row> {
     let mut gsb = GsbService::new(world);
 
     // Sample observation time per domain (anchors GSB ground truth).
+    let arena = discovery.arena.read();
     let mut domain_seen_at: HashMap<&str, SimTime> = HashMap::new();
     for l in &landings {
-        domain_seen_at.entry(l.landing_e2ld.as_str()).or_insert(l.t);
+        domain_seen_at.entry(arena.resolve(l.landing_e2ld)).or_insert(l.t);
     }
 
     let mut rows = Vec::new();
@@ -148,13 +149,14 @@ pub fn table2(world: &World, discovery: &DiscoveryOutput, top_n: usize) -> Vec<T
     let categorizer = Categorizer::new(world);
     // Publishers hosting SEACMA ads: those whose clicks landed on a
     // campaign-cluster member.
+    let arena = discovery.arena.read();
     let mut hosts: HashSet<&str> = HashSet::new();
     for (ci, cluster) in discovery.clusters.campaigns.iter().enumerate() {
         if !discovery.labels[ci].is_campaign() {
             continue;
         }
         for &m in &cluster.members {
-            hosts.insert(landings[m].publisher_domain.as_str());
+            hosts.insert(arena.resolve(landings[m].publisher_domain));
         }
     }
     let total = hosts.len();
@@ -473,10 +475,11 @@ pub struct EthicsReport {
 impl EthicsReport {
     /// Builds the report over a discovery output.
     pub fn over(discovery: &DiscoveryOutput) -> EthicsReport {
+        let arena = discovery.arena.read();
         let mut per_domain: HashMap<&str, usize> = HashMap::new();
         for l in discovery.crawl.landings() {
             if !l.truth_is_attack {
-                *per_domain.entry(l.landing_e2ld.as_str()).or_default() += 1;
+                *per_domain.entry(arena.resolve(l.landing_e2ld)).or_default() += 1;
             }
         }
         let legit_clicks: usize = per_domain.values().sum();

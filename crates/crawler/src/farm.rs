@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use seacma_util::sym::{SharedArena, SymbolArena};
 use seacma_util::{impl_json_struct, resolve_workers};
 
 use seacma_browser::{BrowserConfig, RenderCache};
@@ -84,19 +85,27 @@ impl<'w> CrawlFarm<'w> {
     /// to full-render visits (it stores hashes, and the fused-hash ==
     /// render-then-hash identity is pinned in `seacma-simweb`) and to any
     /// other worker count.
+    ///
+    /// Record domain strings are interned into `arena`. Workers intern
+    /// into private scratch arenas while crawling; at assembly the merged
+    /// visit sequence is walked in job order and every symbol is
+    /// re-interned into `arena`, so the canonical symbol assignment (and
+    /// the arena's first-seen order) is exactly what a sequential crawl
+    /// would have produced — independent of worker count.
     pub fn crawl(
         &self,
         publishers: &[PublisherId],
         uas: &[UaProfile],
         vantage: Vantage,
         schedule: CrawlSchedule,
+        arena: &SharedArena,
     ) -> CrawlDataset {
         let cache = RenderCache::new();
         let mut all: Vec<SiteVisit> = Vec::with_capacity(publishers.len() * uas.len());
         let mut pass_start = schedule.start;
         for &ua in uas {
             let pass_schedule = CrawlSchedule { start: pass_start, ..schedule };
-            let visits = self.crawl_pass(publishers, ua, vantage, pass_schedule, &cache);
+            let visits = self.crawl_pass(publishers, ua, vantage, pass_schedule, &cache, arena);
             pass_start = pass_schedule.pass_end(publishers.len());
             all.extend(visits);
         }
@@ -111,6 +120,7 @@ impl<'w> CrawlFarm<'w> {
         vantage: Vantage,
         schedule: CrawlSchedule,
         cache: &RenderCache,
+        arena: &SharedArena,
     ) -> Vec<SiteVisit> {
         let config = BrowserConfig::instrumented(ua, vantage).hash_screenshots();
         // Job queue: the jobs are just the indices 0..n, so a shared
@@ -118,18 +128,21 @@ impl<'w> CrawlFarm<'w> {
         // next index, no lock or channel needed.
         let next = AtomicUsize::new(0);
 
-        // Each worker accumulates its own (job index, visit) shard; the
-        // shards are merged by job index below. No shared funnel, no
-        // result lock, no sort — the merge is a deterministic scatter
-        // into pre-sized slots, the same simulate/merge shape as the
-        // parallel milker.
-        let shards: Vec<Vec<(usize, SiteVisit)>> = std::thread::scope(|scope| {
+        // Each worker accumulates its own (job index, visit) shard plus a
+        // private scratch arena; the shards are merged by job index below.
+        // No shared funnel, no result lock, no sort — the merge is a
+        // deterministic scatter into pre-sized slots, the same
+        // simulate/merge shape as the parallel milker. Scratch arenas keep
+        // the hot crawl loop free of cross-thread arena contention (and of
+        // any worker-count-dependent interleaving).
+        let shards: Vec<(SymbolArena, Vec<(usize, SiteVisit)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|_| {
                     let next = &next;
                     let world = self.world;
                     let policy = self.policy;
                     scope.spawn(move || {
+                        let mut scratch = SymbolArena::new();
                         let mut local = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -140,23 +153,54 @@ impl<'w> CrawlFarm<'w> {
                             let t = schedule.job_time(idx);
                             local.push((
                                 idx,
-                                visit_publisher(world, p, config, t, policy, Some(cache)),
+                                visit_publisher(
+                                    world,
+                                    p,
+                                    config,
+                                    t,
+                                    policy,
+                                    Some(cache),
+                                    &mut scratch,
+                                ),
                             ));
                         }
-                        local
+                        (scratch, local)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("crawl worker panicked")).collect()
         });
 
-        let mut slots: Vec<Option<SiteVisit>> =
+        // Scatter into job-order slots, remembering which worker (and so
+        // which scratch arena) produced each visit.
+        let mut slots: Vec<Option<(usize, SiteVisit)>> =
             (0..publishers.len()).map(|_| None).collect();
-        for (idx, visit) in shards.into_iter().flatten() {
-            debug_assert!(slots[idx].is_none(), "job {idx} executed twice");
-            slots[idx] = Some(visit);
+        let mut arenas = Vec::with_capacity(shards.len());
+        for (wid, (scratch, shard)) in shards.into_iter().enumerate() {
+            arenas.push(scratch);
+            for (idx, visit) in shard {
+                debug_assert!(slots[idx].is_none(), "job {idx} executed twice");
+                slots[idx] = Some((wid, visit));
+            }
         }
-        slots.into_iter().map(|s| s.expect("every claimed job produced a visit")).collect()
+
+        // Canonicalize: walk visits in job order and re-intern every
+        // record symbol into the shared arena. Within a record the
+        // publisher domain precedes the landing e2LD — the same order
+        // `visit_publisher` interns in — so the canonical arena's
+        // first-seen order equals a sequential crawl's.
+        slots
+            .into_iter()
+            .map(|s| {
+                let (wid, mut visit) = s.expect("every claimed job produced a visit");
+                let scratch = &arenas[wid];
+                for l in &mut visit.landings {
+                    l.publisher_domain = arena.intern(scratch.resolve(l.publisher_domain));
+                    l.landing_e2ld = arena.intern(scratch.resolve(l.landing_e2ld));
+                }
+                visit
+            })
+            .collect()
     }
 }
 
@@ -195,19 +239,28 @@ mod tests {
         let w = world();
         let pubs: Vec<PublisherId> = w.publishers().iter().map(|p| p.id).take(60).collect();
         let uas = [UaProfile::ChromeMac];
+        let arena_a = SharedArena::new();
+        let arena_b = SharedArena::new();
         let a = CrawlFarm::new(&w, 1, CrawlPolicy::default()).crawl(
             &pubs,
             &uas,
             Vantage::Residential,
             CrawlSchedule::default(),
+            &arena_a,
         );
         let b = CrawlFarm::new(&w, 8, CrawlPolicy::default()).crawl(
             &pubs,
             &uas,
             Vantage::Residential,
             CrawlSchedule::default(),
+            &arena_b,
         );
         assert_eq!(a, b, "crawl output must not depend on worker count");
+        assert_eq!(
+            arena_a.read().strings().to_vec(),
+            arena_b.read().strings().to_vec(),
+            "canonical arena content must not depend on worker count"
+        );
     }
 
     #[test]
@@ -219,6 +272,7 @@ mod tests {
             &UaProfile::ALL,
             Vantage::Residential,
             CrawlSchedule::default(),
+            &SharedArena::new(),
         );
         assert_eq!(d.visits.len(), 40 * 4);
         // Mobile-only lottery campaigns only show up in the Android pass.
@@ -240,6 +294,7 @@ mod tests {
             &[UaProfile::ChromeMac, UaProfile::ChromeAndroid],
             Vantage::Residential,
             CrawlSchedule::default(),
+            &SharedArena::new(),
         );
         assert!(d.landing_count() > 300, "landings: {}", d.landing_count());
         assert!(d.publishers_with_landings() > 100);

@@ -1,6 +1,14 @@
 //! Crawl output records.
+//!
+//! Domain strings are stored as [`Sym`] symbols into the crawl's symbol
+//! arena (the world-level arena when the pipeline drives the crawl): a
+//! paper-scale crawl produces hundreds of thousands of landings over a
+//! few thousand distinct domains, so records carry 4-byte symbols and the
+//! arena stores each string once. Consumers resolve through the arena the
+//! producing [`crate::CrawlFarm`] interned into.
 
 use seacma_util::impl_json_struct;
+use seacma_util::sym::Sym;
 
 use seacma_simweb::{PublisherId, RedirectKind, SimTime, UaProfile, Url, Vantage};
 use seacma_vision::dhash::Dhash;
@@ -10,8 +18,9 @@ use seacma_vision::dhash::Dhash;
 pub struct LandingRecord {
     /// Publisher the click happened on.
     pub publisher: PublisherId,
-    /// Publisher domain (denormalized for reporting).
-    pub publisher_domain: String,
+    /// Publisher domain symbol (denormalized for reporting; resolve via
+    /// the crawl's arena).
+    pub publisher_domain: Sym,
     /// Browser/OS combination used.
     pub ua: UaProfile,
     /// IP vantage used.
@@ -20,8 +29,9 @@ pub struct LandingRecord {
     pub click_ordinal: u32,
     /// Final landing URL.
     pub landing_url: Url,
-    /// e2LD of the landing URL (the clustering key alongside the hash).
-    pub landing_e2ld: String,
+    /// e2LD symbol of the landing URL (the clustering key alongside the
+    /// hash; resolve via the crawl's arena).
+    pub landing_e2ld: Sym,
     /// Perceptual hash of the landing screenshot.
     pub dhash: Dhash,
     /// Redirect hops traversed, `(from, to, kind)`.
@@ -158,12 +168,12 @@ mod tests {
             landings: (0..n_landings)
                 .map(|i| LandingRecord {
                     publisher: PublisherId(p),
-                    publisher_domain: format!("p{p}.com"),
+                    publisher_domain: Sym(p),
                     ua: UaProfile::ChromeMac,
                     vantage: Vantage::Institutional,
                     click_ordinal: i as u32,
                     landing_url: Url::http(format!("l{i}.club"), "/"),
-                    landing_e2ld: format!("l{i}.club"),
+                    landing_e2ld: Sym(1000 + i as u32),
                     dhash: Dhash(i as u128),
                     hops: vec![],
                     involved_urls: vec![],

@@ -1,6 +1,7 @@
 //! Single-site visit logic: the click loop.
 
 use seacma_util::impl_json_struct;
+use seacma_util::sym::SymbolArena;
 
 use seacma_browser::{BrowserConfig, BrowserSession, NavError, RenderCache};
 use seacma_graph::{milkable, BacktrackGraph};
@@ -41,6 +42,12 @@ impl Default for CrawlPolicy {
 /// with or without it, and identical across `ScreenshotMode::Hash` and
 /// `ScreenshotMode::Full` configurations — the record stores hashes,
 /// never pixels.
+///
+/// `arena` receives the record's domain strings: per landing, the
+/// publisher domain is interned first, then the landing e2LD. This order
+/// is load-bearing — the farm reproduces it when canonicalizing worker
+/// scratch arenas, so the canonical symbol assignment is independent of
+/// worker count.
 pub fn visit_publisher(
     world: &World,
     publisher: &PublisherSite,
@@ -48,6 +55,7 @@ pub fn visit_publisher(
     start: SimTime,
     policy: CrawlPolicy,
     cache: Option<&RenderCache>,
+    arena: &mut SymbolArena,
 ) -> SiteVisit {
     let mut visit = SiteVisit {
         publisher: publisher.id,
@@ -106,13 +114,15 @@ pub fn visit_publisher(
         let graph = BacktrackGraph::from_log(session.log());
         let involved = graph.involved_urls(&landed.url);
         let candidate = milkable::candidate(&graph, &landed.url);
+        let publisher_domain = arena.intern(&publisher.domain);
+        let landing_e2ld = arena.intern(&landed.url.e2ld());
         visit.landings.push(LandingRecord {
             publisher: publisher.id,
-            publisher_domain: publisher.domain.clone(),
+            publisher_domain,
             ua: config.ua,
             vantage: config.vantage,
             click_ordinal: click - 1,
-            landing_e2ld: landed.url.e2ld(),
+            landing_e2ld,
             dhash: landed.screenshot.dhash_via(cache),
             truth_is_attack: landed.page.visual.is_attack(),
             hops: landed.hops,
@@ -156,13 +166,17 @@ mod tests {
     #[test]
     fn visit_collects_third_party_landings() {
         let w = world();
+        let mut arena = SymbolArena::new();
         let mut total = 0;
         for p in w.publishers().iter().take(40) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None);
+            let v = visit_publisher(
+                &w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena,
+            );
             assert!(!v.load_failed);
             assert!(v.clicks <= CrawlPolicy::default().max_clicks);
             for l in &v.landings {
-                assert_ne!(l.landing_e2ld, seacma_simweb::e2ld(&p.domain));
+                assert_ne!(arena.resolve(l.landing_e2ld), seacma_simweb::e2ld(&p.domain));
+                assert_eq!(arena.resolve(l.publisher_domain), p.domain);
                 assert!(!l.involved_urls.is_empty());
             }
             total += v.landings.len();
@@ -173,20 +187,26 @@ mod tests {
     #[test]
     fn ad_budget_is_respected() {
         let w = world();
+        let mut arena = SymbolArena::new();
         let policy = CrawlPolicy { max_ads: 2, ..Default::default() };
         for p in w.publishers().iter().take(20) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, policy, None);
+            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, policy, None, &mut arena);
             assert!(v.landings.len() <= 2);
         }
     }
 
     #[test]
     fn visits_are_deterministic() {
+        // Fresh arenas on both sides: the symbol values themselves must
+        // reproduce, not just the strings behind them.
         let w = world();
         let p = &w.publishers()[3];
-        let a = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None);
-        let b = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None);
+        let mut arena_a = SymbolArena::new();
+        let mut arena_b = SymbolArena::new();
+        let a = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None, &mut arena_a);
+        let b = visit_publisher(&w, p, cfg(), SimTime(500), CrawlPolicy::default(), None, &mut arena_b);
         assert_eq!(a, b);
+        assert_eq!(arena_a.strings().to_vec(), arena_b.strings().to_vec());
     }
 
     #[test]
@@ -197,8 +217,12 @@ mod tests {
         // pins the whole record including landing hashes.
         let w = world();
         let cache = RenderCache::new();
+        let mut arena_full = SymbolArena::new();
+        let mut arena_fast = SymbolArena::new();
         for p in w.publishers().iter().take(30) {
-            let full = visit_publisher(&w, p, cfg(), SimTime(77), CrawlPolicy::default(), None);
+            let full = visit_publisher(
+                &w, p, cfg(), SimTime(77), CrawlPolicy::default(), None, &mut arena_full,
+            );
             let fast = visit_publisher(
                 &w,
                 p,
@@ -206,6 +230,7 @@ mod tests {
                 SimTime(77),
                 CrawlPolicy::default(),
                 Some(&cache),
+                &mut arena_fast,
             );
             assert_eq!(full, fast, "fast path diverged at {}", p.domain);
         }
@@ -215,10 +240,12 @@ mod tests {
     #[test]
     fn attack_landings_have_milkable_candidates_when_tds_used() {
         let w = world();
+        let mut arena = SymbolArena::new();
         let mut with_candidate = 0;
         let mut attacks = 0;
         for p in w.publishers().iter().take(120) {
-            let v = visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None);
+            let v =
+                visit_publisher(&w, p, cfg(), SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena);
             for l in &v.landings {
                 if l.truth_is_attack {
                     attacks += 1;
@@ -239,9 +266,10 @@ mod tests {
     fn stock_automation_still_completes_visits() {
         // A lockable browser must not hang the crawl loop — it reopens.
         let w = world();
+        let mut arena = SymbolArena::new();
         let cfg = BrowserConfig::stock_automation(UaProfile::Ie10Windows, Vantage::Residential);
         for p in w.publishers().iter().take(30) {
-            let v = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None);
+            let v = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena);
             assert!(v.clicks > 0 || v.load_failed);
         }
     }

@@ -19,6 +19,7 @@ use seacma_simweb::{
 };
 use seacma_util::forall;
 use seacma_util::prop::Rng;
+use seacma_util::sym::{SharedArena, SymbolArena};
 use seacma_vision::dhash::dhash128;
 
 fn world() -> World {
@@ -83,6 +84,7 @@ fn reference_crawl(
     publishers: &[PublisherId],
     uas: &[UaProfile],
     schedule: CrawlSchedule,
+    arena: &mut SymbolArena,
 ) -> CrawlDataset {
     let mut visits = Vec::new();
     let mut pass_start = schedule.start;
@@ -98,6 +100,7 @@ fn reference_crawl(
                 pass.job_time(idx),
                 CrawlPolicy::default(),
                 None,
+                arena,
             ));
         }
         pass_start = pass.pass_end(publishers.len());
@@ -128,18 +131,29 @@ fn farm_equals_sequential_reference_for_all_job_orders_and_worker_counts() {
             session_len: SimDuration::from_minutes(rng.range_u64(1, 5)),
             lanes: rng.range_u64(1, 16),
         };
-        let expected = reference_crawl(&w, &pubs, uas, schedule);
+        let mut seq_arena = SymbolArena::new();
+        let expected = reference_crawl(&w, &pubs, uas, schedule, &mut seq_arena);
         let workers = rng.range(1, 9);
+        let farm_arena = SharedArena::new();
         let got = CrawlFarm::new(&w, workers, CrawlPolicy::default()).crawl(
             &pubs,
             uas,
             Vantage::Residential,
             schedule,
+            &farm_arena,
         );
         assert_eq!(
             got, expected,
             "farm diverged from sequential reference ({workers} workers, {} jobs)",
             pubs.len()
+        );
+        // The canonicalized arena must equal direct sequential interning —
+        // same strings, same first-seen order, so the record symbols above
+        // compared equal for the same underlying domains.
+        assert_eq!(
+            farm_arena.read().strings().to_vec(),
+            seq_arena.strings().to_vec(),
+            "canonical arena diverged from the sequential reference arena"
         );
     });
 }

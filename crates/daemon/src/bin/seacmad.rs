@@ -11,7 +11,7 @@
 //! url <url-or-domain>    reputation of a URL / bare e2LD
 //! dhash <32-hex>         nearest campaign to a screenshot hash
 //! campaign <id>          lifecycle status of a ledger id
-//! status                 daemon status (epoch, points, campaigns)
+//! status                 daemon status (epoch, points, arena size, campaigns)
 //! dash [frames]          live ANSI dashboard on stderr (refreshes per epoch)
 //! snapshot <path>        write resumable state at the next epoch boundary
 //! help                   list commands
@@ -172,9 +172,10 @@ fn main() {
                 counters.status += 1;
                 let snap = handle.snapshot();
                 format!(
-                    r#"{{"epoch":{},"points":{},"campaigns":{}}}"#,
+                    r#"{{"epoch":{},"points":{},"arena":{},"campaigns":{}}}"#,
                     snap.epoch(),
-                    snap.points().len(),
+                    snap.resident_points(),
+                    snap.arena_len(),
                     snap.statuses().iter().filter(|s| s.qualified).count(),
                 )
             }
@@ -222,7 +223,7 @@ fn main() {
                 r#""url <url-or-e2ld>":"reputation verdict for a URL or bare domain","#,
                 r#""dhash <32-hex>":"nearest campaign to a screenshot hash","#,
                 r#""campaign <id>":"lifecycle status of a ledger id","#,
-                r#""status":"daemon status: epoch, points, qualified campaigns","#,
+                r#""status":"daemon status: epoch, resident points, arena size, qualified campaigns","#,
                 r#""dash [frames]":"live ANSI dashboard on stderr, redrawn per epoch boundary","#,
                 r#""snapshot <path>":"write resumable state at the next epoch boundary","#,
                 r#""help":"this list","#,

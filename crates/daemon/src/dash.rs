@@ -149,6 +149,15 @@ pub fn render_frame(
         }
     }
     lines.push(Line(counter_spans));
+
+    // Resident hot storage: the SoA point columns and the symbol arena.
+    lines.push(Line(vec![
+        Span::raw("memory "),
+        Span::styled(snapshot.resident_points().to_string(), Style::BOLD),
+        Span::raw(" resident points  |  arena "),
+        Span::styled(snapshot.arena_len().to_string(), Style::BOLD),
+        Span::raw(" symbols"),
+    ]));
     lines.push(Line::default());
 
     // The report's own analyses over the served snapshot.
@@ -194,6 +203,12 @@ mod tests {
         assert!(text.iter().any(|l| l.contains("epoch 1/10")), "{text:?}");
         assert!(text.iter().any(|l| l.contains("queries 5")), "{text:?}");
         assert!(text.iter().any(|l| l.contains("2.5 q/s")), "{text:?}");
+        let expected_mem = format!(
+            "memory {} resident points  |  arena {} symbols",
+            snap.resident_points(),
+            snap.arena_len()
+        );
+        assert!(text.iter().any(|l| l.contains(&expected_mem)), "{text:?}");
         assert!(text.iter().any(|l| l.contains("Campaign growth")), "{text:?}");
         assert!(text.iter().any(|l| l.contains("Cluster-size distribution")), "{text:?}");
     }

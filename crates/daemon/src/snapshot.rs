@@ -14,15 +14,17 @@ use std::sync::{Arc, RwLock};
 use seacma_simweb::domain::e2ld;
 use seacma_simweb::Url;
 use seacma_tracker::CampaignTracker;
+use seacma_util::sym::{SharedArena, Sym};
 use seacma_vision::cluster::ScreenshotPoint;
 use seacma_vision::dhash::Dhash;
 use seacma_vision::index::HammingIndex;
 
 use crate::query::{CampaignStatus, DhashMatch, UrlVerdict};
 
-/// One epoch boundary's frozen reputation state: the unique points, an
-/// exact banded Hamming index over their hashes, the ledger's point
-/// assignments, and per-campaign statuses.
+/// One epoch boundary's frozen reputation state: the unique points (held
+/// as struct-of-arrays columns — the Hamming index owns the contiguous
+/// dhash column, e2LDs are a symbol column into a shared arena), the
+/// ledger's point assignments, and per-campaign statuses.
 ///
 /// All queries are read-only and a pure function of the snapshot, so the
 /// same snapshot always returns byte-identical answers — the invariant the
@@ -50,10 +52,14 @@ use crate::query::{CampaignStatus, DhashMatch, UrlVerdict};
 #[derive(Debug, Clone)]
 pub struct ReputationSnapshot {
     epoch: u32,
-    points: Vec<ScreenshotPoint>,
+    /// Owns the contiguous dhash column.
     index: HammingIndex,
+    /// e2LD symbol per point, parallel to the index's hash column.
+    e2lds: Vec<Sym>,
+    /// The arena `e2lds` and `domains` resolve against.
+    arena: SharedArena,
     assignments: Vec<Option<u32>>,
-    domains: HashMap<String, u32>,
+    domains: HashMap<Sym, u32>,
     statuses: Vec<CampaignStatus>,
 }
 
@@ -64,19 +70,20 @@ impl ReputationSnapshot {
     /// appear in the index but are unassigned, so they cannot influence any
     /// answer — a snapshot built mid-epoch answers exactly like the one
     /// published at the last boundary.
+    ///
+    /// Publication is cheap: the tracker's live Hamming index and symbol
+    /// column are cloned (no rebuild, no string copies) and the arena is
+    /// shared by handle.
     pub fn build(tracker: &CampaignTracker) -> Self {
-        let points = tracker.unique_points().to_vec();
+        let index = tracker.hamming_index().clone();
+        let e2lds = tracker.e2ld_syms().to_vec();
+        let arena = tracker.arena().clone();
         let mut assignments = tracker.ledger().assignments().to_vec();
-        assignments.resize(points.len(), None);
-        let statuses =
+        assignments.resize(e2lds.len(), None);
+        let statuses: Vec<CampaignStatus> =
             tracker.ledger().records().iter().map(CampaignStatus::from_record).collect();
-        Self::from_parts(
-            tracker.epoch(),
-            points,
-            assignments,
-            statuses,
-            tracker.config().params.eps,
-        )
+        let domains = domain_map(&arena, &statuses);
+        Self { epoch: tracker.epoch(), index, e2lds, arena, assignments, domains, statuses }
     }
 
     /// Assembles a snapshot from its constituent parts — the entry point
@@ -99,14 +106,10 @@ impl ReputationSnapshot {
         debug_assert_eq!(points.len(), assignments.len());
         let hashes: Vec<Dhash> = points.iter().map(|p| p.dhash).collect();
         let index = HammingIndex::build(&hashes, eps);
-        let mut domains = HashMap::new();
-        for s in statuses.iter().filter(|s| !matches!(s.state, seacma_tracker::LifeState::Merged))
-        {
-            for d in &s.domains {
-                domains.entry(d.clone()).or_insert(s.id);
-            }
-        }
-        Self { epoch, points, index, assignments, domains, statuses }
+        let arena = SharedArena::new();
+        let e2lds: Vec<Sym> = points.iter().map(|p| arena.intern(&p.e2ld)).collect();
+        let domains = domain_map(&arena, &statuses);
+        Self { epoch, index, e2lds, arena, assignments, domains, statuses }
     }
 
     /// The number of closed epochs this snapshot reflects.
@@ -114,9 +117,30 @@ impl ReputationSnapshot {
         self.epoch
     }
 
-    /// The distinct `(dhash, e2LD)` points frozen into the snapshot.
-    pub fn points(&self) -> &[ScreenshotPoint] {
-        &self.points
+    /// The distinct `(dhash, e2LD)` points frozen into the snapshot,
+    /// materialized from the columns. Query paths never call this; it
+    /// exists for tests and offline comparison.
+    pub fn points(&self) -> Vec<ScreenshotPoint> {
+        let arena = self.arena.read();
+        self.index
+            .hashes()
+            .iter()
+            .zip(&self.e2lds)
+            .map(|(&d, &s)| ScreenshotPoint::new(d, arena.resolve(s)))
+            .collect()
+    }
+
+    /// Number of unique points resident in the snapshot.
+    pub fn resident_points(&self) -> usize {
+        self.e2lds.len()
+    }
+
+    /// Number of distinct strings in the snapshot's symbol arena. For a
+    /// daemon-private tracker this equals the number of distinct e2LDs
+    /// seen; for a pipeline-shared world arena it also counts publisher
+    /// domains and other interned strings.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
     }
 
     /// Every ledger record's status, in id order.
@@ -129,9 +153,10 @@ impl ReputationSnapshot {
         self.statuses.get(id as usize)
     }
 
-    /// Reputation of a bare effective second-level domain.
+    /// Reputation of a bare effective second-level domain. The lookup
+    /// never grows the arena: an unknown string simply has no symbol.
     pub fn lookup_domain(&self, e2ld: &str) -> UrlVerdict {
-        match self.domains.get(e2ld) {
+        match self.arena.lookup(e2ld).and_then(|s| self.domains.get(&s)) {
             Some(&id) => {
                 let s = &self.statuses[id as usize];
                 UrlVerdict::Tracked { campaign: id, state: s.state, qualified: s.qualified }
@@ -158,13 +183,13 @@ impl ReputationSnapshot {
     /// within the radius — an unassigned (noise or mid-epoch) point never
     /// produces a match.
     pub fn nearest_campaign(&self, h: Dhash) -> Option<DhashMatch> {
+        let hashes = self.index.hashes();
         let mut scratch = Vec::new();
         self.index.neighbours_of_hash(h, &mut scratch);
         scratch
             .iter()
             .filter_map(|&q| {
-                self.assignments[q]
-                    .map(|id| ((h.0 ^ self.points[q].dhash.0).count_ones(), q, id))
+                self.assignments[q].map(|id| ((h.0 ^ hashes[q].0).count_ones(), q, id))
             })
             .min_by_key(|&(d, q, _)| (d, q))
             .map(|(distance, _, id)| {
@@ -172,6 +197,21 @@ impl ReputationSnapshot {
                 DhashMatch { campaign: id, distance, state: s.state, qualified: s.qualified }
             })
     }
+}
+
+/// Maps each e2LD of a non-merged record to the smallest claiming ledger
+/// id (records scanned in id order). Interning here is idempotent: every
+/// status domain came from an ingested point, so the arena never grows —
+/// but even if a caller fed foreign statuses, growth would only add
+/// unreferenced strings, never change an existing symbol.
+fn domain_map(arena: &SharedArena, statuses: &[CampaignStatus]) -> HashMap<Sym, u32> {
+    let mut domains = HashMap::new();
+    for s in statuses.iter().filter(|s| !matches!(s.state, seacma_tracker::LifeState::Merged)) {
+        for d in &s.domains {
+            domains.entry(arena.intern(d)).or_insert(s.id);
+        }
+    }
+    domains
 }
 
 /// The atomic publication cell: a single slot holding the current

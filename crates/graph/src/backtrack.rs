@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use seacma_util::sym::Interner;
 use seacma_util::{impl_json_enum, impl_json_struct};
 
 use seacma_browser::{BrowserEvent, EventLog};
@@ -54,10 +55,9 @@ pub struct BacktrackGraph {
     /// Symbol table: every distinct URL seen in the log, in first-seen
     /// order. Edge maps below speak u32 symbols into this table, so graph
     /// construction and traversal clone each URL string once per log
-    /// instead of once per event/step.
-    urls: Vec<Url>,
-    /// `url → symbol` lookup side of the table.
-    ids: HashMap<Url, u32>,
+    /// instead of once per event/step. Same engine as the world-level
+    /// domain arena, instantiated per log over [`Url`] keys.
+    urls: Interner<Url>,
     /// `child → (parent, kind)`; last writer wins, which matches "the most
     /// recent cause" for URLs visited repeatedly in one session.
     parent: HashMap<u32, (u32, EdgeKind)>,
@@ -99,18 +99,12 @@ impl BacktrackGraph {
 
     /// The symbol for `url`, allocating one on first sight.
     fn intern(&mut self, url: &Url) -> u32 {
-        if let Some(&id) = self.ids.get(url) {
-            return id;
-        }
-        let id = self.urls.len() as u32;
-        self.urls.push(url.clone());
-        self.ids.insert(url.clone(), id);
-        id
+        self.urls.intern(url)
     }
 
     /// The URL a symbol stands for.
     fn url(&self, id: u32) -> &Url {
-        &self.urls[id as usize]
+        self.urls.resolve(id)
     }
 
     /// Number of nodes with a known parent.
@@ -125,15 +119,15 @@ impl BacktrackGraph {
 
     /// Direct parent of a URL, if known.
     pub fn parent_of(&self, url: &Url) -> Option<(&Url, EdgeKind)> {
-        let id = self.ids.get(url)?;
-        self.parent.get(id).map(|&(p, k)| (self.url(p), k))
+        let id = self.urls.get(url)?;
+        self.parent.get(&id).map(|&(p, k)| (self.url(p), k))
     }
 
     /// Scripts included by a document, in inclusion order.
     pub fn scripts_of<'g>(&'g self, url: &Url) -> impl Iterator<Item = &'g Url> + 'g {
-        self.ids
+        self.urls
             .get(url)
-            .and_then(|id| self.scripts.get(id))
+            .and_then(|id| self.scripts.get(&id))
             .map(Vec::as_slice)
             .unwrap_or(&[])
             .iter()
@@ -145,7 +139,7 @@ impl BacktrackGraph {
     /// `start` itself is reported as `None` when it never appears in the
     /// log (the caller clones it instead of interning into `&self`).
     fn backtrack_ids(&self, start: &Url) -> Vec<(Option<u32>, Option<EdgeKind>)> {
-        let Some(&start_id) = self.ids.get(start) else {
+        let Some(start_id) = self.urls.get(start) else {
             return vec![(None, None)];
         };
         let mut path = vec![(Some(start_id), None)];

@@ -1,7 +1,7 @@
 //! Feed milking discoveries back into the campaign tracker.
 //!
 //! The tracker clusters `(dhash, e2LD)` screenshot points, but a
-//! [`DomainDiscovery`](crate::DomainDiscovery) records only the landing
+//! [`DomainDiscovery`] records only the landing
 //! URL and time — the
 //! scheduler compares dhash bits and throws the hash away. Every render in
 //! the simulator is a pure function of `(seed, url, client, time)`, so the
@@ -16,22 +16,22 @@ use std::collections::HashMap;
 
 use seacma_browser::{BrowserConfig, QuietBrowser, RenderCache};
 use seacma_simweb::{SimTime, Vantage, World};
+use seacma_util::sym::{SharedArena, Sym};
 use seacma_vision::cluster::ScreenshotPoint;
+use seacma_vision::dhash::Dhash;
 
-use crate::scheduler::MilkingOutcome;
+use crate::scheduler::{DomainDiscovery, MilkingOutcome};
 use crate::sources::MilkingSource;
 
-/// Re-derives one `(first_seen, ScreenshotPoint)` per discovery, in the
-/// outcome's discovery order (merge-sweep order, so `first_seen` is
-/// nondecreasing — ready to be bucketed into tracker epochs).
-///
-/// The dhash equals the one the milker compared against the source's
-/// reference at the discovery tick; the e2LD is the discovered domain.
-pub fn discovery_points(
+/// The shared re-derivation loop behind [`discovery_points`] and
+/// [`discovery_sym_points`]: walks the outcome's discoveries, re-renders
+/// each landing's dhash, and hands `(discovery, dhash)` to `make`.
+fn rederive<T>(
     world: &World,
     sources: &[MilkingSource],
     outcome: &MilkingOutcome,
-) -> Vec<(SimTime, ScreenshotPoint)> {
+    mut make: impl FnMut(&DomainDiscovery, Dhash) -> T,
+) -> Vec<(SimTime, T)> {
     // One quiet browser per source: configs differ by UA, and reusing a
     // browser keeps the probe caches warm across discoveries. Clean
     // renders are shared across all sources through one cache — sources
@@ -57,9 +57,37 @@ pub fn discovery_points(
             let (landing_url, page) = browser.load(&src.url, d.first_seen).ok()?;
             debug_assert_eq!(landing_url, d.landing_url, "re-derived landing diverged");
             let dhash = browser.screenshot_dhash(&landing_url, &page, d.first_seen);
-            Some((d.first_seen, ScreenshotPoint::new(dhash, d.domain.clone())))
+            Some((d.first_seen, make(d, dhash)))
         })
         .collect()
+}
+
+/// Re-derives one `(first_seen, ScreenshotPoint)` per discovery, in the
+/// outcome's discovery order (merge-sweep order, so `first_seen` is
+/// nondecreasing — ready to be bucketed into tracker epochs).
+///
+/// The dhash equals the one the milker compared against the source's
+/// reference at the discovery tick; the e2LD is the discovered domain.
+pub fn discovery_points(
+    world: &World,
+    sources: &[MilkingSource],
+    outcome: &MilkingOutcome,
+) -> Vec<(SimTime, ScreenshotPoint)> {
+    rederive(world, sources, outcome, |d, dhash| ScreenshotPoint::new(dhash, d.domain.clone()))
+}
+
+/// The zero-string variant of [`discovery_points`]: each discovered
+/// domain is interned into `arena` (the world-level arena the tracker
+/// shares) and the feed carries `(dhash, symbol)` pairs ready for
+/// `ingest_sym`. Interning happens here, at a sequential point in
+/// discovery order, so symbol assignment stays deterministic.
+pub fn discovery_sym_points(
+    world: &World,
+    sources: &[MilkingSource],
+    outcome: &MilkingOutcome,
+    arena: &SharedArena,
+) -> Vec<(SimTime, (Dhash, Sym))> {
+    rederive(world, sources, outcome, |d, dhash| (dhash, arena.intern(&d.domain)))
 }
 
 /// Buckets a [`discovery_points`] feed into one batch per virtual day —
@@ -72,11 +100,15 @@ pub fn discovery_points(
 /// The feed is nondecreasing in `first_seen` (merge-sweep order), so each
 /// batch preserves the feed's ingestion order and concatenating all
 /// batches reproduces the feed exactly.
-pub fn epoch_batches(
-    feed: &[(SimTime, ScreenshotPoint)],
+///
+/// Generic over the point payload: [`discovery_points`] feeds bucket into
+/// `ScreenshotPoint` batches, [`discovery_sym_points`] feeds into
+/// `(Dhash, Sym)` column batches.
+pub fn epoch_batches<T: Clone>(
+    feed: &[(SimTime, T)],
     start: SimTime,
     days: u64,
-) -> Vec<Vec<ScreenshotPoint>> {
+) -> Vec<Vec<T>> {
     let days = days.max(1);
     let mut out = Vec::with_capacity(days as usize);
     let mut next = 0usize;
@@ -144,6 +176,16 @@ mod tests {
 
         let points = discovery_points(&world, &sources, &outcome);
         assert_eq!(points.len(), outcome.discoveries.len());
+        // The sym feed is the same feed, column-form: same times, same
+        // dhashes, and every symbol resolves to the string point's e2LD.
+        let arena = SharedArena::new();
+        let sym_points = discovery_sym_points(&world, &sources, &outcome, &arena);
+        assert_eq!(sym_points.len(), points.len());
+        for ((t, p), (ts, (dhash, sym))) in points.iter().zip(&sym_points) {
+            assert_eq!(t, ts);
+            assert_eq!(p.dhash, *dhash);
+            assert_eq!(p.e2ld, arena.resolve_owned(*sym));
+        }
         for ((t, p), d) in points.iter().zip(&outcome.discoveries) {
             assert_eq!(*t, d.first_seen);
             assert_eq!(p.e2ld, d.domain);

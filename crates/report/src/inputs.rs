@@ -172,11 +172,14 @@ impl ReportInputs {
 
 /// Harvests bench trajectory points from the checked-in `BENCH_*.json`
 /// files under `dir`, in sorted filename order (deterministic given the
-/// same files). Two shapes are understood: the bench harness's array form
-/// (`[{name, median_ns, ...}]` → one `median_ms` point per entry) and
+/// same files). Three shapes are understood: the bench harness's array
+/// form (`[{name, median_ns, ...}]` → one `median_ms` point per entry),
 /// `BENCH_query.json`'s keyed form (`{"kinds": {name: {qps, ...}}}` → one
-/// `qps` point per kind). Unreadable files are skipped — a report must
-/// render from whatever artifacts exist.
+/// `qps` point per kind), and `BENCH_e2e.json`'s phase form
+/// (`{"phases": [{name, wall_ms, allocs, ...}]}` → one `wall_ms` point
+/// per phase, plus an `allocs` point when the run counted allocations).
+/// Unreadable files are skipped — a report must render from whatever
+/// artifacts exist.
 pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
     let mut names: Vec<String> = match std::fs::read_dir(dir) {
         Ok(entries) => entries
@@ -222,6 +225,30 @@ pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
                         }
                     }
                 }
+                if let Some(Value::Arr(phases)) = value.get("phases") {
+                    for p in phases {
+                        let (Some(phase), Some(wall_ms)) = (
+                            p.get("name").and_then(Value::as_str),
+                            p.get("wall_ms").and_then(Value::as_f64),
+                        ) else {
+                            continue;
+                        };
+                        points.push(BenchPoint {
+                            series: series.clone(),
+                            name: phase.to_string(),
+                            metric: "wall_ms".to_string(),
+                            value: wall_ms,
+                        });
+                        if let Some(allocs) = p.get("allocs").and_then(Value::as_f64) {
+                            points.push(BenchPoint {
+                                series: series.clone(),
+                                name: phase.to_string(),
+                                metric: "allocs".to_string(),
+                                value: allocs,
+                            });
+                        }
+                    }
+                }
             }
             _ => {}
         }
@@ -257,6 +284,49 @@ mod tests {
     #[test]
     fn bench_dir_loads_sorted_and_tolerates_absence(){
         assert!(load_bench_dir(Path::new("/nonexistent/dir")).is_empty());
+
+        // All three shapes load, in sorted filename order: the array
+        // form, the e2e phase form, and the keyed qps form.
+        let dir = std::env::temp_dir()
+            .join(format!("seacma-bench-inputs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_cluster.json"),
+            r#"[{"name": "cluster/indexed/1000", "median_ns": 2500000.0}]"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_e2e.json"),
+            r#"{"identity": true, "phases": [
+                {"name": "crawl", "wall_ms": 120.5, "allocs": 4200, "points": 10},
+                {"name": "cluster", "wall_ms": 8.25, "allocs": null, "points": 10}
+            ]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_query.json"),
+            r#"{"kinds": {"hit": {"qps": 9000.0}}}"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("BENCH_broken.json"), "not json").unwrap();
+        std::fs::write(dir.join("NOTES.txt"), "ignored").unwrap();
+
+        let points = load_bench_dir(&dir);
+        std::fs::remove_dir_all(&dir).unwrap();
+        let summary: Vec<(&str, &str, &str, f64)> = points
+            .iter()
+            .map(|p| (p.series.as_str(), p.name.as_str(), p.metric.as_str(), p.value))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("cluster", "cluster/indexed/1000", "median_ms", 2.5),
+                ("e2e", "crawl", "wall_ms", 120.5),
+                ("e2e", "crawl", "allocs", 4200.0),
+                ("e2e", "cluster", "wall_ms", 8.25),
+                ("query", "hit", "qps", 9000.0),
+            ],
+        );
     }
 
     #[test]

@@ -30,15 +30,31 @@
 //! lists. Components only merge, never split; borders can still *move* to
 //! an older cluster (and campaign domain counts can therefore shrink —
 //! θc demotion is real, see the ledger).
+//!
+//! # Storage: struct-of-arrays over a symbol arena
+//!
+//! Unique points are not stored as `ScreenshotPoint` structs. The dhash
+//! column lives inside the [`HammingIndex`] (one contiguous `u128` slice,
+//! scanned directly by band probes), e2LDs are a parallel [`Sym`] column
+//! into a shared [`SymbolArena`](seacma_util::sym::SymbolArena), and the
+//! DBSCAN bookkeeping (neighbour counts, core flags, union-find parents)
+//! are parallel `u32`/`bool` columns. The dedup key is `(u128, Sym)` —
+//! no string hashing or cloning on the hot insert path. Exactness is
+//! unaffected: symbols are in bijection with their strings within one
+//! arena, so `(dhash, Sym)` dedup keeps exactly the pairs `(dhash, e2LD)`
+//! dedup keeps, and every observable output resolves symbols back to
+//! strings before leaving the crate.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use seacma_util::impl_json_struct;
+use seacma_util::sym::{SharedArena, Sym};
 use seacma_vision::cluster::{
     assemble_clusters, ClusterParams, ScreenshotClusters, ScreenshotPoint,
 };
 use seacma_vision::dbscan::Label;
+use seacma_vision::dhash::Dhash;
 use seacma_vision::index::HammingIndex;
 
 /// Streaming DBSCAN over `(dhash, e2LD)` screenshot points.
@@ -49,12 +65,19 @@ use seacma_vision::index::HammingIndex;
 #[derive(Debug, Clone)]
 pub struct IncrementalClusterer {
     params: ClusterParams,
+    /// The arena every e2LD symbol in `e2lds` resolves against. Shared:
+    /// the pipeline hands its world arena in via
+    /// [`IncrementalClusterer::with_arena`] so crawl records feed the
+    /// clusterer without re-interning strings.
+    arena: SharedArena,
+    /// Owns the contiguous dhash column (see [`HammingIndex::hashes`]).
     index: HammingIndex,
-    points: Vec<ScreenshotPoint>,
+    /// e2LD symbol per unique point — parallel to the index's hash column.
+    e2lds: Vec<Sym>,
     /// Original (pre-dedup) indices carried by each unique point, ascending.
     originals: Vec<Vec<u32>>,
-    /// `(dhash bits, e2LD) → unique index` dedup map.
-    pair_index: HashMap<(u128, String), u32>,
+    /// `(dhash bits, e2LD symbol) → unique index` dedup map.
+    pair_index: HashMap<(u128, Sym), u32>,
     n_original: u32,
     /// |N(u)| per unique point, counting `u` itself.
     neighbor_count: Vec<u32>,
@@ -71,12 +94,20 @@ pub struct IncrementalClusterer {
 }
 
 impl IncrementalClusterer {
-    /// An empty clusterer for the given parameters.
+    /// An empty clusterer with its own private symbol arena.
     pub fn new(params: ClusterParams) -> Self {
+        Self::with_arena(params, SharedArena::new())
+    }
+
+    /// An empty clusterer interning e2LDs into `arena` — the pipeline
+    /// passes its world-level arena so crawl-record symbols can be
+    /// ingested directly via [`IncrementalClusterer::insert_sym`].
+    pub fn with_arena(params: ClusterParams, arena: SharedArena) -> Self {
         Self {
             params,
+            arena,
             index: HammingIndex::build(&[], params.eps),
-            points: Vec::new(),
+            e2lds: Vec::new(),
             originals: Vec::new(),
             pair_index: HashMap::new(),
             n_original: 0,
@@ -94,6 +125,11 @@ impl IncrementalClusterer {
         self.params
     }
 
+    /// The arena this clusterer's e2LD symbols resolve against.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+
     /// Number of original (pre-dedup) points ingested.
     pub fn len(&self) -> usize {
         self.n_original as usize
@@ -106,12 +142,41 @@ impl IncrementalClusterer {
 
     /// Number of distinct `(dhash, e2LD)` pairs seen.
     pub fn unique_len(&self) -> usize {
-        self.points.len()
+        self.e2lds.len()
     }
 
-    /// The unique points in arrival order.
-    pub fn unique_points(&self) -> &[ScreenshotPoint] {
-        &self.points
+    /// The unique points in arrival order, materialized from the dhash and
+    /// e2LD-symbol columns. Hot paths should prefer the columns themselves
+    /// ([`IncrementalClusterer::dhashes`] /
+    /// [`IncrementalClusterer::e2ld_syms`]).
+    pub fn unique_points(&self) -> Vec<ScreenshotPoint> {
+        let arena = self.arena.read();
+        self.index
+            .hashes()
+            .iter()
+            .zip(&self.e2lds)
+            .map(|(&d, &s)| ScreenshotPoint::new(d, arena.resolve(s)))
+            .collect()
+    }
+
+    /// The contiguous dhash column, one entry per unique point.
+    pub fn dhashes(&self) -> &[Dhash] {
+        self.index.hashes()
+    }
+
+    /// The e2LD symbol column, parallel to
+    /// [`IncrementalClusterer::dhashes`]; resolve via
+    /// [`IncrementalClusterer::arena`].
+    pub fn e2ld_syms(&self) -> &[Sym] {
+        &self.e2lds
+    }
+
+    /// The live Hamming index over the unique points' hashes. The daemon's
+    /// snapshot clones this instead of rebuilding (incremental insertion
+    /// produces a structure identical to a fresh build over the same
+    /// hashes).
+    pub fn hamming_index(&self) -> &HammingIndex {
+        &self.index
     }
 
     /// Original indices carried by each unique point.
@@ -119,28 +184,48 @@ impl IncrementalClusterer {
         &self.originals
     }
 
-    /// Ingests one point, updating neighbour counts, core transitions and
-    /// core-component connectivity. Amortized cost: one region query for
-    /// the new point plus one for each point it tips over the `min_pts`
-    /// threshold (each point transitions at most once, ever).
+    /// Ingests one point (struct form; interns the e2LD and delegates to
+    /// [`IncrementalClusterer::insert_sym`]).
     pub fn insert(&mut self, point: ScreenshotPoint) {
+        self.insert_ref(point.dhash, &point.e2ld);
+    }
+
+    /// Ingests one point given by reference, avoiding the caller-side
+    /// `ScreenshotPoint` construction. Returns the new unique-point index
+    /// when the pair was never seen before.
+    pub fn insert_ref(&mut self, dhash: Dhash, e2ld: &str) -> Option<usize> {
+        let sym = self.arena.intern(e2ld);
+        self.insert_sym(dhash, sym)
+    }
+
+    /// Ingests one point given as a pre-interned symbol — the zero-string
+    /// hot path. `e2ld` **must** come from this clusterer's arena
+    /// ([`IncrementalClusterer::arena`]); symbols don't travel between
+    /// arenas. Returns the new unique-point index when the `(dhash, e2LD)`
+    /// pair was never seen before (`None` for an exact duplicate).
+    ///
+    /// Updates neighbour counts, core transitions and core-component
+    /// connectivity. Amortized cost: one region query for the new point
+    /// plus one for each point it tips over the `min_pts` threshold (each
+    /// point transitions at most once, ever).
+    pub fn insert_sym(&mut self, dhash: Dhash, e2ld: Sym) -> Option<usize> {
         let orig = self.n_original;
         self.n_original += 1;
-        match self.pair_index.entry((point.dhash.0, point.e2ld.clone())) {
+        match self.pair_index.entry((dhash.0, e2ld)) {
             Entry::Occupied(e) => {
                 // Exact duplicate pair: multiplicity only, no new unique
                 // point — identical to the batch dedup.
                 self.originals[*e.get() as usize].push(orig);
-                return;
+                return None;
             }
             Entry::Vacant(e) => {
-                e.insert(self.points.len() as u32);
+                e.insert(self.e2lds.len() as u32);
             }
         }
 
-        let u = self.index.insert(point.dhash);
-        debug_assert_eq!(u, self.points.len());
-        self.points.push(point);
+        let u = self.index.insert(dhash);
+        debug_assert_eq!(u, self.e2lds.len());
+        self.e2lds.push(e2ld);
         self.originals.push(vec![orig]);
         self.neighbor_count.push(0);
         self.core.push(false);
@@ -185,13 +270,16 @@ impl IncrementalClusterer {
         }
         self.scratch = nb;
         self.scratch2 = nb2;
+        Some(u)
     }
 
     /// Current DBSCAN labels over the unique points — byte-identical to
     /// `dbscan_with` run from scratch over the same points in the same
-    /// order.
+    /// order. The sweep reads only the bookkeeping columns (core flags,
+    /// union-find parents, core-neighbour lists) — contiguous scans, no
+    /// point structs.
     pub fn labels(&self) -> Vec<Label> {
-        let n = self.points.len();
+        let n = self.e2lds.len();
         const NOISE: u32 = u32::MAX;
         // Component root per point (the component's minimal core index).
         let mut comp: Vec<u32> = vec![NOISE; n];
@@ -233,19 +321,30 @@ impl IncrementalClusterer {
     /// [`ScreenshotClusters`] for a precomputed label vector (avoids
     /// re-deriving labels when the caller already holds them).
     pub fn assemble(&self, labels: &[Label]) -> ScreenshotClusters {
-        let view: Vec<_> = self.points.iter().map(|p| (p.dhash, p.e2ld.as_str())).collect();
+        let arena = self.arena.read();
+        let view: Vec<_> = self
+            .index
+            .hashes()
+            .iter()
+            .zip(&self.e2lds)
+            .map(|(&d, &s)| (d, arena.resolve(s)))
+            .collect();
         assemble_clusters(&view, &self.originals, labels, self.params.theta_c)
     }
 
     /// Canonical serializable snapshot. Union-find parents are fully
     /// collapsed to their roots so the snapshot is a pure function of the
     /// ingested sequence, independent of interior path-compression state.
+    /// Symbols are resolved to strings on the way out, so the snapshot is
+    /// **arena-independent**: two clusterers fed the same points produce
+    /// byte-identical states even if their (possibly shared) arenas hold
+    /// different surrounding content.
     pub fn to_state(&self) -> ClustererState {
         let parent: Vec<u32> =
             (0..self.parent.len() as u32).map(|u| find_ro(&self.parent, u)).collect();
         ClustererState {
             params: self.params,
-            points: self.points.clone(),
+            points: self.unique_points(),
             originals: self.originals.clone(),
             n_original: self.n_original,
             neighbor_count: self.neighbor_count.clone(),
@@ -257,21 +356,29 @@ impl IncrementalClusterer {
 
     /// Rebuilds a clusterer from a snapshot. The Hamming index and dedup
     /// map are reconstructed from the stored points (index construction is
-    /// deterministic and equals repeated insertion), so resuming is
-    /// byte-identical to never having snapshotted.
+    /// deterministic and equals repeated insertion), and the e2LDs are
+    /// re-interned into a fresh arena in unique-point order — which is
+    /// exactly each string's first-seen order in the original ingestion
+    /// sequence (a string's first occurrence is always a new unique pair),
+    /// so the resumed arena matches a never-snapshotted private arena
+    /// symbol for symbol. Resuming is byte-identical to never having
+    /// snapshotted.
     pub fn from_state(state: ClustererState) -> Self {
         let hashes: Vec<_> = state.points.iter().map(|p| p.dhash).collect();
         let index = HammingIndex::build(&hashes, state.params.eps);
-        let pair_index = state
-            .points
-            .iter()
-            .enumerate()
-            .map(|(u, p)| ((p.dhash.0, p.e2ld.clone()), u as u32))
-            .collect();
+        let arena = SharedArena::new();
+        let mut e2lds = Vec::with_capacity(state.points.len());
+        let mut pair_index = HashMap::with_capacity(state.points.len());
+        for (u, p) in state.points.iter().enumerate() {
+            let sym = arena.intern(&p.e2ld);
+            e2lds.push(sym);
+            pair_index.insert((p.dhash.0, sym), u as u32);
+        }
         Self {
             params: state.params,
+            arena,
             index,
-            points: state.points,
+            e2lds,
             originals: state.originals,
             pair_index,
             n_original: state.n_original,
@@ -400,6 +507,27 @@ mod tests {
         assert_eq!(inc.unique_len(), 1);
         assert_eq!(inc.originals()[0], vec![0, 1, 2, 3, 4]);
         assert_eq!(inc.clusters().noise, 5);
+        assert_eq!(inc.arena().len(), 1, "duplicates intern one symbol");
+    }
+
+    #[test]
+    fn insert_sym_on_a_shared_arena_matches_insert() {
+        let pts = mixed_corpus(0x5A5A, 80);
+        let arena = SharedArena::new();
+        // Pre-populate the shared arena with unrelated content, as the
+        // pipeline's world arena would be: symbol *values* shift, outputs
+        // must not.
+        arena.intern("publisher0.com");
+        arena.intern("adnet.example");
+        let mut by_struct = IncrementalClusterer::new(ClusterParams::default());
+        let mut by_sym = IncrementalClusterer::with_arena(ClusterParams::default(), arena.clone());
+        for p in &pts {
+            by_struct.insert(p.clone());
+            let sym = arena.intern(&p.e2ld);
+            by_sym.insert_sym(p.dhash, sym);
+        }
+        assert_eq!(by_sym.clusters(), by_struct.clusters());
+        assert_eq!(by_sym.to_state(), by_struct.to_state(), "state is arena-independent");
     }
 
     #[test]
@@ -425,12 +553,18 @@ mod tests {
             front.insert(p.clone());
         }
         let mut resumed = IncrementalClusterer::from_state(front.to_state());
+        assert_eq!(
+            resumed.arena().len(),
+            front.arena().len(),
+            "resume re-interns e2LDs in first-seen order"
+        );
         for p in &pts[60..] {
             whole.insert(p.clone());
             resumed.insert(p.clone());
         }
         assert_eq!(resumed.to_state(), whole.to_state());
         assert_eq!(resumed.clusters(), whole.clusters());
+        assert_eq!(resumed.arena().len(), whole.arena().len());
     }
 
     #[test]

@@ -6,8 +6,11 @@ use std::collections::BTreeSet;
 
 use seacma_util::json::{self, JsonError};
 use seacma_util::impl_json_struct;
+use seacma_util::sym::{SharedArena, Sym};
 use seacma_vision::cluster::{ClusterParams, ScreenshotClusters, ScreenshotPoint};
 use seacma_vision::dbscan::Label;
+use seacma_vision::dhash::Dhash;
+use seacma_vision::index::HammingIndex;
 
 use crate::incremental::{ClustererState, IncrementalClusterer};
 use crate::ledger::{CampaignLedger, LedgerConfig, LedgerEvent, ObservedCluster};
@@ -58,17 +61,28 @@ pub struct EpochSummary {
 pub struct CampaignTracker {
     config: TrackerConfig,
     clusterer: IncrementalClusterer,
+    /// Epoch stamp per unique point: the epoch during which the point
+    /// first arrived. Parallel to the clusterer's dhash/e2LD columns.
+    first_epoch: Vec<u32>,
     ledger: CampaignLedger,
     epoch: u32,
     epoch_ingested: u32,
 }
 
 impl CampaignTracker {
-    /// A fresh tracker.
+    /// A fresh tracker with a private symbol arena.
     pub fn new(config: TrackerConfig) -> Self {
+        Self::with_arena(config, SharedArena::new())
+    }
+
+    /// A fresh tracker interning e2LDs into `arena` — the pipeline hands
+    /// its world arena in so crawl-record symbols flow straight into
+    /// [`CampaignTracker::ingest_sym`] without string round-trips.
+    pub fn with_arena(config: TrackerConfig, arena: SharedArena) -> Self {
         Self {
             config,
-            clusterer: IncrementalClusterer::new(config.params),
+            clusterer: IncrementalClusterer::with_arena(config.params, arena),
+            first_epoch: Vec::new(),
             ledger: CampaignLedger::new(config.ledger),
             epoch: 0,
             epoch_ingested: 0,
@@ -97,10 +111,12 @@ impl CampaignTracker {
 
     /// The distinct `(dhash, e2LD)` points seen so far, in arrival order —
     /// the clustering domain the ledger's
-    /// [`assignments`](CampaignLedger::assignments) index into. Snapshot
-    /// publication handle for the reputation daemon: at an epoch boundary
-    /// these points plus the assignments fix every reputation answer.
-    pub fn unique_points(&self) -> &[ScreenshotPoint] {
+    /// [`assignments`](CampaignLedger::assignments) index into.
+    /// Materialized from the hot columns on demand; the daemon's snapshot
+    /// path uses the column accessors ([`CampaignTracker::dhashes`],
+    /// [`CampaignTracker::e2ld_syms`], [`CampaignTracker::hamming_index`])
+    /// instead.
+    pub fn unique_points(&self) -> Vec<ScreenshotPoint> {
         self.clusterer.unique_points()
     }
 
@@ -109,9 +125,48 @@ impl CampaignTracker {
         self.clusterer.unique_len()
     }
 
+    /// The arena every e2LD symbol in this tracker resolves against.
+    pub fn arena(&self) -> &SharedArena {
+        self.clusterer.arena()
+    }
+
+    /// The contiguous dhash column, one entry per unique point.
+    pub fn dhashes(&self) -> &[Dhash] {
+        self.clusterer.dhashes()
+    }
+
+    /// The e2LD symbol column, parallel to [`CampaignTracker::dhashes`].
+    pub fn e2ld_syms(&self) -> &[Sym] {
+        self.clusterer.e2ld_syms()
+    }
+
+    /// The epoch during which each unique point first arrived — a third
+    /// parallel column, stamped at ingest time.
+    pub fn first_epochs(&self) -> &[u32] {
+        &self.first_epoch
+    }
+
+    /// The live Hamming index over the unique points (cloneable for
+    /// snapshot publication — no rebuild needed).
+    pub fn hamming_index(&self) -> &HammingIndex {
+        self.clusterer.hamming_index()
+    }
+
     /// Feeds one screenshot point into the current epoch.
     pub fn ingest(&mut self, point: ScreenshotPoint) {
-        self.clusterer.insert(point);
+        if self.clusterer.insert_ref(point.dhash, &point.e2ld).is_some() {
+            self.first_epoch.push(self.epoch);
+        }
+        self.epoch_ingested += 1;
+    }
+
+    /// Feeds one pre-interned point into the current epoch — the
+    /// zero-string hot path. `e2ld` must come from this tracker's arena
+    /// ([`CampaignTracker::arena`]).
+    pub fn ingest_sym(&mut self, dhash: Dhash, e2ld: Sym) {
+        if self.clusterer.insert_sym(dhash, e2ld).is_some() {
+            self.first_epoch.push(self.epoch);
+        }
         self.epoch_ingested += 1;
     }
 
@@ -157,6 +212,7 @@ impl CampaignTracker {
         json::to_string(&TrackerState {
             config: self.config,
             clusterer: self.clusterer.to_state(),
+            first_epoch: self.first_epoch.clone(),
             ledger: self.ledger.clone(),
             epoch: self.epoch,
             epoch_ingested: self.epoch_ingested,
@@ -169,6 +225,7 @@ impl CampaignTracker {
         Ok(Self {
             config: state.config,
             clusterer: IncrementalClusterer::from_state(state.clusterer),
+            first_epoch: state.first_epoch,
             ledger: state.ledger,
             epoch: state.epoch,
             epoch_ingested: state.epoch_ingested,
@@ -185,12 +242,14 @@ fn observed_clusters(
     let mut out: Vec<ObservedCluster> = (0..n_clusters)
         .map(|_| ObservedCluster { members: Vec::new(), weight: 0, domains: Vec::new() })
         .collect();
+    let arena = clusterer.arena().read();
+    let syms = clusterer.e2ld_syms();
     let mut domain_sets: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); n_clusters];
     for (u, l) in labels.iter().enumerate() {
         if let Some(id) = l.cluster_id() {
             out[id].members.push(u as u32);
             out[id].weight += clusterer.originals()[u].len() as u32;
-            domain_sets[id].insert(clusterer.unique_points()[u].e2ld.as_str());
+            domain_sets[id].insert(arena.resolve(syms[u]));
         }
     }
     for (o, ds) in out.iter_mut().zip(domain_sets) {
@@ -204,6 +263,7 @@ fn observed_clusters(
 struct TrackerState {
     config: TrackerConfig,
     clusterer: ClustererState,
+    first_epoch: Vec<u32>,
     ledger: CampaignLedger,
     epoch: u32,
     epoch_ingested: u32,
@@ -211,7 +271,7 @@ struct TrackerState {
 
 impl_json_struct!(TrackerConfig { params, ledger });
 impl_json_struct!(EpochSummary { epoch, ingested, clusters, events });
-impl_json_struct!(TrackerState { config, clusterer, ledger, epoch, epoch_ingested });
+impl_json_struct!(TrackerState { config, clusterer, first_epoch, ledger, epoch, epoch_ingested });
 
 #[cfg(test)]
 mod tests {
@@ -301,5 +361,34 @@ mod tests {
         resumed.end_epoch();
         assert_eq!(resumed.to_json(), tracker.to_json());
         assert_eq!(resumed.clusters(), tracker.clusters());
+    }
+
+    #[test]
+    fn ingest_sym_matches_ingest_and_stamps_epochs() {
+        let arena = seacma_util::sym::SharedArena::new();
+        arena.intern("unrelated-preexisting.example");
+        let mut by_sym = CampaignTracker::with_arena(TrackerConfig::default(), arena.clone());
+        let mut by_struct = CampaignTracker::new(TrackerConfig::default());
+        let epochs = [
+            campaign_points(0xD00D, 9, 4, "e"),
+            campaign_points(0xD00D, 5, 7, "e"),
+        ];
+        for batch in &epochs {
+            for p in batch {
+                let sym = arena.intern(&p.e2ld);
+                by_sym.ingest_sym(p.dhash, sym);
+                by_struct.ingest(p.clone());
+            }
+            assert_eq!(by_sym.end_epoch(), by_struct.end_epoch());
+        }
+        // The serialized state resolves symbols, so it is arena-independent.
+        assert_eq!(by_sym.to_json(), by_struct.to_json());
+        // Epoch stamps: non-decreasing, bounded by the closing epoch, and
+        // exactly one per unique point.
+        let stamps = by_sym.first_epochs();
+        assert_eq!(stamps.len(), by_sym.unique_len());
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        assert!(stamps.iter().all(|&e| e < by_sym.epoch()));
+        assert!(stamps.contains(&0) && stamps.contains(&1));
     }
 }

@@ -64,6 +64,10 @@ pub struct BenchResult {
     pub p95_ns: f64,
     /// Elements or bytes per iteration, when annotated.
     pub throughput: Option<u64>,
+    /// Heap allocations per iteration, when the binary was built with the
+    /// `count-alloc` feature *and* installed
+    /// `seacma_util::alloc::CountingAlloc` as its global allocator.
+    pub allocs: Option<u64>,
 }
 
 impl ToJson for BenchResult {
@@ -76,6 +80,7 @@ impl ToJson for BenchResult {
             ("median_ns".into(), self.median_ns.to_json()),
             ("p95_ns".into(), self.p95_ns.to_json()),
             ("throughput".into(), self.throughput.to_json()),
+            ("allocs".into(), self.allocs.to_json()),
         ])
     }
 }
@@ -181,11 +186,16 @@ impl Group<'_> {
             sample_size: self.sample_size,
             samples_ns: Vec::new(),
             iters: 0,
+            allocs: None,
         };
         f(&mut b);
         let result = b.into_result(name, self.throughput);
+        let allocs = match result.allocs {
+            Some(n) => format!("  {n} allocs/iter"),
+            None => String::new(),
+        };
         println!(
-            "{:<40} median {:>12.1} ns/iter  p95 {:>12.1} ns/iter  ({} iters)",
+            "{:<40} median {:>12.1} ns/iter  p95 {:>12.1} ns/iter  ({} iters){allocs}",
             result.name, result.median_ns, result.p95_ns, result.iters
         );
         self.bench.results.push(result);
@@ -212,6 +222,7 @@ pub struct Bencher {
     sample_size: usize,
     samples_ns: Vec<f64>,
     iters: u64,
+    allocs: Option<u64>,
 }
 
 impl Bencher {
@@ -220,7 +231,10 @@ impl Bencher {
     /// `TARGET_TOTAL / sample_size`.
     pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
         if self.quick {
-            std::hint::black_box(f());
+            self.count_allocs(&mut f);
+            if self.allocs.is_none() {
+                std::hint::black_box(f());
+            }
             self.iters = 1;
             self.samples_ns = vec![0.0];
             return;
@@ -247,6 +261,21 @@ impl Bencher {
             self.samples_ns.push(ns);
         }
         self.iters = batch * samples as u64;
+        self.count_allocs(&mut f);
+    }
+
+    /// Counts one invocation's heap allocations when the `count-alloc`
+    /// feature is compiled in; a no-op (leaving [`BenchResult::allocs`]
+    /// `None`) otherwise.
+    fn count_allocs<T>(&mut self, f: &mut impl FnMut() -> T) {
+        #[cfg(feature = "count-alloc")]
+        {
+            let before = crate::alloc::alloc_count();
+            std::hint::black_box(f());
+            self.allocs = Some(crate::alloc::alloc_count() - before);
+        }
+        #[cfg(not(feature = "count-alloc"))]
+        let _ = f;
     }
 
     fn into_result(mut self, name: String, throughput: Option<u64>) -> BenchResult {
@@ -262,6 +291,7 @@ impl Bencher {
             median_ns: pct(0.5),
             p95_ns: pct(0.95),
             throughput,
+            allocs: self.allocs,
         }
     }
 }
@@ -322,6 +352,7 @@ mod tests {
             median_ns: 2.0,
             p95_ns: 3.0,
             throughput: None,
+            allocs: None,
         };
         let v = crate::json::parse(&crate::json::to_string(&r)).unwrap();
         assert_eq!(v.get("name").and_then(Value::as_str), Some("g/f"));

@@ -14,14 +14,22 @@
 //! * [`bench`](mod@bench) — a wall-clock benchmark harness with a criterion-shaped
 //!   API and JSON output, wired up by [`bench_main!`] (replaces
 //!   `criterion`).
+//! * [`sym`] — world-level symbol interning: [`sym::SymbolArena`] /
+//!   [`sym::SharedArena`] hand out dense `u32` symbols in deterministic
+//!   first-seen order with a byte-identical JSON snapshot.
+//! * `alloc` (feature `count-alloc`) — a counting global allocator so
+//!   bench binaries can report and gate per-phase allocation counts.
 //!
 //! Concurrency needs are covered by `std` directly (`std::sync::mpsc`,
 //! `std::sync::Mutex`, `std::thread::scope` — see
 //! `seacma-crawler::farm`), so there is no crossbeam/parking_lot shim.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod prop;
+pub mod sym;
 
 /// Resolves a `workers` knob into an actual thread count: `0` means "use
 /// the machine's available parallelism", anything else is taken verbatim.

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use seacma_util::impl_json_struct;
+use seacma_util::sym::{Sym, SymbolArena};
 
 use crate::dbscan::{dbscan_with, Label};
 use crate::dhash::Dhash;
@@ -170,6 +171,63 @@ pub fn cluster_screenshots_parallel(
         dbscan_with(&mut regions, params.min_pts)
     };
 
+    assemble_clusters(&uniq, &originals, &labels, params.theta_c)
+}
+
+/// [`cluster_screenshots_parallel`] over struct-of-arrays input: points
+/// arrive as parallel `dhash`/`e2LD-symbol` columns plus the arena that
+/// assigned the symbols, instead of a slice of point structs.
+///
+/// The output is **byte-identical** to running the string path over the
+/// resolved points: symbols are in bijection with their strings within
+/// one arena, so deduplicating `(dhash, Sym)` pairs keeps exactly the
+/// `(dhash, e2LD)` pairs the string path keeps, in the same
+/// first-occurrence order, and the DBSCAN stage only ever looks at the
+/// hash column. This is the pipeline's hot path: the dedup key is
+/// `(u128, u32)` — no string hashing, no per-point allocation.
+pub fn cluster_sym_columns_parallel(
+    dhashes: &[Dhash],
+    e2lds: &[Sym],
+    arena: &SymbolArena,
+    params: ClusterParams,
+    workers: usize,
+) -> ScreenshotClusters {
+    assert_eq!(dhashes.len(), e2lds.len(), "column lengths must agree");
+    let mut uniq_hashes: Vec<Dhash> = Vec::new();
+    let mut uniq_syms: Vec<Sym> = Vec::new();
+    let mut originals: Vec<Vec<u32>> = Vec::new();
+    {
+        let mut index: std::collections::HashMap<(u128, Sym), usize> =
+            std::collections::HashMap::new();
+        for (i, (&d, &s)) in dhashes.iter().zip(e2lds).enumerate() {
+            match index.entry((d.0, s)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    originals[*e.get()].push(i as u32)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(uniq_hashes.len());
+                    uniq_hashes.push(d);
+                    uniq_syms.push(s);
+                    originals.push(vec![i as u32]);
+                }
+            }
+        }
+    }
+
+    let labels = if workers == 1 {
+        let mut index = HammingIndex::build(&uniq_hashes, params.eps);
+        dbscan_with(&mut index, params.min_pts)
+    } else {
+        let index = HammingIndex::build_parallel(&uniq_hashes, params.eps, workers);
+        let mut regions = index.regions_parallel(workers);
+        dbscan_with(&mut regions, params.min_pts)
+    };
+
+    let uniq: Vec<(Dhash, &str)> = uniq_hashes
+        .iter()
+        .zip(&uniq_syms)
+        .map(|(&d, &s)| (d, arena.resolve(s)))
+        .collect();
     assemble_clusters(&uniq, &originals, &labels, params.theta_c)
 }
 
@@ -365,6 +423,40 @@ mod tests {
             assert_eq!(par.filtered, seq.filtered, "workers={workers}");
             assert_eq!(par.noise, seq.noise, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn sym_columns_match_string_path() {
+        use seacma_util::forall;
+        forall!(64, |g| {
+            // Random mix of planted near-duplicates, noise and exact
+            // duplicates over a small domain alphabet.
+            let base = g.u128();
+            let n = g.range(0, 60);
+            let pts: Vec<ScreenshotPoint> = (0..n)
+                .map(|_| {
+                    let d = if g.bool(0.6) {
+                        Dhash(base ^ (1u128 << g.range(0, 5)))
+                    } else {
+                        Dhash(g.u128())
+                    };
+                    ScreenshotPoint::new(d, format!("d{}.com", g.range(0, 7)))
+                })
+                .collect();
+            let mut arena = SymbolArena::new();
+            let dhashes: Vec<Dhash> = pts.iter().map(|p| p.dhash).collect();
+            let e2lds: Vec<Sym> = pts.iter().map(|p| arena.intern(&p.e2ld)).collect();
+            let workers = g.range(1, 5);
+            let by_string = cluster_screenshots_parallel(&pts, ClusterParams::default(), workers);
+            let by_sym = cluster_sym_columns_parallel(
+                &dhashes,
+                &e2lds,
+                &arena,
+                ClusterParams::default(),
+                workers,
+            );
+            assert_eq!(by_sym, by_string);
+        });
     }
 
     #[test]

@@ -197,6 +197,14 @@ impl HammingIndex {
         self.hashes.len()
     }
 
+    /// The indexed hashes as one contiguous column, in point-index order.
+    /// This is the struct-of-arrays dhash column the incremental tracker
+    /// and the daemon's reputation snapshot scan directly, instead of
+    /// keeping their own copy of every hash inside point structs.
+    pub fn hashes(&self) -> &[Dhash] {
+        &self.hashes
+    }
+
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.hashes.is_empty()

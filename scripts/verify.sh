@@ -26,6 +26,37 @@ for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling query
     cargo run --release --offline -p seacma-bench --bin "$bench" -- --quick
 done
 
+# End-to-end smoke + allocation-regression gate: e2e_scaling runs the
+# whole pipeline (crawl → cluster → track → milk → track) at the small
+# configuration with the counting allocator installed. Its own gate
+# aborts unless the symbol-path tracker is byte-identical to the
+# string-based reference; on top of that, each phase's allocation count
+# (exact and reproducible at workers=1) must not exceed the checked-in
+# baseline by more than 10%.
+e2e=$(mktemp)
+cargo run --release --offline -p seacma-bench --features count-alloc \
+    --bin e2e_scaling -- --quick --json "$e2e"
+awk '
+    {
+        if (match($0, /"name": *"[^"]*"/)) {
+            name = substr($0, RSTART, RLENGTH)
+            sub(/.*: *"/, "", name); sub(/"$/, "", name)
+        }
+        if (match($0, /"allocs": *[0-9]+/)) {
+            a = substr($0, RSTART, RLENGTH)
+            gsub(/[^0-9]/, "", a); a += 0
+            if (FNR == NR) { base[name] = a; next }
+            if (!(name in base)) { printf "no alloc baseline for phase %s\n", name; bad = 1 }
+            else if (a > base[name] * 1.10) {
+                printf "alloc regression in %s: %d > %d +10%%\n", name, a, base[name]; bad = 1
+            } else { printf "alloc gate %-14s %8d (baseline %8d) ok\n", name, a, base[name] }
+        }
+    }
+    END { exit bad }
+' scripts/e2e_alloc_baseline.json "$e2e"
+rm -f "$e2e"
+echo "e2e smoke: symbol path byte-identical, per-phase allocs within baseline"
+
 # Daemon end-to-end smoke: boot seacmad over the simulated measurement,
 # let the epoch loop drain, query, snapshot — then resume from that
 # snapshot and re-issue the same queries. The two answer transcripts

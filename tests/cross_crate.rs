@@ -8,6 +8,7 @@ use seacma_core::crawler::{visit_publisher, CrawlPolicy};
 use seacma_core::graph::{Attribution, Attributor, NetworkPattern};
 use seacma_core::milker::{validate_candidates, Milker, MilkingCandidate, MilkingConfig};
 use seacma_core::simweb::{SimDuration, SimTime, UaProfile, Vantage, World, WorldConfig};
+use seacma_util::sym::SymbolArena;
 
 fn world() -> World {
     World::generate(WorldConfig {
@@ -27,10 +28,13 @@ fn crawl_to_milking_hand_wired() {
     let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
 
     // Crawl until we have a few attack landings with milkable candidates.
+    let mut arena = SymbolArena::new();
     let mut candidates = Vec::new();
     let mut attack_count = 0;
     for (i, p) in w.publishers().iter().enumerate() {
-        let visit = visit_publisher(&w, p, cfg, SimTime(i as u64 * 2), CrawlPolicy::default(), None);
+        let visit = visit_publisher(
+            &w, p, cfg, SimTime(i as u64 * 2), CrawlPolicy::default(), None, &mut arena,
+        );
         for l in &visit.landings {
             if !l.truth_is_attack {
                 continue;
@@ -90,13 +94,15 @@ fn attribution_chain_contract() {
         .collect();
     let attributor = Attributor::new(patterns);
 
+    let mut arena = SymbolArena::new();
     let mut known = 0;
     let mut unknown = 0;
     for p in w.publishers().iter().take(120) {
         // Hidden-only publishers must attribute Unknown; seed publishers
         // mostly Known.
         let only_hidden = p.networks.iter().all(|id| !w.networks()[id.0 as usize].seed_listed);
-        let visit = visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None);
+        let visit =
+            visit_publisher(&w, p, cfg, SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena);
         for l in &visit.landings {
             match attributor.attribute_urls(l.chain_urls().into_iter()) {
                 Attribution::Known(name) => {
@@ -121,13 +127,16 @@ fn locking_pages_need_instrumentation_end_to_end() {
     let w = world();
     let instrumented = BrowserConfig::instrumented(UaProfile::Ie10Windows, Vantage::Residential);
     let stock = BrowserConfig::stock_automation(UaProfile::Ie10Windows, Vantage::Residential);
+    let mut arena = SymbolArena::new();
     let mut li = 0;
     let mut ls = 0;
     for p in w.publishers().iter().take(150) {
-        li += visit_publisher(&w, p, instrumented, SimTime::EPOCH, CrawlPolicy::default(), None)
-            .landings
-            .len();
-        ls += visit_publisher(&w, p, stock, SimTime::EPOCH, CrawlPolicy::default(), None)
+        li += visit_publisher(
+            &w, p, instrumented, SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena,
+        )
+        .landings
+        .len();
+        ls += visit_publisher(&w, p, stock, SimTime::EPOCH, CrawlPolicy::default(), None, &mut arena)
             .landings
             .len();
     }

@@ -1,0 +1,143 @@
+//! Phase-boundary exactness for the interned + struct-of-arrays pipeline:
+//! at every boundary — crawl dataset, clustering, each crawl-replay epoch,
+//! each milking day — the symbol fast path must be **byte-identical** (in
+//! resolved JSON form) to the string-based reference, across random worker
+//! counts and epoch splits. These properties are what let the e2e bench
+//! (`e2e_scaling`) time the fast path and publish the numbers as the
+//! pipeline's numbers.
+
+use seacma_core::blacklist::VirusTotal;
+use seacma_core::simweb::{SimDuration, SimTime, HOUR};
+use seacma_core::tracker::CampaignTracker;
+use seacma_core::vision::cluster::{cluster_screenshots_parallel, ScreenshotPoint};
+use seacma_core::{Pipeline, PipelineConfig};
+use seacma_util::{forall, json};
+
+/// A pipeline small enough to discover + track + milk inside a property
+/// case, with the knobs under test (workers, epoch splits) exposed.
+fn tiny_config(seed: u64, workers: usize) -> PipelineConfig {
+    let mut c = PipelineConfig::small(seed);
+    c.world.n_publishers = 150;
+    c.world.n_hidden_only_publishers = 15;
+    c.world.n_advertisers = 20;
+    c.workers = workers;
+    c.milking.lookup_tail = SimDuration::from_days(1);
+    c.max_milking_sources = 40;
+    c
+}
+
+#[test]
+fn discovery_boundaries_match_string_reference_at_any_worker_count() {
+    forall!(5, |rng| {
+        let seed = rng.range_u64(1, 1 << 40);
+        let workers = rng.range(1, 5);
+        let pipeline = Pipeline::new(tiny_config(seed, workers));
+        let discovery = pipeline.discover();
+
+        // Crawl boundary: the dataset — dhashes, symbols and the arena
+        // they resolve against — equals a single-worker pipeline's byte
+        // for byte (worker-scratch interning canonicalizes to job order).
+        let reference = Pipeline::new(tiny_config(seed, 1));
+        let ref_discovery = reference.discover();
+        assert_eq!(discovery.crawl, ref_discovery.crawl, "crawl dataset diverged");
+        assert_eq!(
+            json::to_string(&*discovery.arena.read()),
+            json::to_string(&*ref_discovery.arena.read()),
+            "arena symbol assignment diverged"
+        );
+
+        // Cluster boundary: sym-column DBSCAN over the record columns
+        // equals the sequential string-based clustering byte for byte.
+        let arena = discovery.arena.read();
+        let points: Vec<ScreenshotPoint> = discovery
+            .landings()
+            .map(|l| ScreenshotPoint::new(l.dhash, arena.resolve(l.landing_e2ld)))
+            .collect();
+        let string_clusters =
+            cluster_screenshots_parallel(&points, pipeline.config().clustering, 1);
+        assert_eq!(
+            json::to_string(&discovery.clusters),
+            json::to_string(&string_clusters),
+            "sym-column clustering diverged from the string reference"
+        );
+    });
+}
+
+#[test]
+fn tracking_boundaries_match_string_reference_at_any_epoch_split() {
+    forall!(5, |rng| {
+        let seed = rng.range_u64(1, 1 << 40);
+        let mut config = tiny_config(seed, rng.range(1, 4));
+        config.crawl_track_epochs = rng.range(1, 9);
+        config.milking.duration = SimDuration::from_days(rng.range_u64(1, 4));
+        let pipeline = Pipeline::new(config);
+        let discovery = pipeline.discover();
+
+        // Two trackers fed the same epochs: the fast one on the symbol
+        // path sharing the world arena, the reference on materialized
+        // string points with a private arena. Every closed epoch's
+        // summary must serialize identically.
+        let mut fast =
+            CampaignTracker::with_arena(pipeline.tracker_config(), discovery.arena.clone());
+        let mut reference = CampaignTracker::new(pipeline.tracker_config());
+        let sym_batches = pipeline.crawl_epoch_sym_batches(&discovery);
+        let str_batches = pipeline.crawl_epoch_batches(&discovery);
+        assert_eq!(sym_batches.len(), str_batches.len());
+        for (day, (sb, tb)) in sym_batches.iter().zip(&str_batches).enumerate() {
+            for &(dhash, sym) in sb {
+                fast.ingest_sym(dhash, sym);
+            }
+            reference.ingest_all(tb.clone());
+            assert_eq!(
+                json::to_string(&fast.end_epoch()),
+                json::to_string(&reference.end_epoch()),
+                "crawl epoch {day} summary diverged"
+            );
+        }
+        // The final crawl boundary also equals the batch discovery
+        // clustering (the incremental exactness property).
+        assert_eq!(
+            json::to_string(&fast.clusters()),
+            json::to_string(&discovery.clusters),
+            "crawl-replay snapshot diverged from batch clustering"
+        );
+
+        // Milking boundaries: one epoch per virtual day, sym feed vs
+        // materialized string feed.
+        let crawl_end = discovery
+            .crawl
+            .visits
+            .iter()
+            .map(|v| v.started)
+            .max()
+            .unwrap_or(SimTime::EPOCH)
+            + HOUR;
+        let sources = pipeline.milking_sources(&discovery, &fast, crawl_end);
+        let mut vt = VirusTotal::new(pipeline.world().seed() ^ 0x7A);
+        let milking = pipeline.milk(&sources, crawl_end, &mut vt);
+        let sym_days = pipeline.milking_epoch_sym_batches(&sources, &milking, crawl_end);
+        let str_days = pipeline.milking_epoch_batches(&sources, &milking, crawl_end);
+        assert_eq!(sym_days.len(), str_days.len());
+        for (day, (sb, tb)) in sym_days.iter().zip(&str_days).enumerate() {
+            for &(dhash, sym) in sb {
+                fast.ingest_sym(dhash, sym);
+            }
+            reference.ingest_all(tb.clone());
+            assert_eq!(
+                json::to_string(&fast.end_epoch()),
+                json::to_string(&reference.end_epoch()),
+                "milking day {day} summary diverged"
+            );
+        }
+        assert_eq!(
+            json::to_string(&fast.clusters()),
+            json::to_string(&reference.clusters()),
+            "final cluster snapshot diverged"
+        );
+        assert_eq!(
+            json::to_string(fast.ledger()),
+            json::to_string(reference.ledger()),
+            "final ledger diverged"
+        );
+    });
+}
