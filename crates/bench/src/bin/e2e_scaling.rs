@@ -224,8 +224,8 @@ fn main() {
         "symbol-path cluster snapshot diverged from the string reference"
     );
     assert_eq!(
-        json::to_string(tracker.ledger()),
-        json::to_string(reference.ledger()),
+        json::to_string(&tracker.ledger().to_state(&tracker.arena().read())),
+        json::to_string(&reference.ledger().to_state(&reference.arena().read())),
         "symbol-path ledger diverged from the string reference"
     );
     assert_eq!(fast_summaries.len(), ref_summaries.len(), "epoch count diverged");

@@ -34,6 +34,7 @@
 
 pub mod adblock;
 pub mod config;
+pub mod detecteval;
 pub mod export;
 pub mod invariants;
 pub mod label;
@@ -51,6 +52,7 @@ pub use pipeline::{DiscoveryOutput, Pipeline, PipelineRun, TrackingOutput};
 pub use seacma_blacklist as blacklist;
 pub use seacma_browser as browser;
 pub use seacma_crawler as crawler;
+pub use seacma_detect as detect;
 pub use seacma_graph as graph;
 pub use seacma_milker as milker;
 pub use seacma_simweb as simweb;

@@ -10,6 +10,8 @@
 //!
 //! url <url-or-domain>    reputation of a URL / bare e2LD
 //! dhash <32-hex>         nearest campaign to a screenshot hash
+//! detect <32-hex> [hops] [e2lds] [sig,..]
+//!                        score a page-load observation online
 //! campaign <id>          lifecycle status of a ledger id
 //! status                 daemon status (epoch, points, arena size, campaigns)
 //! dash [frames]          live ANSI dashboard on stderr (refreshes per epoch)
@@ -28,6 +30,7 @@ use std::time::{Duration, Instant};
 use seacma_core::{Pipeline, PipelineConfig};
 use seacma_daemon::dash::{render_frame, QueryCounters};
 use seacma_daemon::Daemon;
+use seacma_detect::{PageObservation, PageSignals};
 use seacma_report::ansi::CLEAR_SCREEN;
 use seacma_util::json;
 use seacma_vision::dhash::Dhash;
@@ -37,6 +40,65 @@ use seacma_vision::dhash::Dhash;
 enum Command {
     Snapshot(String),
     Quit,
+}
+
+/// Every REPL command as `(syntax, description)`. This one table drives
+/// the `--help` usage line, the `help` answer and the unknown-command
+/// hint, so the three can never drift apart (they once did: `dash` and
+/// `snapshot` were missing from `help`).
+const COMMANDS: &[(&str, &str)] = &[
+    ("url <url-or-e2ld>", "reputation verdict for a URL or bare domain"),
+    ("dhash <32-hex>", "nearest campaign to a screenshot hash"),
+    (
+        "detect <32-hex> [hops] [e2lds] [sig,..]",
+        "score a page-load observation (sigs: phone|survey|lock|notify|download)",
+    ),
+    ("campaign <id>", "lifecycle status of a ledger id"),
+    ("status", "daemon status: epoch, resident points, arena size, qualified campaigns"),
+    ("dash [frames]", "live ANSI dashboard on stderr, redrawn per epoch boundary"),
+    ("snapshot <path>", "write resumable state at the next epoch boundary"),
+    ("help", "this list"),
+    ("quit", "shut down"),
+];
+
+/// The first word of each command syntax, comma-joined — the unknown-command hint.
+fn command_names() -> String {
+    let names: Vec<&str> =
+        COMMANDS.iter().map(|&(s, _)| s.split_whitespace().next().unwrap_or(s)).collect();
+    names.join(", ")
+}
+
+/// The `help` answer: the full command table as one JSON object.
+fn help_json() -> String {
+    let table = COMMANDS
+        .iter()
+        .map(|&(syntax, desc)| (syntax.to_string(), json::Value::Str(desc.to_string())))
+        .collect();
+    json::to_string(&json::Value::Obj(vec![("commands".to_string(), json::Value::Obj(table))]))
+}
+
+/// Parses the tail of a `detect` line — `[hops] [e2lds] [sig,..]` — into
+/// the observation's cheap structural signals. Unknown signal tokens are
+/// an error (a typo must not silently score as "signal absent").
+fn parse_signals<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+) -> Result<PageSignals, String> {
+    let mut signals = PageSignals::default();
+    signals.redirect_hops = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    signals.third_party_e2lds = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    if let Some(sigs) = parts.next() {
+        for s in sigs.split(',').filter(|s| !s.is_empty()) {
+            match s {
+                "phone" => signals.scam_phone = true,
+                "survey" => signals.survey_gateway = true,
+                "lock" => signals.locking = true,
+                "notify" => signals.notification_prompt = true,
+                "download" => signals.auto_download = true,
+                other => return Err(format!("unknown signal {other:?} (phone|survey|lock|notify|download)")),
+            }
+        }
+    }
+    Ok(signals)
 }
 
 fn main() {
@@ -52,11 +114,11 @@ fn main() {
             }
             "--resume" => resume = args.next(),
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: seacmad [--seed N] [--epoch-ms MS] [--resume PATH]\n\
-                     queries on stdin: url <u> | dhash <32-hex> | campaign <id> | status | \
-                     dash [frames] | snapshot <path> | help | quit"
-                );
+                eprintln!("usage: seacmad [--seed N] [--epoch-ms MS] [--resume PATH]");
+                eprintln!("queries on stdin:");
+                for (syntax, desc) in COMMANDS {
+                    eprintln!("  {syntax:<42} {desc}");
+                }
                 return;
             }
             other => {
@@ -161,6 +223,16 @@ fn main() {
                 }
                 None => r#"{"error":"dhash wants 32 hex digits"}"#.to_string(),
             },
+            (Some("detect"), Some(h)) => match Dhash::parse(h) {
+                Some(dhash) => match parse_signals(parts) {
+                    Ok(signals) => {
+                        counters.detect += 1;
+                        json::to_string(&handle.detect(&PageObservation { dhash, signals }))
+                    }
+                    Err(e) => format!(r#"{{"error":{}}}"#, json::to_string(&e)),
+                },
+                None => r#"{"error":"detect wants a 32-hex dhash first"}"#.to_string(),
+            },
             (Some("campaign"), Some(id)) => match id.parse::<u32>() {
                 Ok(id) => {
                     counters.campaign += 1;
@@ -218,23 +290,21 @@ fn main() {
                 let _ = tx.send(Command::Snapshot(path.to_string()));
                 r#"{"ok":"snapshot queued for the next boundary"}"#.to_string()
             }
-            (Some("help"), None) => concat!(
-                r#"{"commands":{"#,
-                r#""url <url-or-e2ld>":"reputation verdict for a URL or bare domain","#,
-                r#""dhash <32-hex>":"nearest campaign to a screenshot hash","#,
-                r#""campaign <id>":"lifecycle status of a ledger id","#,
-                r#""status":"daemon status: epoch, resident points, arena size, qualified campaigns","#,
-                r#""dash [frames]":"live ANSI dashboard on stderr, redrawn per epoch boundary","#,
-                r#""snapshot <path>":"write resumable state at the next epoch boundary","#,
-                r#""help":"this list","#,
-                r#""quit":"shut down"}}"#
-            )
-            .to_string(),
+            (Some("help"), None) => help_json(),
             (Some("quit"), None) => break,
-            (None, None) => continue,
-            _ => {
-                r#"{"error":"commands: url, dhash, campaign, status, dash, snapshot, help, quit"}"#
-                    .to_string()
+            (None, _) => continue,
+            // A known command that missed the arms above wants different
+            // arguments; anything else gets the one-line command hint.
+            (Some(other), _) => {
+                match COMMANDS.iter().find(|&&(s, _)| s.split_whitespace().next() == Some(other))
+                {
+                    Some((syntax, _)) => format!(r#"{{"error":"usage: {syntax}"}}"#),
+                    None => {
+                        let msg =
+                            format!("unknown command {other:?}; commands: {}", command_names());
+                        format!(r#"{{"error":{}}}"#, json::to_string(&msg))
+                    }
+                }
             }
         };
         let mut out = stdout.lock();

@@ -47,6 +47,8 @@ pub struct QueryCounters {
     pub url: u64,
     /// `dhash <h>` queries answered.
     pub dhash: u64,
+    /// `detect <h> ...` page-load observations scored.
+    pub detect: u64,
     /// `campaign <id>` queries answered.
     pub campaign: u64,
     /// `status` queries answered.
@@ -56,7 +58,7 @@ pub struct QueryCounters {
 impl QueryCounters {
     /// Total queries answered across all kinds.
     pub fn total(&self) -> u64 {
-        self.url + self.dhash + self.campaign + self.status
+        self.url + self.dhash + self.detect + self.campaign + self.status
     }
 }
 
@@ -136,8 +138,8 @@ pub fn render_frame(
         Span::raw("queries "),
         Span::styled(counters.total().to_string(), Style::BOLD),
         Span::raw(format!(
-            "  (url {} | dhash {} | campaign {} | status {})",
-            counters.url, counters.dhash, counters.campaign, counters.status
+            "  (url {} | dhash {} | detect {} | campaign {} | status {})",
+            counters.url, counters.dhash, counters.detect, counters.campaign, counters.status
         )),
     ];
     if let Some(secs) = elapsed_secs {

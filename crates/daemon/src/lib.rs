@@ -20,6 +20,11 @@
 //!   lock-free against the snapshot it loaded, so reads **never block on
 //!   an in-flight epoch** and a mid-epoch query answers exactly as of the
 //!   last closed boundary;
+//! - each snapshot also carries a frozen
+//!   [`Detector`](seacma_detect::Detector) view, so
+//!   [`QueryHandle::detect`] scores whole page-load observations (dhash +
+//!   structural signals) online — the daemon's second workload class,
+//!   gated byte-identical against `seacma-detect`'s naive-scan oracle;
 //! - the restart story is the tracker's byte-identical snapshot/resume:
 //!   [`Daemon::to_json`] / [`Daemon::from_json`] round-trip the full
 //!   resumable state, under live query load, without a byte of drift.

@@ -13,6 +13,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 
 use seacma_tracker::{CampaignLedger, ObservedCluster, TrackerConfig};
+use seacma_util::sym::SymbolArena;
 use seacma_vision::cluster::ScreenshotPoint;
 use seacma_vision::dbscan::dbscan_with;
 use seacma_vision::dhash::Dhash;
@@ -52,6 +53,10 @@ pub fn replay_batches(
     batches: &[Vec<ScreenshotPoint>],
 ) -> Vec<ReputationSnapshot> {
     let mut ledger = CampaignLedger::new(config.ledger);
+    // The replay's own private arena for the ledger's domain symbols —
+    // persistent across epochs, like the tracker's, but never shared with
+    // the incremental paths under test.
+    let mut arena = SymbolArena::new();
     let mut all: Vec<ScreenshotPoint> = Vec::new();
     let mut snapshots = Vec::with_capacity(batches.len());
     for (e, batch) in batches.iter().enumerate() {
@@ -94,11 +99,14 @@ pub fn replay_batches(
             }
         }
         for (o, ds) in observed.iter_mut().zip(domain_sets) {
-            o.domains = ds.into_iter().map(str::to_owned).collect();
+            // BTreeSet iteration is string-sorted, matching the ledger's
+            // domain-order invariant after interning.
+            o.domains = ds.into_iter().map(|d| arena.intern(d)).collect();
         }
-        ledger.observe(e as u32, &observed, uniq.len(), config.params.theta_c);
+        ledger.observe(e as u32, &observed, uniq.len(), config.params.theta_c, &arena);
 
-        let statuses = ledger.records().iter().map(CampaignStatus::from_record).collect();
+        let statuses =
+            ledger.records().iter().map(|r| CampaignStatus::from_record(r, &arena)).collect();
         snapshots.push(ReputationSnapshot::from_parts(
             (e + 1) as u32,
             uniq,

@@ -8,6 +8,7 @@
 //! offline batch pipeline.
 
 use seacma_tracker::{CampaignRecord, LifeState};
+use seacma_util::sym::SymbolArena;
 use seacma_util::{impl_json_enum, impl_json_struct};
 
 /// The daemon's answer to a URL (or bare e2LD) reputation lookup.
@@ -108,14 +109,17 @@ pub struct CampaignStatus {
 }
 
 impl CampaignStatus {
-    /// Projects a ledger record into its served status.
-    pub fn from_record(r: &CampaignRecord) -> Self {
+    /// Projects a ledger record into its served status, resolving the
+    /// record's domain symbols against `arena` — the one point where the
+    /// serving path materializes domain strings, once per epoch close
+    /// rather than once per epoch per campaign per domain.
+    pub fn from_record(r: &CampaignRecord, arena: &SymbolArena) -> Self {
         Self {
             id: r.id,
             state: r.state,
             qualified: r.campaign,
             members: r.members,
-            domains: r.domains.clone(),
+            domains: r.domains.iter().map(|&d| arena.resolve(d).to_string()).collect(),
             birth_epoch: r.birth_epoch,
             last_growth_epoch: r.last_growth_epoch,
         }

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+use seacma_detect::{Detector, DetectorConfig, PageObservation, Verdict};
 use seacma_simweb::domain::e2ld;
 use seacma_simweb::Url;
 use seacma_tracker::CampaignTracker;
@@ -61,6 +62,10 @@ pub struct ReputationSnapshot {
     assignments: Vec<Option<u32>>,
     domains: HashMap<Sym, u32>,
     statuses: Vec<CampaignStatus>,
+    /// The online detector's frozen view over the same columns: two more
+    /// banded indexes (clustering radius + escalated radius) sharing the
+    /// snapshot's assignment vector semantics.
+    detector: Detector,
 }
 
 impl ReputationSnapshot {
@@ -80,10 +85,22 @@ impl ReputationSnapshot {
         let arena = tracker.arena().clone();
         let mut assignments = tracker.ledger().assignments().to_vec();
         assignments.resize(e2lds.len(), None);
-        let statuses: Vec<CampaignStatus> =
-            tracker.ledger().records().iter().map(CampaignStatus::from_record).collect();
+        let statuses: Vec<CampaignStatus> = {
+            let resolver = arena.read();
+            tracker
+                .ledger()
+                .records()
+                .iter()
+                .map(|r| CampaignStatus::from_record(r, &resolver))
+                .collect()
+        };
         let domains = domain_map(&arena, &statuses);
-        Self { epoch: tracker.epoch(), index, e2lds, arena, assignments, domains, statuses }
+        let detector = Detector::from_columns(
+            index.hashes(),
+            &detect_assignments(&assignments, &statuses),
+            DetectorConfig::for_eps(tracker.config().params.eps),
+        );
+        Self { epoch: tracker.epoch(), index, e2lds, arena, assignments, domains, statuses, detector }
     }
 
     /// Assembles a snapshot from its constituent parts — the entry point
@@ -109,7 +126,12 @@ impl ReputationSnapshot {
         let arena = SharedArena::new();
         let e2lds: Vec<Sym> = points.iter().map(|p| arena.intern(&p.e2ld)).collect();
         let domains = domain_map(&arena, &statuses);
-        Self { epoch, index, e2lds, arena, assignments, domains, statuses }
+        let detector = Detector::from_columns(
+            &hashes,
+            &detect_assignments(&assignments, &statuses),
+            DetectorConfig::for_eps(eps),
+        );
+        Self { epoch, index, e2lds, arena, assignments, domains, statuses, detector }
     }
 
     /// The number of closed epochs this snapshot reflects.
@@ -197,6 +219,39 @@ impl ReputationSnapshot {
                 DhashMatch { campaign: id, distance, state: s.state, qualified: s.qualified }
             })
     }
+
+    /// The snapshot's frozen online-detector view.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Scores one page-load observation against the frozen campaign
+    /// index, per [`Detector::detect`]. A pure function of the snapshot:
+    /// the same observation always returns a byte-identical verdict.
+    pub fn detect(&self, obs: &PageObservation) -> Verdict {
+        self.detector.detect(obs)
+    }
+
+    /// [`ReputationSnapshot::detect`] with a caller-owned scratch buffer —
+    /// the allocation-free path the bench's hot loop drives.
+    pub fn detect_with(&self, obs: &PageObservation, scratch: &mut Vec<usize>) -> Verdict {
+        self.detector.detect_with(obs, scratch)
+    }
+}
+
+/// The detector's assignment column: only **qualified** campaigns (θc
+/// survivors) answer visual matches. A tracked-but-unqualified cluster is
+/// not a SEACMA campaign under the paper's definition, and letting it
+/// match would flag every popular benign landing template the crawl
+/// happened to cluster.
+fn detect_assignments(
+    assignments: &[Option<u32>],
+    statuses: &[CampaignStatus],
+) -> Vec<Option<u32>> {
+    assignments
+        .iter()
+        .map(|a| a.filter(|&id| statuses.get(id as usize).is_some_and(|s| s.qualified)))
+        .collect()
 }
 
 /// Maps each e2LD of a non-merged record to the smallest claiming ledger
@@ -318,5 +373,13 @@ impl QueryHandle {
     /// Campaign status, per [`ReputationSnapshot::campaign`].
     pub fn campaign(&self, id: u32) -> Option<CampaignStatus> {
         self.snapshot().campaign(id).cloned()
+    }
+
+    /// Online page-load detection, per [`ReputationSnapshot::detect`] —
+    /// the daemon's second, harder workload class. Lock-free like every
+    /// other query: the handle loads the published snapshot once and
+    /// scores against its frozen detector.
+    pub fn detect(&self, obs: &PageObservation) -> Verdict {
+        self.snapshot().detect(obs)
     }
 }

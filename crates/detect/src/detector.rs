@@ -1,0 +1,370 @@
+//! The three-stage online detector.
+//!
+//! Stage 1 — **seen campaign**: probe the banded
+//! [`HammingIndex`] at the clustering radius (`eps`, same as DBSCAN). A
+//! hit on a campaign-assigned point is the strongest possible verdict:
+//! the screenshot is a near-duplicate of a tracked creative.
+//!
+//! Stage 2 — **near miss**: probe a second index over the *same* points
+//! at an escalated radius a few bits wider. This catches new creative
+//! variants of known campaigns (the SENet observation that campaigns
+//! drift visually faster than blocklists refresh) without paying the
+//! escalated candidate volume on the common hit path: the wide probe runs
+//! only when the tight one came up empty.
+//!
+//! Stage 3 — **never-seen campaign**: no indexed point is close enough,
+//! so only the structural tells can speak. The deterministic
+//! [`PageSignals::score`](crate::PageSignals::score) against a fixed threshold separates
+//! `Suspicious` from `Benign`.
+//!
+//! Both probes answer "nearest campaign-assigned point, ties to the
+//! lowest point index" — a pure function of the indexed column, which is
+//! what makes the naive-scan oracle (and therefore the byte-identity
+//! harness) possible.
+
+use seacma_util::{impl_json_enum, impl_json_struct};
+use seacma_vision::dhash::Dhash;
+use seacma_vision::index::{radius_for_eps, HammingIndex};
+
+use crate::feature::PageObservation;
+
+/// Detector tuning. All three knobs are part of the verdict contract:
+/// the oracle takes the same config and must agree byte for byte.
+///
+/// ```
+/// use seacma_detect::DetectorConfig;
+///
+/// let c = DetectorConfig::default();
+/// assert_eq!(c.base_radius(), 12);      // eps 0.1 over 128 bits
+/// assert_eq!(c.escalated_radius(), 16); // + 4 bits of generalization
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Clustering radius as normalized Hamming distance — keep equal to
+    /// the tracker's DBSCAN `eps` so a `Campaign` verdict means "would
+    /// have joined this cluster".
+    pub eps: f64,
+    /// Extra bits of radius for the near-miss probe.
+    pub escalation_bits: u32,
+    /// Minimum [`PageSignals::score`](crate::PageSignals::score) for a `Suspicious` verdict on an
+    /// index miss.
+    pub feature_threshold: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { eps: 0.1, escalation_bits: 4, feature_threshold: 4 }
+    }
+}
+
+impl DetectorConfig {
+    /// Default knobs over an explicit clustering radius (the daemon passes
+    /// the tracker's own `eps` so verdicts agree with cluster membership).
+    pub fn for_eps(eps: f64) -> Self {
+        DetectorConfig { eps, ..DetectorConfig::default() }
+    }
+
+    /// Stage-1 integer bit radius: `floor(eps · 128)`.
+    pub fn base_radius(&self) -> u32 {
+        radius_for_eps(self.eps)
+    }
+
+    /// Stage-2 integer bit radius, clamped to 128.
+    pub fn escalated_radius(&self) -> u32 {
+        (self.base_radius() + self.escalation_bits).min(128)
+    }
+}
+
+/// The scored answer for one page load.
+///
+/// `campaign` ids are the tracker ledger's stable campaign ids;
+/// `distance` is the exact Hamming distance to the matched point; every
+/// variant carries the structural `score` so downstream policy can
+/// combine visual and structural evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Near-duplicate of a tracked campaign creative (within `eps`).
+    Campaign {
+        /// Matched ledger campaign id.
+        campaign: u32,
+        /// Hamming distance to the matched point.
+        distance: u32,
+        /// Structural feature score of the observation.
+        score: u32,
+    },
+    /// Within the escalated radius of a tracked campaign — a likely new
+    /// creative variant.
+    NearCampaign {
+        /// Matched ledger campaign id.
+        campaign: u32,
+        /// Hamming distance to the matched point.
+        distance: u32,
+        /// Structural feature score of the observation.
+        score: u32,
+    },
+    /// No visual match, but the structural score clears the threshold —
+    /// the never-seen-campaign path.
+    Suspicious {
+        /// Structural feature score of the observation.
+        score: u32,
+    },
+    /// No visual match and an unremarkable structure.
+    Benign {
+        /// Structural feature score of the observation.
+        score: u32,
+    },
+}
+
+impl Verdict {
+    /// Stable verdict-kind name, the bucketing key benches and counters
+    /// use: `"campaign"`, `"near_campaign"`, `"suspicious"`, `"benign"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Verdict::Campaign { .. } => "campaign",
+            Verdict::NearCampaign { .. } => "near_campaign",
+            Verdict::Suspicious { .. } => "suspicious",
+            Verdict::Benign { .. } => "benign",
+        }
+    }
+
+    /// Whether the verdict flags the load (everything except `Benign`).
+    pub fn flagged(&self) -> bool {
+        !matches!(self, Verdict::Benign { .. })
+    }
+}
+
+/// The online detector: two exact Hamming indexes over one frozen point
+/// column plus that column's campaign assignments.
+///
+/// ```
+/// use seacma_detect::{Detector, DetectorConfig, PageObservation, PageSignals};
+/// use seacma_vision::dhash::Dhash;
+///
+/// let hashes = vec![Dhash(0), Dhash(!0u128)];
+/// let assign = vec![Some(7), None];
+/// let d = Detector::from_columns(&hashes, &assign, DetectorConfig::default());
+/// let obs = PageObservation { dhash: Dhash(0b11), signals: PageSignals::default() };
+/// assert_eq!(d.detect(&obs).kind(), "campaign"); // 2 bits from point 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Detector {
+    base: HammingIndex,
+    escalated: HammingIndex,
+    assignments: Vec<Option<u32>>,
+    config: DetectorConfig,
+}
+
+impl Detector {
+    /// Builds the detector over the tracker's struct-of-arrays columns:
+    /// the dhash column (point-index order) and the ledger's campaign
+    /// assignment per point. `assignments` may be shorter than `hashes`
+    /// when points arrived mid-epoch and have not been clustered yet;
+    /// missing tails are unassigned.
+    pub fn from_columns(
+        hashes: &[Dhash],
+        assignments: &[Option<u32>],
+        config: DetectorConfig,
+    ) -> Self {
+        Self::from_columns_parallel(hashes, assignments, config, 1)
+    }
+
+    /// [`Detector::from_columns`] with both index builds sharded across
+    /// `workers` scoped threads. The result is identical for every worker
+    /// count — the acceptance gate the bench re-checks at 1/2/8.
+    pub fn from_columns_parallel(
+        hashes: &[Dhash],
+        assignments: &[Option<u32>],
+        config: DetectorConfig,
+        workers: usize,
+    ) -> Self {
+        let mut assignments = assignments.to_vec();
+        assignments.resize(hashes.len(), None);
+        Detector {
+            base: HammingIndex::build_radius_parallel(hashes, config.base_radius(), workers),
+            escalated: HammingIndex::build_radius_parallel(
+                hashes,
+                config.escalated_radius(),
+                workers,
+            ),
+            assignments,
+            config,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the detector indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The tuning the detector was built with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The indexed dhash column, in point-index order.
+    pub fn hashes(&self) -> &[Dhash] {
+        self.base.hashes()
+    }
+
+    /// The campaign assignment column, parallel to
+    /// [`Detector::hashes`] (padded to its length).
+    pub fn assignments(&self) -> &[Option<u32>] {
+        &self.assignments
+    }
+
+    /// Scores one observation. Allocates a scratch buffer; the serving
+    /// path uses [`Detector::detect_with`] to reuse one.
+    pub fn detect(&self, obs: &PageObservation) -> Verdict {
+        let mut scratch = Vec::new();
+        self.detect_with(obs, &mut scratch)
+    }
+
+    /// Scores one observation using a caller-owned scratch buffer —
+    /// allocation-free once the buffer has grown to the candidate volume.
+    pub fn detect_with(&self, obs: &PageObservation, scratch: &mut Vec<usize>) -> Verdict {
+        let score = obs.signals.score();
+        // Tight probe first: at eps 0.1 the candidate volume is ~n/70, and
+        // a hit answers without ever touching the wide index.
+        if let Some((campaign, distance)) = self.nearest_assigned(&self.base, obs.dhash, scratch) {
+            return Verdict::Campaign { campaign, distance, score };
+        }
+        if let Some((campaign, distance)) =
+            self.nearest_assigned(&self.escalated, obs.dhash, scratch)
+        {
+            return Verdict::NearCampaign { campaign, distance, score };
+        }
+        if score >= self.config.feature_threshold {
+            Verdict::Suspicious { score }
+        } else {
+            Verdict::Benign { score }
+        }
+    }
+
+    /// Nearest campaign-assigned point within `index`'s radius, as
+    /// `(campaign id, distance)`. Ties break by `(distance, point index)`
+    /// exactly like the oracle's full scan, so both implementations pick
+    /// the same point — not merely the same distance.
+    fn nearest_assigned(
+        &self,
+        index: &HammingIndex,
+        h: Dhash,
+        scratch: &mut Vec<usize>,
+    ) -> Option<(u32, u32)> {
+        index.neighbours_of_hash(h, scratch);
+        scratch
+            .iter()
+            .filter_map(|&q| {
+                self.assignments[q].map(|id| ((h.0 ^ index.hashes()[q].0).count_ones(), q, id))
+            })
+            .min_by_key(|&(d, q, _)| (d, q))
+            .map(|(d, _, id)| (id, d))
+    }
+}
+
+impl_json_struct!(DetectorConfig { eps, escalation_bits, feature_threshold });
+impl_json_enum!(Verdict {
+    Campaign { campaign: u32, distance: u32, score: u32 },
+    NearCampaign { campaign: u32, distance: u32, score: u32 },
+    Suspicious { score: u32 },
+    Benign { score: u32 },
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::PageSignals;
+
+    fn obs(h: u128) -> PageObservation {
+        PageObservation { dhash: Dhash(h), signals: PageSignals::default() }
+    }
+
+    fn scored(h: u128, signals: PageSignals) -> PageObservation {
+        PageObservation { dhash: Dhash(h), signals }
+    }
+
+    #[test]
+    fn stages_escalate_in_order() {
+        let hashes = vec![Dhash(0), Dhash(1u128 << 90)];
+        let assign = vec![Some(3), Some(4)];
+        let d = Detector::from_columns(&hashes, &assign, DetectorConfig::default());
+        // 2 bits away: stage 1.
+        assert_eq!(
+            d.detect(&obs(0b11)),
+            Verdict::Campaign { campaign: 3, distance: 2, score: 0 }
+        );
+        // 14 bits away: outside eps (12), inside escalation (16): stage 2.
+        let near = (1u128 << 14) - 1;
+        assert_eq!(
+            d.detect(&obs(near)),
+            Verdict::NearCampaign { campaign: 3, distance: 14, score: 0 }
+        );
+        // 20 bits away with a hot structural score: stage 3.
+        let far = (1u128 << 20) - 1;
+        let hot = PageSignals { scam_phone: true, locking: true, ..PageSignals::default() };
+        assert_eq!(d.detect(&scored(far, hot)), Verdict::Suspicious { score: 4 });
+        assert_eq!(d.detect(&obs(far)), Verdict::Benign { score: 0 });
+    }
+
+    #[test]
+    fn unassigned_points_never_match() {
+        let hashes = vec![Dhash(0)];
+        let d = Detector::from_columns(&hashes, &[None], DetectorConfig::default());
+        assert_eq!(d.detect(&obs(0)), Verdict::Benign { score: 0 });
+        // Short assignment columns pad with None.
+        let d = Detector::from_columns(&hashes, &[], DetectorConfig::default());
+        assert_eq!(d.detect(&obs(0)), Verdict::Benign { score: 0 });
+        assert_eq!(d.assignments().len(), 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_point_index() {
+        // Two assigned points at equal distance 1 from the probe; the
+        // lower point index (campaign 9) must win deterministically.
+        let hashes = vec![Dhash(0b01), Dhash(0b10)];
+        let assign = vec![Some(9), Some(5)];
+        let d = Detector::from_columns(&hashes, &assign, DetectorConfig::default());
+        assert_eq!(d.detect(&obs(0)), Verdict::Campaign { campaign: 9, distance: 1, score: 0 });
+    }
+
+    #[test]
+    fn parallel_build_detects_identically() {
+        use seacma_util::prop::Rng;
+        let mut rng = Rng::new(0xDE7EC7);
+        let base = rng.u128();
+        let hashes: Vec<Dhash> = (0..400)
+            .map(|i| if i % 3 == 0 { Dhash(base ^ (1u128 << (i % 11))) } else { Dhash(rng.u128()) })
+            .collect();
+        let assign: Vec<Option<u32>> =
+            (0..400).map(|i| if i % 2 == 0 { Some(i as u32 % 5) } else { None }).collect();
+        let cfg = DetectorConfig::default();
+        let seq = Detector::from_columns(&hashes, &assign, cfg);
+        let par = Detector::from_columns_parallel(&hashes, &assign, cfg, 8);
+        for i in 0..64 {
+            let probe = obs(base ^ ((1u128 << (i % 19)) - 1));
+            assert_eq!(seq.detect(&probe), par.detect(&probe), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn verdict_json_roundtrip_and_kinds() {
+        use seacma_util::json;
+        let vs = [
+            Verdict::Campaign { campaign: 1, distance: 2, score: 3 },
+            Verdict::NearCampaign { campaign: 4, distance: 15, score: 0 },
+            Verdict::Suspicious { score: 6 },
+            Verdict::Benign { score: 1 },
+        ];
+        let kinds: Vec<&str> = vs.iter().map(Verdict::kind).collect();
+        assert_eq!(kinds, ["campaign", "near_campaign", "suspicious", "benign"]);
+        for v in vs {
+            let back: Verdict = json::from_str(&json::to_string(&v)).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(v.flagged(), v.kind() != "benign");
+        }
+    }
+}

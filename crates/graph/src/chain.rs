@@ -1,0 +1,60 @@
+//! Cheap chain statistics for the online detector.
+//!
+//! The backtracking graph (§3.4) reconstructs the full ad-loading
+//! process; the online detector needs only one scalar from it — how many
+//! *distinct third-party sites* took part in delivering the landing page.
+//! SE attack loads are syndicated through redirector/ad-network origins,
+//! so a high count is a structural tell even when the creative is new.
+
+use std::collections::BTreeSet;
+
+use seacma_simweb::Url;
+
+/// Number of distinct e2LDs among `urls` other than `landing_e2ld` — the
+/// third-party-site count of one ad-loading chain. Subdomains fold into
+/// their e2LD, so `ads.trk.net` and `cdn.trk.net` count once.
+///
+/// ```
+/// use seacma_graph::chain_third_party_e2lds;
+/// use seacma_simweb::Url;
+///
+/// let urls = vec![
+///     Url::http("pub.com", "/"),
+///     Url::http("ads.trk.net", "/a"),
+///     Url::http("cdn.trk.net", "/b"),
+///     Url::http("prize.club", "/lp"),
+/// ];
+/// assert_eq!(chain_third_party_e2lds(&urls, "prize.club"), 2);
+/// ```
+pub fn chain_third_party_e2lds(urls: &[Url], landing_e2ld: &str) -> u32 {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for u in urls {
+        let e = u.e2ld();
+        if e != landing_e2ld {
+            seen.insert(e);
+        }
+    }
+    seen.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_same_site_chains_count_zero() {
+        assert_eq!(chain_third_party_e2lds(&[], "x.club"), 0);
+        let urls = vec![Url::http("x.club", "/a"), Url::http("www.x.club", "/b")];
+        assert_eq!(chain_third_party_e2lds(&urls, "x.club"), 0);
+    }
+
+    #[test]
+    fn duplicates_fold() {
+        let urls = vec![
+            Url::http("a.com", "/1"),
+            Url::http("a.com", "/2"),
+            Url::http("b.net", "/"),
+        ];
+        assert_eq!(chain_third_party_e2lds(&urls, "x.club"), 2);
+    }
+}

@@ -22,7 +22,9 @@
 
 pub mod attribution;
 pub mod backtrack;
+pub mod chain;
 pub mod milkable;
 
 pub use attribution::{Attribution, Attributor, NetworkPattern};
 pub use backtrack::{BacktrackGraph, EdgeKind, PathStep};
+pub use chain::chain_third_party_e2lds;

@@ -1,4 +1,4 @@
-//! The five shipped analyses.
+//! The six shipped analyses.
 //!
 //! Each one is a zero-sized [`Analysis`] implementation pairing a paper
 //! view with a machine-checkable table:
@@ -8,6 +8,8 @@
 //! * [`AdnetAttribution`] — per-ad-network SE attribution (Table 3).
 //! * [`ClusterSizeDistribution`] — campaign cluster sizes (§4.3).
 //! * [`BenchTrajectory`] — the checked-in `BENCH_*.json` numbers.
+//! * [`OnlineDetection`] — detector precision/recall and serving rates
+//!   from `BENCH_detect.json` (DESIGN.md §2j).
 
 use crate::analysis::Analysis;
 use crate::inputs::ReportInputs;
@@ -304,6 +306,66 @@ impl Analysis for BenchTrajectory {
                 Cell::text(p.metric.clone()),
                 Cell::fixed(p.value, 3),
             ]);
+        }
+        t
+    }
+}
+
+/// Online-detection quality and serving rates: the `seacma-detect`
+/// evaluation from `BENCH_detect.json` — precision/recall on the seen and
+/// held-out campaign splits plus per-verdict-kind throughput. The held-out
+/// rows carry the generalization claim: campaigns the detector never
+/// indexed, caught only by radius escalation and the feature score.
+///
+/// ```
+/// use seacma_report::{Analysis, BenchPoint, OnlineDetection, ReportInputs};
+///
+/// let mut inputs = ReportInputs::new(1);
+/// let t = OnlineDetection.compute(&inputs);
+/// assert_eq!(t.rows()[0][0].render(), "(no data)");
+///
+/// inputs.bench.push(BenchPoint {
+///     series: "detect".into(),
+///     name: "held_out".into(),
+///     metric: "recall".into(),
+///     value: 0.4744,
+/// });
+/// let t = OnlineDetection.compute(&inputs);
+/// assert_eq!(t.rows()[0][2].render(), "0.4744");
+/// ```
+pub struct OnlineDetection;
+
+impl Analysis for OnlineDetection {
+    fn id(&self) -> &'static str {
+        "online-detection"
+    }
+    fn title(&self) -> &'static str {
+        "Online detection"
+    }
+    fn note(&self) -> &'static str {
+        "Per-page-load detector evaluation from BENCH_detect.json: precision/recall on \
+         the seen split (campaigns in the live index) and the held-out split (campaigns \
+         withheld from the feed — generalization via radius escalation and the \
+         structural feature score), plus served QPS per verdict kind."
+    }
+    fn compute(&self, inputs: &ReportInputs) -> Table {
+        let mut t = Table::new(
+            self.id(),
+            self.title(),
+            &["metric", "split / verdict kind", "value"],
+        );
+        let detect: Vec<_> =
+            inputs.bench.iter().filter(|p| p.series == "detect").collect();
+        if detect.is_empty() {
+            push_no_data(&mut t);
+            return t;
+        }
+        for p in detect {
+            let value = match p.metric.as_str() {
+                "precision" | "recall" => Cell::fixed(p.value, 4),
+                _ => Cell::fixed(p.value, 0),
+            };
+            t.push([Cell::text(p.metric.clone()), Cell::text(p.name.clone()), value]);
         }
         t
     }

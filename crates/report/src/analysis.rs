@@ -105,7 +105,7 @@ pub fn compose_html(title: &str, analyses: &[Box<dyn Analysis>], inputs: &Report
     crate::html::render_document(title, &intro, &sections)
 }
 
-/// The standard report: the five shipped analyses, one instance each.
+/// The standard report: the six shipped analyses, one instance each.
 ///
 /// ```
 /// use seacma_report::standard_analyses;
@@ -119,6 +119,7 @@ pub fn compose_html(title: &str, analyses: &[Box<dyn Analysis>], inputs: &Report
 ///         "adnet-attribution",
 ///         "cluster-size-distribution",
 ///         "bench-trajectory",
+///         "online-detection",
 ///     ],
 /// );
 /// ```
@@ -129,6 +130,7 @@ pub fn standard_analyses() -> Vec<Box<dyn Analysis>> {
         Box::new(crate::analyses::AdnetAttribution),
         Box::new(crate::analyses::ClusterSizeDistribution),
         Box::new(crate::analyses::BenchTrajectory),
+        Box::new(crate::analyses::OnlineDetection),
     ]
 }
 

@@ -7,7 +7,7 @@
 //!
 //! Runs the batch pipeline at `PipelineConfig::small(seed)`, extracts
 //! [`ReportInputs`] from the run (plus any checked-in `BENCH_*.json`
-//! artifacts under `--bench-dir`), and composes the five standard
+//! artifacts under `--bench-dir`), and composes the six standard
 //! analyses into one HTML file. Two invocations with equal arguments and
 //! equal bench artifacts produce byte-identical files — `scripts/verify.sh`
 //! diffs them. Operator notes go to stderr; the only file touched is

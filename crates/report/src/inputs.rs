@@ -172,10 +172,12 @@ impl ReportInputs {
 
 /// Harvests bench trajectory points from the checked-in `BENCH_*.json`
 /// files under `dir`, in sorted filename order (deterministic given the
-/// same files). Three shapes are understood: the bench harness's array
+/// same files). Four shapes are understood: the bench harness's array
 /// form (`[{name, median_ns, ...}]` → one `median_ms` point per entry),
 /// `BENCH_query.json`'s keyed form (`{"kinds": {name: {qps, ...}}}` → one
-/// `qps` point per kind), and `BENCH_e2e.json`'s phase form
+/// `qps` point per kind), `BENCH_detect.json`'s evaluation form
+/// (`{"eval": {split: {precision, recall, ...}}}` → one `precision` and
+/// one `recall` point per split), and `BENCH_e2e.json`'s phase form
 /// (`{"phases": [{name, wall_ms, allocs, ...}]}` → one `wall_ms` point
 /// per phase, plus an `allocs` point when the run counted allocations).
 /// Unreadable files are skipped — a report must render from whatever
@@ -213,6 +215,20 @@ pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
                 }
             }
             Value::Obj(_) => {
+                if let Some(Value::Obj(splits)) = value.get("eval") {
+                    for (split, stats) in splits {
+                        for metric in ["precision", "recall"] {
+                            if let Some(v) = stats.get(metric).and_then(Value::as_f64) {
+                                points.push(BenchPoint {
+                                    series: series.clone(),
+                                    name: split.clone(),
+                                    metric: metric.to_string(),
+                                    value: v,
+                                });
+                            }
+                        }
+                    }
+                }
                 if let Some(Value::Obj(kinds)) = value.get("kinds") {
                     for (kind, stats) in kinds {
                         if let Some(qps) = stats.get("qps").and_then(Value::as_f64) {
@@ -285,14 +301,23 @@ mod tests {
     fn bench_dir_loads_sorted_and_tolerates_absence(){
         assert!(load_bench_dir(Path::new("/nonexistent/dir")).is_empty());
 
-        // All three shapes load, in sorted filename order: the array
-        // form, the e2e phase form, and the keyed qps form.
+        // All four shapes load, in sorted filename order: the array
+        // form, the detect eval form, the e2e phase form, and the keyed
+        // qps form.
         let dir = std::env::temp_dir()
             .join(format!("seacma-bench-inputs-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
             dir.join("BENCH_cluster.json"),
             r#"[{"name": "cluster/indexed/1000", "median_ns": 2500000.0}]"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_detect.json"),
+            r#"{"eval": {
+                "seen": {"precision": 1.0, "recall": 0.6410, "attacks": 39},
+                "held_out": {"precision": 1.0, "recall": 0.4744}
+            }, "kinds": {"campaign_hit": {"qps": 150249.0}}}"#,
         )
         .unwrap();
         std::fs::write(
@@ -321,6 +346,11 @@ mod tests {
             summary,
             vec![
                 ("cluster", "cluster/indexed/1000", "median_ms", 2.5),
+                ("detect", "seen", "precision", 1.0),
+                ("detect", "seen", "recall", 0.6410),
+                ("detect", "held_out", "precision", 1.0),
+                ("detect", "held_out", "recall", 0.4744),
+                ("detect", "campaign_hit", "qps", 150249.0),
                 ("e2e", "crawl", "wall_ms", 120.5),
                 ("e2e", "crawl", "allocs", 4200.0),
                 ("e2e", "cluster", "wall_ms", 8.25),

@@ -12,7 +12,7 @@
 //!
 //! The unit of extension is the [`Analysis`] trait: implement `compute`
 //! (inputs → [`Table`]) and reuse the default HTML/ANSI projections. The
-//! five shipped analyses live in [`analyses`] and are assembled by
+//! six shipped analyses live in [`analyses`] and are assembled by
 //! [`standard_analyses`].
 //!
 //! ```
@@ -36,6 +36,7 @@ pub mod table;
 
 pub use analyses::{
     AdnetAttribution, BenchTrajectory, BlacklistLag, CampaignGrowth, ClusterSizeDistribution,
+    OnlineDetection,
 };
 pub use analysis::{compose_html, standard_analyses, Analysis};
 pub use inputs::{load_bench_dir, BenchPoint, CampaignObs, ReportInputs};

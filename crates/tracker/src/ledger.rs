@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use seacma_util::sym::{SharedArena, Sym, SymbolArena};
 use seacma_util::{impl_json_enum, impl_json_struct};
 
 /// Dormancy/death thresholds, in epochs without growth.
@@ -137,8 +138,13 @@ pub struct CampaignRecord {
     pub last_growth_epoch: u32,
     /// Screenshot count at the last observation.
     pub members: u32,
-    /// Distinct e2LDs at the last observation, sorted.
-    pub domains: Vec<String>,
+    /// Distinct e2LD symbols at the last observation, sorted by resolved
+    /// string. Symbols, not strings: epoch close re-materializing every
+    /// campaign's domain list was the tracker's last per-epoch string
+    /// allocation — the ledger now serves `Sym`s straight from the
+    /// clusterer's arena and resolves only at serialization time
+    /// ([`CampaignLedger::to_state`]) or on a rotation event.
+    pub domains: Vec<Sym>,
     /// Whether the domain count meets θc.
     pub campaign: bool,
     /// Current life state.
@@ -154,13 +160,15 @@ impl CampaignRecord {
     ///
     /// ```
     /// use seacma_tracker::{CampaignRecord, LifeState};
+    /// use seacma_util::sym::SymbolArena;
     ///
+    /// let mut arena = SymbolArena::new();
     /// let r = CampaignRecord {
     ///     id: 0,
     ///     birth_epoch: 2,
     ///     last_growth_epoch: 5,
     ///     members: 9,
-    ///     domains: vec!["evil.club".into()],
+    ///     domains: vec![arena.intern("evil.club")],
     ///     campaign: false,
     ///     state: LifeState::Dormant,
     ///     events: Vec::new(),
@@ -188,12 +196,14 @@ pub struct ObservedCluster {
     pub members: Vec<u32>,
     /// Total screenshots (original multiplicity) across members.
     pub weight: u32,
-    /// Distinct e2LDs, sorted.
-    pub domains: Vec<String>,
+    /// Distinct e2LD symbols, sorted by resolved string.
+    pub domains: Vec<Sym>,
 }
 
-/// The campaign lifecycle ledger. Serializable with `seacma-util` JSON;
-/// see [`CampaignTracker`](crate::tracker::CampaignTracker) for the
+/// The campaign lifecycle ledger. Domains are arena symbols, so the
+/// serialized form goes through [`CampaignLedger::to_state`] (which
+/// resolves them — arena-independent by construction); see
+/// [`CampaignTracker`](crate::tracker::CampaignTracker) for the
 /// snapshot/resume entry points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignLedger {
@@ -247,13 +257,16 @@ impl CampaignLedger {
     /// deterministic order (cluster index order, merges before updates).
     ///
     /// `n_unique` is the clusterer's current unique-point count (members
-    /// index into it); `theta_c` the campaign domain threshold.
+    /// index into it); `theta_c` the campaign domain threshold; `arena`
+    /// resolves the clusters' domain symbols — touched only when a
+    /// rotation event needs its domain string, never on the steady path.
     pub fn observe(
         &mut self,
         epoch: u32,
         clusters: &[ObservedCluster],
         n_unique: usize,
         theta_c: usize,
+        arena: &SymbolArena,
     ) -> Vec<LedgerEvent> {
         // Vote: each previously-known id backs the current cluster holding
         // most of its former members (ties to the lower cluster index).
@@ -317,9 +330,16 @@ impl CampaignLedger {
 
             let mut emitted: Vec<CampaignEvent> = Vec::new();
             let rec = &mut self.records[id as usize];
-            for d in &c.domains {
-                if rec.domains.binary_search(d).is_err() {
-                    emitted.push(CampaignEvent::DomainRotated { epoch, domain: d.clone() });
+            // Linear scan, not binary search: symbols are sorted by their
+            // *resolved* string, which `Sym` ordering does not reflect.
+            // Domain lists are small (θc-scale), and symbol equality is an
+            // integer compare — no strings materialize here.
+            for &d in &c.domains {
+                if !rec.domains.contains(&d) {
+                    emitted.push(CampaignEvent::DomainRotated {
+                        epoch,
+                        domain: arena.resolve(d).to_string(),
+                    });
                 }
             }
             let qualifies = c.domains.len() >= theta_c;
@@ -367,6 +387,89 @@ impl CampaignLedger {
         self.assign = new_assign;
         events
     }
+
+    /// The arena-independent serialized form: every domain symbol resolved
+    /// to its string. Two ledgers tracking the same campaigns serialize
+    /// byte-identically even when their arenas interned unrelated symbols
+    /// in between (the `ingest_sym`-vs-`ingest` exactness contract).
+    pub fn to_state(&self, arena: &SymbolArena) -> LedgerState {
+        LedgerState {
+            config: self.config,
+            records: self
+                .records
+                .iter()
+                .map(|r| RecordState {
+                    id: r.id,
+                    birth_epoch: r.birth_epoch,
+                    last_growth_epoch: r.last_growth_epoch,
+                    members: r.members,
+                    domains: r.domains.iter().map(|&d| arena.resolve(d).to_string()).collect(),
+                    campaign: r.campaign,
+                    state: r.state,
+                    events: r.events.clone(),
+                })
+                .collect(),
+            assign: self.assign.clone(),
+        }
+    }
+
+    /// Restores a ledger from [`CampaignLedger::to_state`], re-interning
+    /// every domain against `arena` (the clusterer's, already restored —
+    /// campaign domains are e2LDs the clusterer has interned, so this
+    /// normally adds nothing).
+    pub fn from_state(state: LedgerState, arena: &SharedArena) -> Self {
+        Self {
+            config: state.config,
+            records: state
+                .records
+                .into_iter()
+                .map(|r| CampaignRecord {
+                    id: r.id,
+                    birth_epoch: r.birth_epoch,
+                    last_growth_epoch: r.last_growth_epoch,
+                    members: r.members,
+                    domains: r.domains.iter().map(|d| arena.intern(d)).collect(),
+                    campaign: r.campaign,
+                    state: r.state,
+                    events: r.events,
+                })
+                .collect(),
+            assign: state.assign,
+        }
+    }
+}
+
+/// Serialized form of one [`CampaignRecord`]: domains as strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordState {
+    /// Stable ledger id.
+    pub id: u32,
+    /// Epoch the campaign was first observed.
+    pub birth_epoch: u32,
+    /// Last epoch the member count grew.
+    pub last_growth_epoch: u32,
+    /// Screenshot count at the last observation.
+    pub members: u32,
+    /// Distinct e2LDs at the last observation, sorted.
+    pub domains: Vec<String>,
+    /// Whether the domain count meets θc.
+    pub campaign: bool,
+    /// Current life state.
+    pub state: LifeState,
+    /// Full event journal.
+    pub events: Vec<CampaignEvent>,
+}
+
+/// Serialized form of [`CampaignLedger`] — see
+/// [`CampaignLedger::to_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerState {
+    /// Dormancy thresholds.
+    pub config: LedgerConfig,
+    /// All records, domains resolved.
+    pub records: Vec<RecordState>,
+    /// Point → ledger-id assignment at the last observation.
+    pub assign: Vec<Option<u32>>,
 }
 
 impl_json_struct!(LedgerConfig { quiet_window, death_window });
@@ -382,7 +485,7 @@ impl_json_enum!(CampaignEvent {
     Reactivated { epoch: u32 },
     MergedInto { epoch: u32, into: u32 },
 });
-impl_json_struct!(CampaignRecord {
+impl_json_struct!(RecordState {
     id,
     birth_epoch,
     last_growth_epoch,
@@ -393,31 +496,34 @@ impl_json_struct!(CampaignRecord {
     events
 });
 impl_json_struct!(LedgerEvent { id, event });
-impl_json_struct!(ObservedCluster { members, weight, domains });
-impl_json_struct!(CampaignLedger { config, records, assign });
+impl_json_struct!(LedgerState { config, records, assign });
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn obs(members: &[u32], weight: u32, domains: &[&str]) -> ObservedCluster {
+    fn obs(arena: &mut SymbolArena, members: &[u32], weight: u32, domains: &[&str]) -> ObservedCluster {
         ObservedCluster {
             members: members.to_vec(),
             weight,
-            domains: domains.iter().map(|d| d.to_string()).collect(),
+            domains: domains.iter().map(|d| arena.intern(d)).collect(),
         }
     }
 
     #[test]
     fn birth_growth_rotation_promotion() {
+        let mut a = SymbolArena::new();
         let mut ledger = CampaignLedger::new(LedgerConfig::default());
-        let ev = ledger.observe(0, &[obs(&[0, 1], 3, &["a.com", "b.com"])], 2, 3);
+        let ev = ledger.observe(0, &[obs(&mut a, &[0, 1], 3, &["a.com", "b.com"])], 2, 3, &a);
         assert_eq!(ev.len(), 1);
         assert!(matches!(ev[0].event, CampaignEvent::Born { members: 3, domains: 2, .. }));
         assert!(!ledger.record(0).campaign);
 
         // Epoch 1: grows, rotates in a third domain, crosses θc = 3.
-        let ev = ledger.observe(1, &[obs(&[0, 1, 2], 5, &["a.com", "b.com", "c.com"])], 3, 3);
+        let ev = {
+            let c = obs(&mut a, &[0, 1, 2], 5, &["a.com", "b.com", "c.com"]);
+            ledger.observe(1, &[c], 3, 3, &a)
+        };
         let kinds: Vec<_> = ev.iter().map(|e| &e.event).collect();
         assert!(kinds.iter().any(|e| matches!(e, CampaignEvent::DomainRotated { domain, .. } if domain == "c.com")));
         assert!(kinds.iter().any(|e| matches!(e, CampaignEvent::Promoted { domains: 3, .. })));
@@ -429,32 +535,41 @@ mod tests {
     #[test]
     fn dormancy_death_and_reactivation() {
         let config = LedgerConfig { quiet_window: 2, death_window: 4 };
+        let mut a = SymbolArena::new();
         let mut ledger = CampaignLedger::new(config);
-        let c = obs(&[0], 2, &["a.com"]);
-        ledger.observe(0, std::slice::from_ref(&c), 1, 1);
+        let c = obs(&mut a, &[0], 2, &["a.com"]);
+        ledger.observe(0, std::slice::from_ref(&c), 1, 1, &a);
         assert_eq!(ledger.record(0).state, LifeState::Active);
-        ledger.observe(1, std::slice::from_ref(&c), 1, 1);
+        ledger.observe(1, std::slice::from_ref(&c), 1, 1, &a);
         assert_eq!(ledger.record(0).state, LifeState::Active, "quiet 1 < window 2");
-        let ev = ledger.observe(2, std::slice::from_ref(&c), 1, 1);
+        let ev = ledger.observe(2, std::slice::from_ref(&c), 1, 1, &a);
         assert!(matches!(ev[0].event, CampaignEvent::WentDormant { epoch: 2 }));
-        ledger.observe(3, std::slice::from_ref(&c), 1, 1);
-        let ev = ledger.observe(4, std::slice::from_ref(&c), 1, 1);
+        ledger.observe(3, std::slice::from_ref(&c), 1, 1, &a);
+        let ev = ledger.observe(4, std::slice::from_ref(&c), 1, 1, &a);
         assert!(matches!(ev[0].event, CampaignEvent::Died { epoch: 4 }));
         assert_eq!(ledger.record(0).state, LifeState::Dead);
 
-        let ev = ledger.observe(5, &[obs(&[0, 1], 3, &["a.com"])], 2, 1);
+        let ev = {
+            let c = obs(&mut a, &[0, 1], 3, &["a.com"]);
+            ledger.observe(5, &[c], 2, 1, &a)
+        };
         assert!(ev.iter().any(|e| matches!(e.event, CampaignEvent::Reactivated { epoch: 5 })));
         assert_eq!(ledger.record(0).state, LifeState::Active);
     }
 
     #[test]
     fn merge_keeps_smallest_id() {
+        let mut a = SymbolArena::new();
         let mut ledger = CampaignLedger::new(LedgerConfig::default());
         // Two separate campaigns...
-        ledger.observe(0, &[obs(&[0, 1], 2, &["a.com"]), obs(&[2, 3], 2, &["b.com"])], 4, 1);
+        let (c0, c1) = (obs(&mut a, &[0, 1], 2, &["a.com"]), obs(&mut a, &[2, 3], 2, &["b.com"]));
+        ledger.observe(0, &[c0, c1], 4, 1, &a);
         assert_eq!(ledger.records().len(), 2);
         // ...that fuse into one cluster at epoch 1.
-        let ev = ledger.observe(1, &[obs(&[0, 1, 2, 3, 4], 5, &["a.com", "b.com"])], 5, 1);
+        let ev = {
+            let c = obs(&mut a, &[0, 1, 2, 3, 4], 5, &["a.com", "b.com"]);
+            ledger.observe(1, &[c], 5, 1, &a)
+        };
         assert!(ev
             .iter()
             .any(|e| e.id == 1 && matches!(e.event, CampaignEvent::MergedInto { into: 0, .. })));
@@ -465,24 +580,43 @@ mod tests {
 
     #[test]
     fn demotion_when_domains_fall_below_theta() {
+        let mut a = SymbolArena::new();
         let mut ledger = CampaignLedger::new(LedgerConfig::default());
-        ledger.observe(0, &[obs(&[0, 1, 2], 3, &["a.com", "b.com", "c.com"])], 3, 3);
+        let c = obs(&mut a, &[0, 1, 2], 3, &["a.com", "b.com", "c.com"]);
+        ledger.observe(0, &[c], 3, 3, &a);
         assert!(ledger.record(0).campaign);
         // A border domain migrated away: down to 2 domains.
-        let ev = ledger.observe(1, &[obs(&[0, 1], 2, &["a.com", "b.com"])], 3, 3);
+        let ev = {
+            let c = obs(&mut a, &[0, 1], 2, &["a.com", "b.com"]);
+            ledger.observe(1, &[c], 3, 3, &a)
+        };
         assert!(ev.iter().any(|e| matches!(e.event, CampaignEvent::Demoted { domains: 2, .. })));
         assert!(!ledger.record(0).campaign);
     }
 
     #[test]
-    fn json_roundtrip() {
+    fn state_roundtrip_is_arena_independent() {
         use seacma_util::json;
+        let mut a = SymbolArena::new();
+        // An arena with unrelated pre-existing symbols: resolved state
+        // must not notice.
+        a.intern("unrelated.example");
         let mut ledger = CampaignLedger::new(LedgerConfig::default());
-        ledger.observe(0, &[obs(&[0, 1], 3, &["a.com", "b.com"])], 2, 2);
-        ledger.observe(1, &[obs(&[0, 1, 2], 4, &["a.com", "b.com", "c.com"])], 3, 2);
-        let text = json::to_string(&ledger);
-        let back: CampaignLedger = json::from_str(&text).expect("ledger parses");
-        assert_eq!(back, ledger);
-        assert_eq!(json::to_string(&back), text, "re-serialization is byte-identical");
+        let c = obs(&mut a, &[0, 1], 3, &["a.com", "b.com"]);
+        ledger.observe(0, &[c], 2, 2, &a);
+        let c = obs(&mut a, &[0, 1, 2], 4, &["a.com", "b.com", "c.com"]);
+        ledger.observe(1, &[c], 3, 2, &a);
+
+        let text = json::to_string(&ledger.to_state(&a));
+        let state: LedgerState = json::from_str(&text).expect("state parses");
+        assert_eq!(json::to_string(&state), text, "re-serialization is byte-identical");
+
+        // Restore into a *fresh* arena: records equal up to symbol values,
+        // and the resolved state is byte-identical.
+        let fresh = SharedArena::new();
+        let back = CampaignLedger::from_state(state, &fresh);
+        assert_eq!(back.records().len(), ledger.records().len());
+        assert_eq!(json::to_string(&back.to_state(&fresh.read())), text);
+        assert_eq!(back.assignments(), ledger.assignments());
     }
 }

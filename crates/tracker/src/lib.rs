@@ -23,7 +23,7 @@ pub mod tracker;
 
 pub use incremental::{ClustererState, IncrementalClusterer};
 pub use ledger::{
-    CampaignEvent, CampaignLedger, CampaignRecord, LedgerConfig, LedgerEvent, LifeState,
-    ObservedCluster,
+    CampaignEvent, CampaignLedger, CampaignRecord, LedgerConfig, LedgerEvent, LedgerState,
+    LifeState, ObservedCluster, RecordState,
 };
 pub use tracker::{CampaignTracker, EpochSummary, TrackerConfig};

@@ -2,7 +2,7 @@
 //! ledger behind one ingest/end-epoch API, with byte-identical
 //! snapshot/resume.
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 use seacma_util::json::{self, JsonError};
 use seacma_util::impl_json_struct;
@@ -13,7 +13,7 @@ use seacma_vision::dhash::Dhash;
 use seacma_vision::index::HammingIndex;
 
 use crate::incremental::{ClustererState, IncrementalClusterer};
-use crate::ledger::{CampaignLedger, LedgerConfig, LedgerEvent, ObservedCluster};
+use crate::ledger::{CampaignLedger, LedgerConfig, LedgerEvent, LedgerState, ObservedCluster};
 
 /// Tracker parameters: the clustering knobs (shared with the batch
 /// pipeline — exactness requires identical values) plus the ledger's
@@ -184,12 +184,15 @@ impl CampaignTracker {
         let labels = self.clusterer.labels();
         let clusters = self.clusterer.assemble(&labels);
         let observed = observed_clusters(&self.clusterer, &labels);
+        let arena = self.clusterer.arena().read();
         let events = self.ledger.observe(
             self.epoch,
             &observed,
             self.clusterer.unique_len(),
             self.config.params.theta_c,
+            &arena,
         );
+        drop(arena);
         let summary =
             EpochSummary { epoch: self.epoch, ingested: self.epoch_ingested, clusters, events };
         self.epoch += 1;
@@ -213,7 +216,7 @@ impl CampaignTracker {
             config: self.config,
             clusterer: self.clusterer.to_state(),
             first_epoch: self.first_epoch.clone(),
-            ledger: self.ledger.clone(),
+            ledger: self.ledger.to_state(&self.clusterer.arena().read()),
             epoch: self.epoch,
             epoch_ingested: self.epoch_ingested,
         })
@@ -222,11 +225,17 @@ impl CampaignTracker {
     /// Restores a tracker from a [`CampaignTracker::to_json`] snapshot.
     pub fn from_json(text: &str) -> Result<Self, JsonError> {
         let state: TrackerState = json::from_str(text)?;
+        let clusterer = IncrementalClusterer::from_state(state.clusterer);
+        // The ledger re-interns its domains against the clusterer's
+        // just-restored arena — every campaign domain is an e2LD the
+        // clusterer already interned, so symbol values land exactly where
+        // a never-snapshotted run put them.
+        let ledger = CampaignLedger::from_state(state.ledger, clusterer.arena());
         Ok(Self {
             config: state.config,
-            clusterer: IncrementalClusterer::from_state(state.clusterer),
+            clusterer,
             first_epoch: state.first_epoch,
-            ledger: state.ledger,
+            ledger,
             epoch: state.epoch,
             epoch_ingested: state.epoch_ingested,
         })
@@ -234,6 +243,11 @@ impl CampaignTracker {
 }
 
 /// Groups the label vector into the ledger's observation format.
+///
+/// Domains stay symbols end to end: each cluster's set is deduplicated and
+/// string-ordered through a `BTreeMap<&str, Sym>` keyed by the arena's
+/// resolved slices, so closing an epoch allocates no domain strings at all
+/// — the win the e2e allocation baseline locks in.
 fn observed_clusters(
     clusterer: &IncrementalClusterer,
     labels: &[Label],
@@ -244,16 +258,16 @@ fn observed_clusters(
         .collect();
     let arena = clusterer.arena().read();
     let syms = clusterer.e2ld_syms();
-    let mut domain_sets: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); n_clusters];
+    let mut domain_sets: Vec<BTreeMap<&str, Sym>> = vec![BTreeMap::new(); n_clusters];
     for (u, l) in labels.iter().enumerate() {
         if let Some(id) = l.cluster_id() {
             out[id].members.push(u as u32);
             out[id].weight += clusterer.originals()[u].len() as u32;
-            domain_sets[id].insert(arena.resolve(syms[u]));
+            domain_sets[id].insert(arena.resolve(syms[u]), syms[u]);
         }
     }
     for (o, ds) in out.iter_mut().zip(domain_sets) {
-        o.domains = ds.into_iter().map(str::to_owned).collect();
+        o.domains = ds.into_values().collect();
     }
     out
 }
@@ -264,7 +278,7 @@ struct TrackerState {
     config: TrackerConfig,
     clusterer: ClustererState,
     first_epoch: Vec<u32>,
-    ledger: CampaignLedger,
+    ledger: LedgerState,
     epoch: u32,
     epoch_ingested: u32,
 }

@@ -136,7 +136,24 @@ impl HammingIndex {
     /// built wholly by one worker scanning points in index order, and
     /// bands are reassembled in layout order from the result channel.
     pub fn build_parallel(hashes: &[Dhash], eps: f64, workers: usize) -> Self {
-        let radius = radius_for_eps(eps);
+        Self::build_radius_parallel(hashes, radius_for_eps(eps), workers)
+    }
+
+    /// Builds the index for an explicit integer bit radius rather than a
+    /// normalized `eps` — the escalated-probe constructor the online
+    /// detector uses to widen its near-miss ball a few bits past the
+    /// clustering radius without going through a lossy float round trip.
+    /// `radius` is clamped to 128; `build(h, eps)` is exactly
+    /// `build_radius(h, radius_for_eps(eps))`.
+    pub fn build_radius(hashes: &[Dhash], radius: u32) -> Self {
+        Self::build_radius_parallel(hashes, radius, 1)
+    }
+
+    /// [`HammingIndex::build_radius`] with band construction sharded
+    /// across `workers` scoped threads; same worker-count-invariance
+    /// contract as [`HammingIndex::build_parallel`].
+    pub fn build_radius_parallel(hashes: &[Dhash], radius: u32, workers: usize) -> Self {
+        let radius = radius.min(HASH_BITS);
         let layout = band_layout(radius);
         let workers = resolve_workers(workers).min(layout.len().max(1));
 

@@ -21,8 +21,12 @@ cargo test -q --offline
 #   query_scaling — the resident daemon's served answers are byte-
 #     identical to the offline batch pipeline at every epoch boundary,
 #     and a snapshot → resume round trip changes neither the serialized
-#     state nor one answer byte.
-for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling query_scaling; do
+#     state nor one answer byte;
+#   detect_eval — the online detector's verdicts are byte-identical
+#     across 1/2/8-worker index builds, to the linear-scan oracle, and
+#     across a snapshot → resume round trip, before any timing runs.
+for bench in cluster_scaling milking_scaling tracker_scaling crawl_scaling query_scaling \
+             detect_eval; do
     cargo run --release --offline -p seacma-bench --bin "$bench" -- --quick
 done
 
@@ -65,6 +69,7 @@ snap=$(mktemp) first=$(mktemp) second=$(mktemp)
 trap 'rm -f "$snap" "$first" "$second"' EXIT
 queries='url http://c0-0.club/lp
 dhash 00000000000000000000000000000000
+detect 00000000000000000000000000000000 3 4 phone,survey
 campaign 0
 status'
 {
@@ -90,10 +95,10 @@ cargo run --release --offline -p seacma-report --bin report -- \
     --seed 42 --out "$r2" --bench-dir . 2>/dev/null
 diff "$r1" "$r2"
 for id in campaign-growth blacklist-lag adnet-attribution \
-          cluster-size-distribution bench-trajectory; do
+          cluster-size-distribution bench-trajectory online-detection; do
     grep -q "<section id=\"$id\">" "$r1"
 done
-echo "report smoke: two runs byte-identical, all 5 sections present"
+echo "report smoke: two runs byte-identical, all 6 sections present"
 
 # The rustdoc gate: the public API documents warning-free (intra-doc
 # links resolve, seacma-report's #![deny(missing_docs)] holds).
