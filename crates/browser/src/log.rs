@@ -6,8 +6,22 @@
 //! (including any redirections)" (§3.2). These logs — not HTML or network
 //! traces — are what makes backtracking graphs and ad attribution possible,
 //! because obfuscated ad code suppresses referrers (§3.4).
+//!
+//! # Storage
+//!
+//! A session log references the same handful of URLs over and over (the
+//! publisher page, a few click URLs, the redirect chain, the landing), so
+//! the log stores events in a compact column form: every URL and string
+//! (title, API name) is interned into a per-log [`Interner`] and events
+//! carry dense `u32` ids. Appending an event whose strings were already
+//! seen allocates nothing; each distinct URL is cloned exactly once per
+//! log. The owned [`BrowserEvent`] form remains the construction and JSON
+//! currency ([`EventLog::push`] accepts it, serialization round-trips
+//! through it), while readers iterate borrowed [`EventRef`]s.
 
-use seacma_util::{impl_json_enum, impl_json_struct};
+use seacma_util::json::{FromJson, JsonError, ToJson, Value};
+use seacma_util::sym::Interner;
+use seacma_util::impl_json_enum;
 
 use seacma_simweb::{FilePayload, LockTactic, RedirectKind, Url};
 
@@ -24,7 +38,11 @@ pub enum NavCause {
     WindowOpen,
 }
 
-/// One instrumented browser event.
+/// One instrumented browser event, in owned form.
+///
+/// This is the construction and serialization currency; inside an
+/// [`EventLog`] events live in a compact interned form and are read back
+/// as [`EventRef`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BrowserEvent {
     /// A navigation began toward `url`.
@@ -97,10 +115,140 @@ pub enum BrowserEvent {
     },
 }
 
+/// One event as stored: URLs and strings are dense ids into the owning
+/// log's interners, so the whole event is `Copy` and replaying a recorded
+/// range (the session's reload memo) costs plain `Vec` pushes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CompactEvent {
+    NavigationStart { url: u32, cause: NavCause, initiator: Option<u32> },
+    PageLoaded { url: u32, title: u32 },
+    Redirected { from: u32, to: u32, kind: RedirectKind },
+    ScriptLoaded { page: u32, src: u32 },
+    JsApiCall { page: u32, api: u32 },
+    LockBypassed { page: u32, tactic: LockTactic },
+    TabOpened { opener: u32, url: u32 },
+    DownloadTriggered { page: u32, payload: FilePayload },
+    NotificationPrompt { page: u32 },
+}
+
+/// One instrumented browser event, borrowed out of an [`EventLog`].
+///
+/// Mirrors [`BrowserEvent`] variant for variant with URL/string fields
+/// borrowed from the log's interners; copyable scalars are by value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventRef<'l> {
+    /// A navigation began toward `url`.
+    NavigationStart {
+        /// Navigation target.
+        url: &'l Url,
+        /// What initiated it.
+        cause: NavCause,
+        /// URL of the document that initiated it, when any.
+        initiator: Option<&'l Url>,
+    },
+    /// A document finished loading.
+    PageLoaded {
+        /// Final URL of the document.
+        url: &'l Url,
+        /// Document title.
+        title: &'l str,
+    },
+    /// The browser followed a redirect hop.
+    Redirected {
+        /// Source URL.
+        from: &'l Url,
+        /// Target URL.
+        to: &'l Url,
+        /// Mechanism (HTTP, meta refresh, JS…).
+        kind: RedirectKind,
+    },
+    /// A document included a script.
+    ScriptLoaded {
+        /// Document URL.
+        page: &'l Url,
+        /// Script source URL.
+        src: &'l Url,
+    },
+    /// A monitored JS API was invoked.
+    JsApiCall {
+        /// Document URL.
+        page: &'l Url,
+        /// API name.
+        api: &'l str,
+    },
+    /// A page-locking tactic fired and was neutralized.
+    LockBypassed {
+        /// Document URL.
+        page: &'l Url,
+        /// The tactic bypassed.
+        tactic: LockTactic,
+    },
+    /// A new tab opened.
+    TabOpened {
+        /// URL of the opener document.
+        opener: &'l Url,
+        /// Initial URL of the new tab.
+        url: &'l Url,
+    },
+    /// Interaction triggered a file download.
+    DownloadTriggered {
+        /// Document URL.
+        page: &'l Url,
+        /// The downloaded payload.
+        payload: FilePayload,
+    },
+    /// The page requested push-notification permission.
+    NotificationPrompt {
+        /// Document URL.
+        page: &'l Url,
+    },
+}
+
+impl EventRef<'_> {
+    /// The owned form of this event (allocates; used by serialization).
+    pub fn to_owned(&self) -> BrowserEvent {
+        match *self {
+            EventRef::NavigationStart { url, cause, initiator } => BrowserEvent::NavigationStart {
+                url: url.clone(),
+                cause,
+                initiator: initiator.cloned(),
+            },
+            EventRef::PageLoaded { url, title } => {
+                BrowserEvent::PageLoaded { url: url.clone(), title: title.to_string() }
+            }
+            EventRef::Redirected { from, to, kind } => {
+                BrowserEvent::Redirected { from: from.clone(), to: to.clone(), kind }
+            }
+            EventRef::ScriptLoaded { page, src } => {
+                BrowserEvent::ScriptLoaded { page: page.clone(), src: src.clone() }
+            }
+            EventRef::JsApiCall { page, api } => {
+                BrowserEvent::JsApiCall { page: page.clone(), api: api.to_string() }
+            }
+            EventRef::LockBypassed { page, tactic } => {
+                BrowserEvent::LockBypassed { page: page.clone(), tactic }
+            }
+            EventRef::TabOpened { opener, url } => {
+                BrowserEvent::TabOpened { opener: opener.clone(), url: url.clone() }
+            }
+            EventRef::DownloadTriggered { page, payload } => {
+                BrowserEvent::DownloadTriggered { page: page.clone(), payload }
+            }
+            EventRef::NotificationPrompt { page } => {
+                BrowserEvent::NotificationPrompt { page: page.clone() }
+            }
+        }
+    }
+}
+
 /// An append-only event log for one browsing session.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    events: Vec<BrowserEvent>,
+    /// Every distinct URL mentioned by an event, in first-seen order.
+    urls: Interner<Url>,
+    /// Every distinct title / API-name string, in first-seen order.
+    strs: Interner<String>,
+    events: Vec<CompactEvent>,
 }
 
 impl EventLog {
@@ -109,14 +257,156 @@ impl EventLog {
         Self::default()
     }
 
-    /// Appends an event.
-    pub fn push(&mut self, e: BrowserEvent) {
-        self.events.push(e);
+    /// Empties the log — events and both interner tables — while keeping
+    /// their capacity. A cleared log is observationally identical to
+    /// [`EventLog::new`] (ids restart from 0 as a pure function of the
+    /// event sequence), which is what lets the crawl farm recycle one
+    /// log's buffers across every visit a worker performs.
+    pub fn clear(&mut self) {
+        self.urls.clear();
+        self.strs.clear();
+        self.events.clear();
     }
 
-    /// All events in order.
-    pub fn events(&self) -> &[BrowserEvent] {
-        &self.events
+    fn url(&self, id: u32) -> &Url {
+        self.urls.resolve(id)
+    }
+
+    fn str(&self, id: u32) -> &str {
+        self.strs.resolve(id)
+    }
+
+    /// Appends an owned event (test/replay convenience; the session's hot
+    /// path uses the by-reference appenders below, which never clone an
+    /// already-seen URL).
+    pub fn push(&mut self, e: BrowserEvent) {
+        match e {
+            BrowserEvent::NavigationStart { url, cause, initiator } => {
+                self.navigation_start(&url, cause, initiator.as_ref());
+            }
+            BrowserEvent::PageLoaded { url, title } => self.page_loaded(&url, &title),
+            BrowserEvent::Redirected { from, to, kind } => self.redirected(&from, &to, kind),
+            BrowserEvent::ScriptLoaded { page, src } => self.script_loaded(&page, &src),
+            BrowserEvent::JsApiCall { page, api } => self.js_api_call(&page, &api),
+            BrowserEvent::LockBypassed { page, tactic } => self.lock_bypassed(&page, tactic),
+            BrowserEvent::TabOpened { opener, url } => self.tab_opened(&opener, &url),
+            BrowserEvent::DownloadTriggered { page, payload } => {
+                self.download_triggered(&page, payload);
+            }
+            BrowserEvent::NotificationPrompt { page } => self.notification_prompt(&page),
+        }
+    }
+
+    /// Records a [`BrowserEvent::NavigationStart`].
+    pub fn navigation_start(&mut self, url: &Url, cause: NavCause, initiator: Option<&Url>) {
+        let url = self.urls.intern(url);
+        let initiator = initiator.map(|i| self.urls.intern(i));
+        self.events.push(CompactEvent::NavigationStart { url, cause, initiator });
+    }
+
+    /// Records a [`BrowserEvent::PageLoaded`].
+    pub fn page_loaded(&mut self, url: &Url, title: &str) {
+        let url = self.urls.intern(url);
+        let title = self.strs.intern(title);
+        self.events.push(CompactEvent::PageLoaded { url, title });
+    }
+
+    /// Records a [`BrowserEvent::Redirected`].
+    pub fn redirected(&mut self, from: &Url, to: &Url, kind: RedirectKind) {
+        let from = self.urls.intern(from);
+        let to = self.urls.intern(to);
+        self.events.push(CompactEvent::Redirected { from, to, kind });
+    }
+
+    /// Records a [`BrowserEvent::ScriptLoaded`].
+    pub fn script_loaded(&mut self, page: &Url, src: &Url) {
+        let page = self.urls.intern(page);
+        let src = self.urls.intern(src);
+        self.events.push(CompactEvent::ScriptLoaded { page, src });
+    }
+
+    /// Records a [`BrowserEvent::JsApiCall`].
+    pub fn js_api_call(&mut self, page: &Url, api: &str) {
+        let page = self.urls.intern(page);
+        let api = self.strs.intern(api);
+        self.events.push(CompactEvent::JsApiCall { page, api });
+    }
+
+    /// Records a [`BrowserEvent::LockBypassed`].
+    pub fn lock_bypassed(&mut self, page: &Url, tactic: LockTactic) {
+        let page = self.urls.intern(page);
+        self.events.push(CompactEvent::LockBypassed { page, tactic });
+    }
+
+    /// Records a [`BrowserEvent::TabOpened`].
+    pub fn tab_opened(&mut self, opener: &Url, url: &Url) {
+        let opener = self.urls.intern(opener);
+        let url = self.urls.intern(url);
+        self.events.push(CompactEvent::TabOpened { opener, url });
+    }
+
+    /// Records a [`BrowserEvent::DownloadTriggered`].
+    pub fn download_triggered(&mut self, page: &Url, payload: FilePayload) {
+        let page = self.urls.intern(page);
+        self.events.push(CompactEvent::DownloadTriggered { page, payload });
+    }
+
+    /// Records a [`BrowserEvent::NotificationPrompt`].
+    pub fn notification_prompt(&mut self, page: &Url) {
+        let page = self.urls.intern(page);
+        self.events.push(CompactEvent::NotificationPrompt { page });
+    }
+
+    /// Re-appends the recorded events `range` (half-open indices into the
+    /// event sequence) verbatim. Every referenced URL/string is already
+    /// interned, so a replay allocates nothing beyond `Vec` growth — this
+    /// is what makes the session's memoized page reload byte-identical to
+    /// a fresh load for free.
+    pub(crate) fn replay(&mut self, range: std::ops::Range<usize>) {
+        self.events.reserve(range.len());
+        for i in range {
+            let e = self.events[i];
+            self.events.push(e);
+        }
+    }
+
+    /// All events in order, as borrowed views.
+    pub fn events(&self) -> impl Iterator<Item = EventRef<'_>> {
+        self.events.iter().map(|e| self.event_ref(e))
+    }
+
+    fn event_ref(&self, e: &CompactEvent) -> EventRef<'_> {
+        match *e {
+            CompactEvent::NavigationStart { url, cause, initiator } => EventRef::NavigationStart {
+                url: self.url(url),
+                cause,
+                initiator: initiator.map(|i| self.url(i)),
+            },
+            CompactEvent::PageLoaded { url, title } => {
+                EventRef::PageLoaded { url: self.url(url), title: self.str(title) }
+            }
+            CompactEvent::Redirected { from, to, kind } => {
+                EventRef::Redirected { from: self.url(from), to: self.url(to), kind }
+            }
+            CompactEvent::ScriptLoaded { page, src } => {
+                EventRef::ScriptLoaded { page: self.url(page), src: self.url(src) }
+            }
+            CompactEvent::JsApiCall { page, api } => {
+                EventRef::JsApiCall { page: self.url(page), api: self.str(api) }
+            }
+            CompactEvent::LockBypassed { page, tactic } => {
+                EventRef::LockBypassed { page: self.url(page), tactic }
+            }
+            CompactEvent::TabOpened { opener, url } => {
+                EventRef::TabOpened { opener: self.url(opener), url: self.url(url) }
+            }
+            CompactEvent::DownloadTriggered { page, payload } => {
+                EventRef::DownloadTriggered { page: self.url(page), payload }
+            }
+            CompactEvent::NotificationPrompt { page } => {
+                EventRef::NotificationPrompt { page: self.url(page) }
+            }
+        }
     }
 
     /// Number of events.
@@ -131,26 +421,40 @@ impl EventLog {
 
     /// All redirect hops, in order.
     pub fn redirects(&self) -> impl Iterator<Item = (&Url, &Url, RedirectKind)> {
-        self.events.iter().filter_map(|e| match e {
-            BrowserEvent::Redirected { from, to, kind } => Some((from, to, *kind)),
+        self.events.iter().filter_map(|e| match *e {
+            CompactEvent::Redirected { from, to, kind } => {
+                Some((self.url(from), self.url(to), kind))
+            }
             _ => None,
         })
     }
 
     /// All URLs that completed loading, in order.
     pub fn loaded_urls(&self) -> impl Iterator<Item = &Url> {
-        self.events.iter().filter_map(|e| match e {
-            BrowserEvent::PageLoaded { url, .. } => Some(url),
+        self.events.iter().filter_map(|e| match *e {
+            CompactEvent::PageLoaded { url, .. } => Some(self.url(url)),
             _ => None,
         })
     }
 
     /// All downloads captured in the session.
-    pub fn downloads(&self) -> impl Iterator<Item = (&Url, &FilePayload)> {
-        self.events.iter().filter_map(|e| match e {
-            BrowserEvent::DownloadTriggered { page, payload } => Some((page, payload)),
+    pub fn downloads(&self) -> impl Iterator<Item = (&Url, FilePayload)> {
+        self.events.iter().filter_map(|e| match *e {
+            CompactEvent::DownloadTriggered { page, payload } => Some((self.url(page), payload)),
             _ => None,
         })
+    }
+}
+
+// Two logs are equal when they recorded the same event sequence. Interner
+// ids are assigned in first-seen order — a pure function of that sequence
+// — so comparing the compact columns is exact and never materializes an
+// event.
+impl PartialEq for EventLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.urls.items() == other.urls.items()
+            && self.strs.items() == other.strs.items()
     }
 }
 
@@ -199,6 +503,55 @@ mod tests {
         assert!(!hops[0].2.is_http() || hops[0].2 == RedirectKind::Http302);
         assert_eq!(log.downloads().count(), 1);
     }
+
+    #[test]
+    fn event_views_round_trip_owned_events() {
+        // push → events() → to_owned must reproduce the pushed sequence
+        // exactly, across every variant (interning is invisible to
+        // readers).
+        let pushed = vec![
+            BrowserEvent::NavigationStart {
+                url: u("a.com"),
+                cause: NavCause::Redirect(RedirectKind::MetaRefresh),
+                initiator: Some(u("b.com")),
+            },
+            BrowserEvent::PageLoaded { url: u("a.com"), title: "A".into() },
+            BrowserEvent::ScriptLoaded { page: u("a.com"), src: u("cdn.com") },
+            BrowserEvent::JsApiCall { page: u("a.com"), api: "window.alert".into() },
+            BrowserEvent::LockBypassed { page: u("a.com"), tactic: LockTactic::ModalDialogLoop },
+            BrowserEvent::TabOpened { opener: u("a.com"), url: u("c.club") },
+            BrowserEvent::DownloadTriggered {
+                page: u("c.club"),
+                payload: FilePayload::serve(1, seacma_simweb::FileFormat::Pe, &[0]),
+            },
+            BrowserEvent::NotificationPrompt { page: u("c.club") },
+        ];
+        let mut log = EventLog::new();
+        for e in &pushed {
+            log.push(e.clone());
+        }
+        let back: Vec<BrowserEvent> = log.events().map(|e| e.to_owned()).collect();
+        assert_eq!(back, pushed);
+        // Equality sees through interning order too.
+        let mut again = EventLog::new();
+        for e in &pushed {
+            again.push(e.clone());
+        }
+        assert_eq!(log, again);
+    }
+
+    #[test]
+    fn json_shape_is_the_owned_event_array() {
+        use seacma_util::json;
+        let mut log = EventLog::new();
+        log.push(BrowserEvent::PageLoaded { url: u("a.com"), title: "A".into() });
+        log.push(BrowserEvent::JsApiCall { page: u("a.com"), api: "window.alert".into() });
+        let text = json::to_string(&log);
+        let v = json::parse(&text).expect("log serializes to valid json");
+        assert!(v.get("events").is_some(), "external shape keeps the events field");
+        let back: EventLog = json::from_str(&text).expect("log parses back");
+        assert_eq!(back, log);
+    }
 }
 impl_json_enum!(NavCause {
     Initial,
@@ -217,4 +570,29 @@ impl_json_enum!(BrowserEvent {
     DownloadTriggered { page: Url, payload: FilePayload },
     NotificationPrompt { page: Url },
 });
-impl_json_struct!(EventLog { events });
+
+// The JSON shape predates the compact storage and must stay stable: an
+// object holding the owned event array. Serialization materializes each
+// event; parsing re-interns them.
+impl ToJson for EventLog {
+    fn to_json(&self) -> Value {
+        let events: Vec<BrowserEvent> = self.events().map(|e| e.to_owned()).collect();
+        Value::Obj(vec![("events".to_string(), events.to_json())])
+    }
+}
+
+impl FromJson for EventLog {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError::expected("object for EventLog", v));
+        }
+        let events: Vec<BrowserEvent> = FromJson::from_json(
+            v.get("events").ok_or_else(|| JsonError::missing_field("events"))?,
+        )?;
+        let mut log = EventLog::new();
+        for e in events {
+            log.push(e);
+        }
+        Ok(log)
+    }
+}

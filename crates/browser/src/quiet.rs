@@ -52,14 +52,32 @@ impl CacheRef<'_> {
     }
 }
 
-/// A cached probe result: the landing of `start`, valid on `[from, until)`
-/// (the intersection of the validity horizons of every hop in the chain,
-/// as declared by `World::fetch_lite_ttl`).
+/// A cached probe chain: the error-free redirect chain of `start`, valid
+/// on `[from, stable_until)` (the intersection of the stable validity
+/// horizons of every hop, as declared by `World::fetch_lite_stable`).
+///
+/// Transient errors are NOT baked in: they re-roll on 30-minute buckets,
+/// much faster than the chain itself changes (ad-inventory buckets are 2
+/// hours, campaign epochs ~10). Instead the memo records the hop URLs and
+/// re-evaluates only the error draw per bucket — the first erroring hop
+/// serves a blank document and becomes the landing, exactly as a fresh
+/// walk would stop there. Inside the stable window a probe therefore
+/// allocates nothing, bucket rotations included.
 struct ProbeMemo {
     start: Url,
     from: SimTime,
-    until: SimTime,
-    landing: Result<Url, ()>,
+    stable_until: SimTime,
+    /// The redirect chain, `start` first. Only the first `MAX_REDIRECTS`
+    /// entries are ever fetched by a real walk (the hop budget), so only
+    /// those are consulted by the per-bucket error re-roll.
+    hops: Vec<Url>,
+    /// Landing when no hop errors: index into `hops`, or `Err` for
+    /// chains ending in NXDOMAIN/refusal or exhausting the hop budget.
+    clean: Result<usize, ()>,
+    /// The 30-minute bucket `landing` was resolved for.
+    bucket: u64,
+    /// Landing at `bucket`: index into `hops`, or `Err`.
+    landing: Result<usize, ()>,
 }
 
 impl<'w> QuietBrowser<'w> {
@@ -123,37 +141,63 @@ impl<'w> QuietBrowser<'w> {
     }
 
     /// [`probe`](Self::probe) behind the hosting layer's own cache
-    /// headers: each hop of the chain declares how long its answer stays
-    /// valid (`World::fetch_lite_ttl`), and the landing is memoized for
-    /// the intersection of those windows. Re-probing the same URL inside
-    /// the window — the milker does ~40 consecutive ticks per rotation
-    /// epoch — costs one comparison instead of a chain walk.
+    /// headers: each hop of the chain declares how long its error-free
+    /// answer stays valid (`World::fetch_lite_stable`), the chain is
+    /// memoized for the intersection of those windows, and only the
+    /// fast-rolling transient-error draw is re-evaluated — once per
+    /// 30-minute bucket — against the recorded hops. Re-probing the same
+    /// URL inside the window (the milker does ~40 consecutive ticks per
+    /// rotation epoch) costs one comparison and allocates nothing.
     pub fn probe_cached(&mut self, url: &Url, t: SimTime) -> Result<&Url, ()> {
         let hit = self
             .memo
             .as_ref()
-            .is_some_and(|m| m.from <= t && t < m.until && m.start == *url);
+            .is_some_and(|m| m.from <= t && t < m.stable_until && m.start == *url);
         if !hit {
-            let mut until = SimTime(u64::MAX);
-            let mut current = url.clone();
-            let mut landing: Result<Url, ()> = Err(());
+            let mut stable_until = SimTime(u64::MAX);
+            let mut hops = vec![url.clone()];
+            let mut clean: Result<usize, ()> = Err(());
             for _ in 0..MAX_REDIRECTS {
-                let (resp, h) = self.world.fetch_lite_ttl(&current, &self.client, t);
-                until = until.min(h);
+                let current = hops.last().expect("chain starts non-empty");
+                let (resp, h) = self.world.fetch_lite_stable(current, &self.client, t);
+                stable_until = stable_until.min(h);
                 match resp {
                     LiteResponse::Redirect { to, .. } => {
-                        current = to;
+                        hops.push(to);
                         continue;
                     }
-                    LiteResponse::Doc => landing = Ok(current),
-                    LiteResponse::NxDomain | LiteResponse::Refused => landing = Err(()),
+                    LiteResponse::Doc => clean = Ok(hops.len() - 1),
+                    LiteResponse::NxDomain | LiteResponse::Refused => clean = Err(()),
                 }
                 break;
-            } // hop budget exhausted ⇒ landing stays Err, like `load`
-            self.memo = Some(ProbeMemo { start: url.clone(), from: t, until, landing });
+            } // hop budget exhausted ⇒ clean stays Err, like `load`
+            self.memo = Some(ProbeMemo {
+                start: url.clone(),
+                from: t,
+                stable_until,
+                hops,
+                clean,
+                // Poisoned so the first lookup below resolves the draw.
+                bucket: u64::MAX,
+                landing: Err(()),
+            });
         }
-        match &self.memo.as_ref().expect("memo just filled").landing {
-            Ok(u) => Ok(u),
+        let m = self.memo.as_mut().expect("memo just filled");
+        let bucket = t.minutes() / 30;
+        if m.bucket != bucket {
+            m.bucket = bucket;
+            m.landing = m.clean;
+            // A fresh walk draws the error check on every hop it fetches
+            // (at most the hop budget) and stops at the first blank load.
+            for (i, hop) in m.hops.iter().take(MAX_REDIRECTS).enumerate() {
+                if self.world.transient_error(hop, t) {
+                    m.landing = Ok(i);
+                    break;
+                }
+            }
+        }
+        match m.landing {
+            Ok(i) => Ok(&m.hops[i]),
             Err(()) => Err(()),
         }
     }

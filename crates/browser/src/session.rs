@@ -9,14 +9,14 @@
 use seacma_util::impl_json_struct;
 
 use seacma_simweb::{
-    det::{det_hash, str_word},
+    det::det_hash,
     ClientProfile, ClickAction, HostResponse, LockTactic, Page, RedirectKind, SimDuration,
     SimTime, UaProfile, Url, Vantage, VisualTemplate, World,
 };
 use seacma_vision::bitmap::Bitmap;
 use seacma_vision::dhash::{dhash128, Dhash};
 
-use crate::log::{BrowserEvent, EventLog, NavCause};
+use crate::log::{EventLog, NavCause};
 use crate::render_cache::RenderCache;
 
 /// Maximum redirect hops followed per navigation (matches browser
@@ -217,12 +217,37 @@ pub struct BrowserSession<'w> {
     locked: bool,
     /// Shared clean-render memo, when the caller farms many sessions.
     cache: Option<&'w RenderCache>,
+    /// The last direct load whose host vouched for a validity window —
+    /// [`reload`](Self::reload) replays it instead of re-fetching.
+    memo: Option<ReloadMemo>,
+}
+
+/// What [`BrowserSession::reload`] needs to reproduce a direct load
+/// without touching the simulated network: the event range the load
+/// appended (replayed verbatim from the log's interned storage), the
+/// navigation outcome, and the lock state it left behind.
+struct ReloadMemo {
+    url: Url,
+    /// Exclusive end of the host-declared validity window.
+    until: SimTime,
+    /// Half-open range of log events the load appended.
+    events: std::ops::Range<usize>,
+    outcome: Result<(), NavError>,
+    locked_after: bool,
 }
 
 impl<'w> BrowserSession<'w> {
     /// Opens a browser at simulated time `start`.
     pub fn new(world: &'w World, config: BrowserConfig, start: SimTime) -> Self {
-        Self { world, config, log: EventLog::new(), clock: start, locked: false, cache: None }
+        Self {
+            world,
+            config,
+            log: EventLog::new(),
+            clock: start,
+            locked: false,
+            cache: None,
+            memo: None,
+        }
     }
 
     /// Opens a browser that renders and hashes screenshots through a
@@ -236,6 +261,23 @@ impl<'w> BrowserSession<'w> {
         cache: &'w RenderCache,
     ) -> Self {
         Self { cache: Some(cache), ..Self::new(world, config, start) }
+    }
+
+    /// Opens a browser whose event storage recycles `log`'s buffers: the
+    /// log is cleared first (events and interner tables emptied, capacity
+    /// kept), so the session is observationally identical to one opened
+    /// with [`new`](Self::new)/[`with_cache`](Self::with_cache). The
+    /// crawl farm hands each visit the previous visit's log this way,
+    /// amortizing per-visit log allocations across a whole worker.
+    pub fn with_scratch(
+        world: &'w World,
+        config: BrowserConfig,
+        start: SimTime,
+        cache: Option<&'w RenderCache>,
+        mut log: EventLog,
+    ) -> Self {
+        log.clear();
+        Self { world, config, log, clock: start, locked: false, cache, memo: None }
     }
 
     /// The session's instrumentation configuration.
@@ -277,8 +319,52 @@ impl<'w> BrowserSession<'w> {
     }
 
     /// Navigates to `url`, following redirects and logging every hop.
+    ///
+    /// When the simulated host vouches for the response's validity window
+    /// ([`World::publisher_content_horizon`]), the load is memoized so a
+    /// subsequent [`reload`](Self::reload) of the same URL inside the
+    /// window replays it without re-fetching.
     pub fn navigate(&mut self, url: &Url) -> Result<LoadedPage, NavError> {
-        self.navigate_caused(url, NavCause::Initial, None)
+        if self.locked {
+            // A wedged session refuses before any event is logged; there
+            // is nothing to memoize.
+            return Err(NavError::BrowserLocked);
+        }
+        let start = self.log.len();
+        let result = self.navigate_caused(url, NavCause::Initial, None);
+        self.memo = self.world.publisher_content_horizon(url, self.clock).map(|until| ReloadMemo {
+            url: url.clone(),
+            until,
+            events: start..self.log.len(),
+            outcome: result.as_ref().map(|_| ()).map_err(NavError::clone),
+            locked_after: self.locked,
+        });
+        result
+    }
+
+    /// Reloads `url` for its side effects — log events, lock state,
+    /// navigation outcome — discarding the document. Equivalent to
+    /// `self.navigate(url).map(drop)`, byte for byte in the event log,
+    /// but when the last [`navigate`](Self::navigate) hit the same URL
+    /// inside its host-declared validity window, the recorded events are
+    /// replayed from the log's interned storage instead of re-resolving
+    /// and re-serving the page. This is the crawl loop's hot edge: the
+    /// publisher page is reloaded after every ad interaction, and the
+    /// replay allocates nothing beyond `Vec` growth.
+    pub fn reload(&mut self, url: &Url) -> Result<(), NavError> {
+        if self.locked {
+            return Err(NavError::BrowserLocked);
+        }
+        if let Some(m) = &self.memo {
+            if m.url == *url && self.clock < m.until {
+                let (events, outcome, locked) =
+                    (m.events.clone(), m.outcome.clone(), m.locked_after);
+                self.log.replay(events);
+                self.locked = locked;
+                return outcome;
+            }
+        }
+        self.navigate(url).map(drop)
     }
 
     /// Navigates with an explicit cause/initiator (used internally for
@@ -292,11 +378,7 @@ impl<'w> BrowserSession<'w> {
         if self.locked {
             return Err(NavError::BrowserLocked);
         }
-        self.log.push(BrowserEvent::NavigationStart {
-            url: url.clone(),
-            cause,
-            initiator: initiator.cloned(),
-        });
+        self.log.navigation_start(url, cause, initiator);
 
         let client = self.config.client();
         let mut current = url.clone();
@@ -304,11 +386,7 @@ impl<'w> BrowserSession<'w> {
         for _ in 0..MAX_REDIRECTS {
             match self.world.fetch(&current, &client, self.clock) {
                 HostResponse::Redirect { to, kind } => {
-                    self.log.push(BrowserEvent::Redirected {
-                        from: current.clone(),
-                        to: to.clone(),
-                        kind,
-                    });
+                    self.log.redirected(&current, &to, kind);
                     if !kind.is_http() {
                         // JS redirections surface as API calls in the
                         // instrumented log.
@@ -319,10 +397,7 @@ impl<'w> BrowserSession<'w> {
                             RedirectKind::MetaRefresh => "meta.refresh",
                             _ => unreachable!("http kinds filtered above"),
                         };
-                        self.log.push(BrowserEvent::JsApiCall {
-                            page: current.clone(),
-                            api: api.to_string(),
-                        });
+                        self.log.js_api_call(&current, api);
                     }
                     hops.push((current, to.clone(), kind));
                     current = to;
@@ -338,12 +413,12 @@ impl<'w> BrowserSession<'w> {
     }
 
     fn finish_load(&mut self, page: Page, url: Url, hops: Vec<(Url, Url, RedirectKind)>) -> LoadedPage {
-        self.log.push(BrowserEvent::PageLoaded { url: url.clone(), title: page.title.clone() });
+        self.log.page_loaded(&url, &page.title);
         for s in &page.scripts {
-            self.log.push(BrowserEvent::ScriptLoaded { page: url.clone(), src: s.src.clone() });
+            self.log.script_loaded(&url, &s.src);
         }
         if page.notification_prompt {
-            self.log.push(BrowserEvent::NotificationPrompt { page: url.clone() });
+            self.log.notification_prompt(&url);
         }
         for &tactic in &page.locking {
             let api = match tactic {
@@ -351,9 +426,9 @@ impl<'w> BrowserSession<'w> {
                 LockTactic::AuthDialogStorm => "auth.dialog",
                 LockTactic::OnBeforeUnload => "window.onbeforeunload",
             };
-            self.log.push(BrowserEvent::JsApiCall { page: url.clone(), api: api.to_string() });
+            self.log.js_api_call(&url, api);
             if self.config.bypass_locks {
-                self.log.push(BrowserEvent::LockBypassed { page: url.clone(), tactic });
+                self.log.lock_bypassed(&url, tactic);
             }
         }
         if page.is_locking() && !self.config.bypass_locks {
@@ -408,27 +483,18 @@ impl<'w> BrowserSession<'w> {
         match action {
             ClickAction::None => Ok(None),
             ClickAction::OpenTab(target) => {
-                self.log.push(BrowserEvent::TabOpened {
-                    opener: opener.clone(),
-                    url: target.clone(),
-                });
+                self.log.tab_opened(opener, target);
                 self.navigate_caused(target, NavCause::WindowOpen, Some(opener)).map(Some)
             }
             ClickAction::Navigate(target) => self
                 .navigate_caused(target, NavCause::UserClick, Some(opener))
                 .map(Some),
             ClickAction::Download(payload) => {
-                self.log.push(BrowserEvent::DownloadTriggered {
-                    page: opener.clone(),
-                    payload: *payload,
-                });
+                self.log.download_triggered(opener, *payload);
                 Ok(None)
             }
             ClickAction::AllowNotifications => {
-                self.log.push(BrowserEvent::JsApiCall {
-                    page: opener.clone(),
-                    api: "Notification.requestPermission".to_string(),
-                });
+                self.log.js_api_call(opener, "Notification.requestPermission");
                 Ok(None)
             }
         }
@@ -440,13 +506,19 @@ impl<'w> BrowserSession<'w> {
 /// window render identically while visits across windows drift slightly.
 /// Shared by [`BrowserSession::render_screenshot`] and the quiet milking
 /// browser so the two paths can never disagree on a rendered pixel.
+///
+/// The URL word is [`Url::det_word`] — equal to
+/// `str_word(&url.to_string())` by the pinned identity in `seacma-simweb`,
+/// but computed without materializing the textual form, so this runs on
+/// every captured load without allocating.
 pub(crate) fn screenshot_seed(world: &World, url: &Url, t: SimTime) -> u64 {
-    det_hash(&[world.seed(), 0x5C4EE, str_word(&url.to_string()), t.minutes() / 30])
+    det_hash(&[world.seed(), 0x5C4EE, url.det_word(), t.minutes() / 30])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::EventRef;
     use seacma_simweb::{SeCategory, WorldConfig};
 
     fn world() -> World {
@@ -474,7 +546,7 @@ mod tests {
         assert_eq!(loaded.url, p.url());
         assert!(s.log().loaded_urls().count() >= 1);
         assert!(
-            s.log().events().iter().any(|e| matches!(e, BrowserEvent::ScriptLoaded { .. })),
+            s.log().events().any(|e| matches!(e, EventRef::ScriptLoaded { .. })),
             "script loads must be logged"
         );
     }
@@ -497,8 +569,7 @@ mod tests {
         assert!(s
             .log()
             .events()
-            .iter()
-            .any(|e| matches!(e, BrowserEvent::JsApiCall { api, .. } if api == "window.setTimeout")));
+            .any(|e| matches!(e, EventRef::JsApiCall { api, .. } if api == "window.setTimeout")));
     }
 
     #[test]
@@ -545,8 +616,7 @@ mod tests {
         assert!(s
             .log()
             .events()
-            .iter()
-            .any(|e| matches!(e, BrowserEvent::LockBypassed { .. })));
+            .any(|e| matches!(e, EventRef::LockBypassed { .. })));
         assert!(s.navigate(&w.publishers()[0].url()).is_ok());
     }
 
@@ -566,8 +636,7 @@ mod tests {
         assert!(s
             .log()
             .events()
-            .iter()
-            .any(|e| matches!(e, BrowserEvent::TabOpened { opener, .. } if *opener == p.url())));
+            .any(|e| matches!(e, EventRef::TabOpened { opener, .. } if *opener == p.url())));
     }
 
     #[test]
@@ -639,6 +708,67 @@ mod tests {
             assert_eq!(off.screenshot, Screenshot::Skipped);
             assert_eq!(off.screenshot.bitmap(), None);
         }
+    }
+
+    #[test]
+    fn screenshot_seed_matches_textual_hash() {
+        // Regression pin for the zero-alloc seed: the interned-word form
+        // must equal the original `str_word(&url.to_string())` round-trip
+        // for every URL shape the crawl produces.
+        use seacma_simweb::det::str_word;
+        let w = world();
+        let urls = [
+            w.publishers()[0].url(),
+            w.campaigns()[0].attack_url(w.seed(), SimTime::EPOCH, 0),
+            Url::http("srv.adnet.com", "/banners/asd.php?z=1"),
+        ];
+        for url in &urls {
+            for t in [SimTime(0), SimTime(29), SimTime(30), SimTime(1441)] {
+                assert_eq!(
+                    screenshot_seed(&w, url, t),
+                    det_hash(&[w.seed(), 0x5C4EE, str_word(&url.to_string()), t.minutes() / 30]),
+                    "seed diverged for {url} at {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reload_is_byte_identical_to_navigate() {
+        // The memoized publisher reload must be indistinguishable — in
+        // the event log, the outcome, and the lock state — from a fresh
+        // navigate at the same instant, in a world where the 30-minute
+        // transient-error draw is live (so replays that crossed a bucket
+        // boundary would be caught) and with random advances that both
+        // stay inside and cross the validity window.
+        let noisy = World::generate(WorldConfig {
+            seed: 23,
+            n_publishers: 80,
+            n_hidden_only_publishers: 5,
+            n_advertisers: 10,
+            campaign_scale: 0.4,
+            error_rate: 0.12,
+            ..Default::default()
+        });
+        let cfg = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential)
+            .hash_screenshots();
+        seacma_util::forall!(40, |rng| {
+            let p = &noisy.publishers()[rng.below(noisy.publishers().len() as u64) as usize];
+            let url = p.url();
+            let t0 = SimTime(rng.below(10 * 24 * 60));
+            let mut memo = BrowserSession::new(&noisy, cfg, t0);
+            let mut fresh = BrowserSession::new(&noisy, cfg, t0);
+            assert_eq!(memo.navigate(&url).is_ok(), fresh.navigate(&url).is_ok());
+            for _ in 0..4 {
+                let d = SimDuration::from_minutes(rng.below(25));
+                memo.advance(d);
+                fresh.advance(d);
+                assert_eq!(memo.reload(&url), fresh.navigate(&url).map(drop));
+                assert_eq!(memo.now(), fresh.now());
+            }
+            assert_eq!(memo.log(), fresh.log(), "memoized log diverged for {url}");
+            assert_eq!(memo.is_locked(), fresh.is_locked());
+        });
     }
 
     #[test]

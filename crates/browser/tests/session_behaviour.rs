@@ -1,7 +1,7 @@
 //! Behavioural tests of the browser session against adversarial worlds:
 //! failure injection, redirect depth, log integrity.
 
-use seacma_browser::{BrowserConfig, BrowserEvent, BrowserSession, NavError, Screenshot};
+use seacma_browser::{BrowserConfig, BrowserSession, EventRef, NavError, Screenshot};
 use seacma_simweb::{SimTime, UaProfile, Url, Vantage, World, WorldConfig};
 
 fn flaky_world() -> World {
@@ -36,8 +36,7 @@ fn flaky_loads_never_panic_and_are_logged() {
                 assert!(s
                     .log()
                     .events()
-                    .iter()
-                    .any(|e| matches!(e, BrowserEvent::PageLoaded { .. })));
+                    .any(|e| matches!(e, EventRef::PageLoaded { .. })));
             }
             Err(NavError::NxDomain(_)) | Err(NavError::Refused(_)) => {}
             Err(e) => panic!("unexpected failure {e}"),
@@ -58,8 +57,7 @@ fn navigation_events_bracket_every_load() {
     let starts = s
         .log()
         .events()
-        .iter()
-        .filter(|e| matches!(e, BrowserEvent::NavigationStart { .. }))
+        .filter(|e| matches!(e, EventRef::NavigationStart { .. }))
         .count();
     assert_eq!(starts, 10, "one NavigationStart per navigate call");
 }

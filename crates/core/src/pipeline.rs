@@ -474,8 +474,11 @@ impl Pipeline {
         // landings arrive in UA-pass order, and without mixing, the first
         // `max_milking_sources` candidates would nearly all carry the
         // first pass's UA (and so milk only one platform's payloads).
+        // `Url::det_word()` equals `str_word(&url.to_string())` (pinned in
+        // `seacma-simweb`), so the shuffle key is unchanged — but the sort
+        // no longer materializes the textual URL per comparison.
         candidates.sort_by_key(|c| {
-            (c.cluster, det::det_hash(&[det::str_word(&c.url.to_string()), c.ua.index()]))
+            (c.cluster, det::det_hash(&[c.url.det_word(), c.ua.index()]))
         });
         let mut sources = validate_candidates(&self.world, candidates, t);
         sources.truncate(self.config.max_milking_sources);

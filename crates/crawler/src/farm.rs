@@ -2,7 +2,7 @@
 //!
 //! The paper ran container replicas across five servers plus residential
 //! laptops; here each replica is a worker thread executing
-//! [`visit_publisher`] jobs. Because every
+//! [`visit_publisher_reusing`] jobs. Because every
 //! fetch is a pure function of `(seed, url, client, time)`, the visit
 //! schedule fixes virtual time per job **independently of thread count**:
 //! the farm pretends to have [`CrawlSchedule::lanes`] crawlers
@@ -18,7 +18,7 @@ use seacma_browser::{BrowserConfig, RenderCache};
 use seacma_simweb::{PublisherId, SimDuration, SimTime, UaProfile, Vantage, World};
 
 use crate::record::{CrawlDataset, SiteVisit};
-use crate::visit::{visit_publisher, CrawlPolicy};
+use crate::visit::{visit_publisher_reusing, CrawlPolicy, VisitScratch};
 
 /// Deterministic visit scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +143,11 @@ impl<'w> CrawlFarm<'w> {
                     let policy = self.policy;
                     scope.spawn(move || {
                         let mut scratch = SymbolArena::new();
+                        // One visit scratch (event log + backtrack graph)
+                        // per worker, recycled across jobs: each visit
+                        // clears and refills the buffers, so they are
+                        // allocated once per worker, not once per visit.
+                        let mut buffers = VisitScratch::new();
                         let mut local = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -153,7 +158,7 @@ impl<'w> CrawlFarm<'w> {
                             let t = schedule.job_time(idx);
                             local.push((
                                 idx,
-                                visit_publisher(
+                                visit_publisher_reusing(
                                     world,
                                     p,
                                     config,
@@ -161,6 +166,7 @@ impl<'w> CrawlFarm<'w> {
                                     policy,
                                     Some(cache),
                                     &mut scratch,
+                                    &mut buffers,
                                 ),
                             ));
                         }

@@ -3,7 +3,7 @@
 use seacma_util::impl_json_struct;
 use seacma_util::sym::SymbolArena;
 
-use seacma_browser::{BrowserConfig, BrowserSession, NavError, RenderCache};
+use seacma_browser::{BrowserConfig, BrowserSession, EventLog, NavError, RenderCache};
 use seacma_graph::{milkable, BacktrackGraph};
 use seacma_simweb::{ClickAction, PublisherSite, SimDuration, SimTime, World};
 
@@ -57,6 +57,72 @@ pub fn visit_publisher(
     cache: Option<&RenderCache>,
     arena: &mut SymbolArena,
 ) -> SiteVisit {
+    visit_publisher_reusing(
+        world,
+        publisher,
+        config,
+        start,
+        policy,
+        cache,
+        arena,
+        &mut VisitScratch::new(),
+    )
+}
+
+/// Reusable per-worker buffers for [`visit_publisher_reusing`]: the
+/// browser event log and the backtracking graph, both recycled (cleared,
+/// capacity kept) across every visit a crawl worker performs. A fresh
+/// scratch and a many-times-reused scratch produce byte-identical visit
+/// records.
+#[derive(Default)]
+pub struct VisitScratch {
+    log: EventLog,
+    graph: BacktrackGraph,
+}
+
+impl VisitScratch {
+    /// Empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`visit_publisher`] with an explicit scratch: the visit's browser
+/// session recycles `scratch`'s event log and the landing analyses its
+/// backtracking graph, leaving both behind for the caller's next visit.
+/// The record is byte-identical to `visit_publisher`'s — cleared buffers
+/// are observationally fresh ones — so the farm threads one scratch
+/// through each worker's whole job stream and per-visit log/graph
+/// allocations amortize away.
+#[allow(clippy::too_many_arguments)]
+pub fn visit_publisher_reusing(
+    world: &World,
+    publisher: &PublisherSite,
+    config: BrowserConfig,
+    start: SimTime,
+    policy: CrawlPolicy,
+    cache: Option<&RenderCache>,
+    arena: &mut SymbolArena,
+    scratch: &mut VisitScratch,
+) -> SiteVisit {
+    let mut session =
+        BrowserSession::with_scratch(world, config, start, cache, std::mem::take(&mut scratch.log));
+    scratch.graph.clear();
+    let visit = run_visit(publisher, config, policy, cache, arena, &mut scratch.graph, &mut session);
+    scratch.log = session.into_log();
+    visit
+}
+
+fn run_visit(
+    publisher: &PublisherSite,
+    config: BrowserConfig,
+    policy: CrawlPolicy,
+    cache: Option<&RenderCache>,
+    arena: &mut SymbolArena,
+    graph: &mut BacktrackGraph,
+    session: &mut BrowserSession<'_>,
+) -> SiteVisit {
+    let start = session.now();
     let mut visit = SiteVisit {
         publisher: publisher.id,
         ua: config.ua,
@@ -67,11 +133,12 @@ pub fn visit_publisher(
         load_failed: false,
     };
     let deadline = start + policy.timeout;
-    let mut session = match cache {
-        Some(cache) => BrowserSession::with_cache(world, config, start, cache),
-        None => BrowserSession::new(world, config, start),
-    };
     let pub_url = publisher.url();
+    // How much of the session log the (incrementally built) graph has
+    // ingested so far. Extending the graph per landing is byte-identical
+    // to rebuilding it from the whole log — construction is
+    // order-incremental — but re-interns nothing.
+    let mut ingested = 0usize;
 
     let loaded = match session.navigate(&pub_url) {
         Ok(l) => l,
@@ -80,10 +147,10 @@ pub fn visit_publisher(
             return visit;
         }
     };
-    // Candidate elements, biggest first. Page-level ad listeners intercept
-    // clicks regardless of the element, so the element ranking mainly
-    // bounds how many interactions we try.
-    let candidates = loaded.page.elements_by_area().len() as u32;
+    // Candidate elements: page-level ad listeners intercept clicks
+    // regardless of the element, so element count (the size ranking's
+    // length) only bounds how many interactions we try.
+    let candidates = loaded.page.elements.len() as u32;
     let page = loaded.page;
 
     let mut click: u32 = 0;
@@ -91,14 +158,12 @@ pub fn visit_publisher(
         && (visit.landings.len() as u32) < policy.max_ads
         && session.now() < deadline
     {
-        let action = page
-            .ad_action(click as usize)
-            .cloned()
-            .unwrap_or(ClickAction::None);
+        const NO_ACTION: ClickAction = ClickAction::None;
+        let action = page.ad_action(click as usize).unwrap_or(&NO_ACTION);
         visit.clicks += 1;
         click += 1;
 
-        let landed = match session.click(&pub_url, &action) {
+        let landed = match session.click(&pub_url, action) {
             Ok(Some(l)) => l,
             Ok(None) => continue,
             Err(NavError::BrowserLocked) => {
@@ -108,14 +173,14 @@ pub fn visit_publisher(
             Err(_) => continue,
         };
         // Ad-trigger heuristic: third-party landing only.
-        if landed.url.e2ld() == pub_url.e2ld() {
+        if landed.url.same_site(&pub_url) {
             continue;
         }
-        let graph = BacktrackGraph::from_log(session.log());
+        ingested = graph.extend_from_log(session.log(), ingested);
         let involved = graph.involved_urls(&landed.url);
-        let candidate = milkable::candidate(&graph, &landed.url);
+        let candidate = milkable::candidate(graph, &landed.url);
         let publisher_domain = arena.intern(&publisher.domain);
-        let landing_e2ld = arena.intern(&landed.url.e2ld());
+        let landing_e2ld = arena.intern(landed.url.e2ld_ref());
         visit.landings.push(LandingRecord {
             publisher: publisher.id,
             publisher_domain,
@@ -132,10 +197,12 @@ pub fn visit_publisher(
             t: session.now(),
         });
         // Interacting with an ad navigated away: reopen and reload
-        // (charged a little virtual time).
+        // (charged a little virtual time). The reload replays the
+        // memoized publisher load while the host still vouches for it —
+        // byte-identical log, no re-fetch, no re-serve.
         session.advance(SimDuration::from_minutes(1));
         session.reopen();
-        if session.navigate(&pub_url).is_err() {
+        if session.reload(&pub_url).is_err() {
             break;
         }
     }
@@ -260,6 +327,29 @@ mod tests {
             with_candidate * 2 > attacks,
             "most attacks should have upstream candidates: {with_candidate}/{attacks}"
         );
+    }
+
+    #[test]
+    fn reused_scratch_log_is_byte_identical_to_fresh_logs() {
+        // The farm's scratch-threading fast path: one EventLog recycled
+        // across a worker's whole job stream must leave every record —
+        // and the arena symbol assignment — untouched.
+        let w = world();
+        let mut arena_fresh = SymbolArena::new();
+        let mut arena_reuse = SymbolArena::new();
+        let mut scratch = VisitScratch::new();
+        for p in w.publishers().iter().take(40) {
+            let fresh = visit_publisher(
+                &w, p, cfg(), SimTime(250), CrawlPolicy::default(), None, &mut arena_fresh,
+            );
+            let reused = visit_publisher_reusing(
+                &w, p, cfg(), SimTime(250), CrawlPolicy::default(), None, &mut arena_reuse,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "scratch reuse diverged at {}", p.domain);
+        }
+        assert_eq!(arena_fresh.strings().to_vec(), arena_reuse.strings().to_vec());
+        assert!(!scratch.log.is_empty(), "scratch holds the last visit's log");
     }
 
     #[test]

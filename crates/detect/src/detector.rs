@@ -5,22 +5,34 @@
 //! hit on a campaign-assigned point is the strongest possible verdict:
 //! the screenshot is a near-duplicate of a tracked creative.
 //!
-//! Stage 2 — **near miss**: probe a second index over the *same* points
-//! at an escalated radius a few bits wider. This catches new creative
-//! variants of known campaigns (the SENet observation that campaigns
-//! drift visually faster than blocklists refresh) without paying the
-//! escalated candidate volume on the common hit path: the wide probe runs
-//! only when the tight one came up empty.
+//! Stage 2 — **near miss**: the *same* probe answers an escalated radius
+//! a few bits wider. This catches new creative variants of known
+//! campaigns (the SENet observation that campaigns drift visually faster
+//! than blocklists refresh).
 //!
 //! Stage 3 — **never-seen campaign**: no indexed point is close enough,
 //! so only the structural tells can speak. The deterministic
 //! [`PageSignals::score`](crate::PageSignals::score) against a fixed threshold separates
 //! `Suspicious` from `Benign`.
 //!
-//! Both probes answer "nearest campaign-assigned point, ties to the
-//! lowest point index" — a pure function of the indexed column, which is
-//! what makes the naive-scan oracle (and therefore the byte-identity
-//! harness) possible.
+//! # The shared two-radius probe
+//!
+//! Stages 1 and 2 share **one** banded index, built at the escalated
+//! radius, and **one** candidate sweep per query. The escalated ball is a
+//! superset of the base ball, so the minimum `(distance, point index)`
+//! over campaign-assigned candidates answers both stages at once: a
+//! minimum within the base radius is exactly what a dedicated tight probe
+//! would have picked (a superset minimum that lands in the subset *is*
+//! the subset minimum), and a base miss means no assigned point sits
+//! within the base radius at all, so the same minimum is the escalated
+//! answer. This halves index build time and memory, and the near-miss and
+//! miss paths — the ones production traffic actually consists of — stop
+//! paying two probes. The answer remains "nearest campaign-assigned
+//! point, ties to the lowest point index" — a pure function of the
+//! indexed column, which is what makes the naive-scan oracle (and
+//! therefore the byte-identity harness) possible; exactness against
+//! [`oracle::linear_verdict`](crate::oracle::linear_verdict) is pinned by
+//! the forall suite.
 
 use seacma_util::{impl_json_enum, impl_json_struct};
 use seacma_vision::dhash::Dhash;
@@ -133,8 +145,9 @@ impl Verdict {
     }
 }
 
-/// The online detector: two exact Hamming indexes over one frozen point
-/// column plus that column's campaign assignments.
+/// The online detector: one exact Hamming index (at the escalated
+/// radius) over a frozen point column plus that column's campaign
+/// assignments; the base-radius verdict falls out of the same probe.
 ///
 /// ```
 /// use seacma_detect::{Detector, DetectorConfig, PageObservation, PageSignals};
@@ -148,8 +161,7 @@ impl Verdict {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Detector {
-    base: HammingIndex,
-    escalated: HammingIndex,
+    index: HammingIndex,
     assignments: Vec<Option<u32>>,
     config: DetectorConfig,
 }
@@ -168,7 +180,7 @@ impl Detector {
         Self::from_columns_parallel(hashes, assignments, config, 1)
     }
 
-    /// [`Detector::from_columns`] with both index builds sharded across
+    /// [`Detector::from_columns`] with the index build sharded across
     /// `workers` scoped threads. The result is identical for every worker
     /// count — the acceptance gate the bench re-checks at 1/2/8.
     pub fn from_columns_parallel(
@@ -180,12 +192,7 @@ impl Detector {
         let mut assignments = assignments.to_vec();
         assignments.resize(hashes.len(), None);
         Detector {
-            base: HammingIndex::build_radius_parallel(hashes, config.base_radius(), workers),
-            escalated: HammingIndex::build_radius_parallel(
-                hashes,
-                config.escalated_radius(),
-                workers,
-            ),
+            index: HammingIndex::build_radius_parallel(hashes, config.escalated_radius(), workers),
             assignments,
             config,
         }
@@ -193,12 +200,12 @@ impl Detector {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.base.len()
+        self.index.len()
     }
 
     /// Whether the detector indexes no points.
     pub fn is_empty(&self) -> bool {
-        self.base.is_empty()
+        self.index.is_empty()
     }
 
     /// The tuning the detector was built with.
@@ -208,7 +215,7 @@ impl Detector {
 
     /// The indexed dhash column, in point-index order.
     pub fn hashes(&self) -> &[Dhash] {
-        self.base.hashes()
+        self.index.hashes()
     }
 
     /// The campaign assignment column, parallel to
@@ -228,15 +235,15 @@ impl Detector {
     /// allocation-free once the buffer has grown to the candidate volume.
     pub fn detect_with(&self, obs: &PageObservation, scratch: &mut Vec<usize>) -> Verdict {
         let score = obs.signals.score();
-        // Tight probe first: at eps 0.1 the candidate volume is ~n/70, and
-        // a hit answers without ever touching the wide index.
-        if let Some((campaign, distance)) = self.nearest_assigned(&self.base, obs.dhash, scratch) {
-            return Verdict::Campaign { campaign, distance, score };
-        }
-        if let Some((campaign, distance)) =
-            self.nearest_assigned(&self.escalated, obs.dhash, scratch)
-        {
-            return Verdict::NearCampaign { campaign, distance, score };
+        // One escalated-radius probe answers stages 1 and 2 together (see
+        // module docs): the classifying threshold is applied to the single
+        // minimum afterwards, not baked into the candidate sweep.
+        if let Some((campaign, distance)) = self.nearest_assigned(obs.dhash, scratch) {
+            return if distance <= self.config.base_radius() {
+                Verdict::Campaign { campaign, distance, score }
+            } else {
+                Verdict::NearCampaign { campaign, distance, score }
+            };
         }
         if score >= self.config.feature_threshold {
             Verdict::Suspicious { score }
@@ -245,21 +252,16 @@ impl Detector {
         }
     }
 
-    /// Nearest campaign-assigned point within `index`'s radius, as
+    /// Nearest campaign-assigned point within the escalated radius, as
     /// `(campaign id, distance)`. Ties break by `(distance, point index)`
     /// exactly like the oracle's full scan, so both implementations pick
     /// the same point — not merely the same distance.
-    fn nearest_assigned(
-        &self,
-        index: &HammingIndex,
-        h: Dhash,
-        scratch: &mut Vec<usize>,
-    ) -> Option<(u32, u32)> {
-        index.neighbours_of_hash(h, scratch);
+    fn nearest_assigned(&self, h: Dhash, scratch: &mut Vec<usize>) -> Option<(u32, u32)> {
+        self.index.neighbours_of_hash(h, scratch);
         scratch
             .iter()
             .filter_map(|&q| {
-                self.assignments[q].map(|id| ((h.0 ^ index.hashes()[q].0).count_ones(), q, id))
+                self.assignments[q].map(|id| ((h.0 ^ self.index.hashes()[q].0).count_ones(), q, id))
             })
             .min_by_key(|&(d, q, _)| (d, q))
             .map(|(d, _, id)| (id, d))

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use seacma_browser::{BrowserEvent, EventLog};
+use seacma_browser::{EventLog, EventRef};
 use seacma_simweb::Page;
 use seacma_util::impl_json_struct;
 use seacma_vision::dhash::Dhash;
@@ -94,14 +94,14 @@ impl PageSignals {
         };
         for e in log.events() {
             match e {
-                BrowserEvent::NavigationStart { url, .. } => note(url),
-                BrowserEvent::PageLoaded { url, .. } => note(url),
-                BrowserEvent::Redirected { from, to, .. } => {
+                EventRef::NavigationStart { url, .. } => note(url),
+                EventRef::PageLoaded { url, .. } => note(url),
+                EventRef::Redirected { from, to, .. } => {
                     note(from);
                     note(to);
                 }
-                BrowserEvent::ScriptLoaded { src, .. } => note(src),
-                BrowserEvent::TabOpened { opener, url } => {
+                EventRef::ScriptLoaded { src, .. } => note(src),
+                EventRef::TabOpened { opener, url } => {
                     note(opener);
                     note(url);
                 }
@@ -109,10 +109,7 @@ impl PageSignals {
             }
         }
         let notification_prompt = page.notification_prompt
-            || log
-                .events()
-                .iter()
-                .any(|e| matches!(e, BrowserEvent::NotificationPrompt { .. }));
+            || log.events().any(|e| matches!(e, EventRef::NotificationPrompt { .. }));
         Self::from_counts(
             log.redirects().count() as u32,
             third.len() as u32,
@@ -191,7 +188,7 @@ impl_json_struct!(PageObservation { dhash, signals });
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seacma_browser::NavCause;
+    use seacma_browser::{BrowserEvent, NavCause};
     use seacma_simweb::{RedirectKind, Url, VisualTemplate};
 
     fn lp(host: &str) -> Page {

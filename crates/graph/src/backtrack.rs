@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use seacma_util::sym::Interner;
 use seacma_util::{impl_json_enum, impl_json_struct};
 
-use seacma_browser::{BrowserEvent, EventLog};
+use seacma_browser::{EventLog, EventRef};
 use seacma_simweb::{RedirectKind, Url};
 
 /// Causal relationship between two URLs in the ad-loading process.
@@ -66,35 +66,62 @@ pub struct BacktrackGraph {
 }
 
 impl BacktrackGraph {
-    /// Builds the graph from a session log.
+    /// Builds the graph from a session log. Walks the log's borrowed
+    /// event views, so the only URL clones are the first-sight interns
+    /// into this graph's own symbol table.
     pub fn from_log(log: &EventLog) -> Self {
         let mut g = BacktrackGraph::default();
-        for e in log.events() {
+        g.extend_from_log(log, 0);
+        g
+    }
+
+    /// Incrementally ingests the log events at indices `from..log.len()`,
+    /// returning the new cursor (`log.len()`).
+    ///
+    /// Graph construction is order-incremental — parent edges are
+    /// last-writer-wins inserts and script lists append — so feeding a
+    /// growing log's events through any sequence of calls (each picking up
+    /// where the last left off) yields exactly the graph `from_log` would
+    /// build from the same prefix. The crawl loop leans on this: one graph
+    /// per visit, extended after each ad landing, instead of a full
+    /// rebuild — and re-intern — of the whole session log per landing.
+    pub fn extend_from_log(&mut self, log: &EventLog, from: usize) -> usize {
+        for e in log.events().skip(from) {
             match e {
-                BrowserEvent::Redirected { from, to, kind } => {
-                    let (f, t) = (g.intern(from), g.intern(to));
-                    g.parent.insert(t, (f, EdgeKind::Redirect(*kind)));
+                EventRef::Redirected { from, to, kind } => {
+                    let (f, t) = (self.intern(from), self.intern(to));
+                    self.parent.insert(t, (f, EdgeKind::Redirect(kind)));
                 }
-                BrowserEvent::TabOpened { opener, url } => {
-                    let (o, u) = (g.intern(opener), g.intern(url));
-                    g.parent.insert(u, (o, EdgeKind::WindowOpen));
+                EventRef::TabOpened { opener, url } => {
+                    let (o, u) = (self.intern(opener), self.intern(url));
+                    self.parent.insert(u, (o, EdgeKind::WindowOpen));
                 }
-                BrowserEvent::NavigationStart {
+                EventRef::NavigationStart {
                     url,
                     cause: seacma_browser::NavCause::UserClick,
                     initiator: Some(init),
                 } => {
-                    let (i, u) = (g.intern(init), g.intern(url));
-                    g.parent.insert(u, (i, EdgeKind::UserClick));
+                    let (i, u) = (self.intern(init), self.intern(url));
+                    self.parent.insert(u, (i, EdgeKind::UserClick));
                 }
-                BrowserEvent::ScriptLoaded { page, src } => {
-                    let (p, s) = (g.intern(page), g.intern(src));
-                    g.scripts.entry(p).or_default().push(s);
+                EventRef::ScriptLoaded { page, src } => {
+                    let (p, s) = (self.intern(page), self.intern(src));
+                    self.scripts.entry(p).or_default().push(s);
                 }
                 _ => {}
             }
         }
-        g
+        log.len()
+    }
+
+    /// Empties the graph while keeping its buffers, so one graph (and its
+    /// symbol table, edge map and script lists) can be recycled across
+    /// many per-session builds. A cleared graph is observationally
+    /// identical to `BacktrackGraph::default()`.
+    pub fn clear(&mut self) {
+        self.urls.clear();
+        self.parent.clear();
+        self.scripts.clear();
     }
 
     /// The symbol for `url`, allocating one on first sight.
@@ -154,6 +181,18 @@ impl BacktrackGraph {
             cur = p;
         }
         path
+    }
+
+    /// [`backtrack`](Self::backtrack) without cloning any URL: each step
+    /// borrows the graph's symbol table (`None` for a start URL the log
+    /// never mentioned — the caller already holds that URL). Scans that
+    /// only inspect the path (the milkable-candidate walk) use this to
+    /// stay allocation-free until they pick a step to keep.
+    pub fn backtrack_urls(&self, start: &Url) -> Vec<(Option<&Url>, Option<EdgeKind>)> {
+        self.backtrack_ids(start)
+            .into_iter()
+            .map(|(id, via)| (id.map(|i| self.url(i)), via))
+            .collect()
     }
 
     /// The backward path from `start` to the root (the publisher page the
@@ -387,6 +426,48 @@ mod tests {
         sorted.sort_by_key(|x| x.to_string());
         sorted.dedup();
         assert_eq!(sorted.len(), urls.len(), "no other duplicates either");
+    }
+
+    #[test]
+    fn cleared_graph_rebuilds_identically() {
+        // Recycling a dirty graph must be observationally a fresh build:
+        // same symbol assignment, same edges, same query answers.
+        let log = figure3_log();
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        let full = BacktrackGraph::from_log(&log);
+        let mut recycled = BacktrackGraph::from_log(&log); // dirty it
+        recycled.clear();
+        assert!(recycled.is_empty());
+        let cursor = recycled.extend_from_log(&log, 0);
+        assert_eq!(cursor, log.len());
+        assert_eq!(recycled.len(), full.len());
+        assert_eq!(recycled.backtrack(&attack), full.backtrack(&attack));
+        assert_eq!(recycled.involved_urls(&attack), full.involved_urls(&attack));
+    }
+
+    #[test]
+    fn extend_in_two_stages_equals_one_shot() {
+        // Split the log at every possible point; ingesting the two halves
+        // in order must equal one-shot construction (order-incrementality
+        // is what the per-landing crawl extension leans on).
+        let log = figure3_log();
+        let attack = u("live6nmld10.club", "/landing/idx.php");
+        let full = BacktrackGraph::from_log(&log);
+        for split in 0..=log.len() {
+            let mut g = BacktrackGraph::default();
+            // First stage: a log holding only the first `split` events.
+            let mut head = EventLog::new();
+            for e in log.events().take(split) {
+                head.push(e.to_owned());
+            }
+            let c = g.extend_from_log(&head, 0);
+            assert_eq!(c, split);
+            let c = g.extend_from_log(&log, c);
+            assert_eq!(c, log.len());
+            assert_eq!(g.len(), full.len());
+            assert_eq!(g.backtrack(&attack), full.backtrack(&attack));
+            assert_eq!(g.involved_urls(&attack), full.involved_urls(&attack));
+        }
     }
 
     #[test]

@@ -16,14 +16,20 @@ use crate::backtrack::BacktrackGraph;
 /// Extracts the milking candidate for one attack URL: the nearest upstream
 /// node hosted off the attack page's e2LD. Returns `None` when the whole
 /// recorded chain is on-domain (no upstream indirection observed).
+///
+/// The walk borrows the graph's symbol table and compares e2LDs as host
+/// slices, so the only allocations are the path vector and the returned
+/// candidate itself.
 pub fn candidate(graph: &BacktrackGraph, attack: &Url) -> Option<Url> {
-    let apex = attack.e2ld();
+    let apex = attack.e2ld_ref();
     graph
-        .backtrack(attack)
+        .backtrack_urls(attack)
         .into_iter()
         .skip(1) // the attack URL itself
-        .find(|step| step.url.e2ld() != apex)
-        .map(|step| step.url)
+        .find_map(|(url, _)| {
+            let url = url?;
+            (url.e2ld_ref() != apex).then(|| url.clone())
+        })
 }
 
 /// Extracts candidates for a batch of attack URLs, deduplicated and in

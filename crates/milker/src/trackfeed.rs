@@ -32,33 +32,55 @@ fn rederive<T>(
     outcome: &MilkingOutcome,
     mut make: impl FnMut(&DomainDiscovery, Dhash) -> T,
 ) -> Vec<(SimTime, T)> {
+    // Discoveries arrive in merge-sweep order (time-major across sources),
+    // so replaying them as-is hops between sources and re-warms each
+    // browser's probe state interleaved. Instead: group by source, replay
+    // each source's timeline once in tick order (the per-source
+    // subsequence of a time-sorted feed is itself time-sorted), then emit
+    // in the original discovery order. Every load is a pure function of
+    // (seed, url, client, time), so regrouping cannot change any dhash.
+    let mut by_source: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, d) in outcome.discoveries.iter().enumerate() {
+        by_source.entry(d.source_idx).or_default().push(i);
+    }
+    let mut order: Vec<&Vec<usize>> = by_source.values().collect();
+    order.sort_unstable_by_key(|idxs| idxs[0]);
+
     // One quiet browser per source: configs differ by UA, and reusing a
-    // browser keeps the probe caches warm across discoveries. Clean
-    // renders are shared across all sources through one cache — sources
-    // tracking the same campaign hash against the same clean render.
+    // browser keeps the probe caches warm across that source's
+    // discoveries. Clean renders are shared across all sources through one
+    // cache — sources tracking the same campaign hash against the same
+    // clean render.
     let cache = RenderCache::new();
-    let mut browsers: HashMap<usize, QuietBrowser> = HashMap::new();
+    let mut dhashes: Vec<Option<Dhash>> = vec![None; outcome.discoveries.len()];
+    for idxs in order {
+        let src = &sources[outcome.discoveries[idxs[0]].source_idx];
+        let browser = QuietBrowser::with_cache(
+            world,
+            BrowserConfig::instrumented(src.ua, Vantage::Residential).without_screenshots(),
+            &cache,
+        );
+        for &i in idxs {
+            let d = &outcome.discoveries[i];
+            // The load cannot fail at a tick where the scheduler already
+            // discovered a landing (same pure function); the `else` arm is
+            // only defensive symmetry with the scheduler's own error arm.
+            let Ok((landing_url, page)) = browser.load(&src.url, d.first_seen) else {
+                continue;
+            };
+            debug_assert_eq!(landing_url, d.landing_url, "re-derived landing diverged");
+            dhashes[i] = Some(browser.screenshot_dhash(&landing_url, &page, d.first_seen));
+        }
+    }
+
+    // `make` runs in the outcome's discovery order — the sym variant
+    // interns domains here, and symbol assignment must not depend on the
+    // replay grouping above.
     outcome
         .discoveries
         .iter()
-        .filter_map(|d| {
-            let src = &sources[d.source_idx];
-            let browser = browsers.entry(d.source_idx).or_insert_with(|| {
-                QuietBrowser::with_cache(
-                    world,
-                    BrowserConfig::instrumented(src.ua, Vantage::Residential)
-                        .without_screenshots(),
-                    &cache,
-                )
-            });
-            // The load cannot fail at a tick where the scheduler already
-            // discovered a landing (same pure function); `ok()` is only
-            // defensive symmetry with the scheduler's own error arm.
-            let (landing_url, page) = browser.load(&src.url, d.first_seen).ok()?;
-            debug_assert_eq!(landing_url, d.landing_url, "re-derived landing diverged");
-            let dhash = browser.screenshot_dhash(&landing_url, &page, d.first_seen);
-            Some((d.first_seen, make(d, dhash)))
-        })
+        .zip(dhashes)
+        .filter_map(|(d, dhash)| Some((d.first_seen, make(d, dhash?))))
         .collect()
 }
 

@@ -178,8 +178,9 @@ impl ReportInputs {
 /// `qps` point per kind), `BENCH_detect.json`'s evaluation form
 /// (`{"eval": {split: {precision, recall, ...}}}` → one `precision` and
 /// one `recall` point per split), and `BENCH_e2e.json`'s phase form
-/// (`{"phases": [{name, wall_ms, allocs, ...}]}` → one `wall_ms` point
-/// per phase, plus an `allocs` point when the run counted allocations).
+/// (`{"phases": [{name, wall_ms, allocs, points, ...}]}` → one `wall_ms`
+/// point per phase, plus `allocs` and `allocs_per_point` points when the
+/// run counted allocations).
 /// Unreadable files are skipped — a report must render from whatever
 /// artifacts exist.
 pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
@@ -262,6 +263,20 @@ pub fn load_bench_dir(dir: &Path) -> Vec<BenchPoint> {
                                 metric: "allocs".to_string(),
                                 value: allocs,
                             });
+                            // The per-point quotient is the hot-path diet
+                            // number the allocation work optimizes — it
+                            // stays comparable when the phase's point
+                            // count changes between runs.
+                            if let Some(n) = p.get("points").and_then(Value::as_f64) {
+                                if n > 0.0 {
+                                    points.push(BenchPoint {
+                                        series: series.clone(),
+                                        name: phase.to_string(),
+                                        metric: "allocs_per_point".to_string(),
+                                        value: allocs / n,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -353,6 +368,7 @@ mod tests {
                 ("detect", "campaign_hit", "qps", 150249.0),
                 ("e2e", "crawl", "wall_ms", 120.5),
                 ("e2e", "crawl", "allocs", 4200.0),
+                ("e2e", "crawl", "allocs_per_point", 420.0),
                 ("e2e", "cluster", "wall_ms", 8.25),
                 ("query", "hit", "qps", 9000.0),
             ],

@@ -20,27 +20,68 @@ const MULTI_LABEL_SUFFIXES: &[&str] = &[
 /// `a.b.example.co.uk` → `example.co.uk`; `x.evil.club` → `evil.club`;
 /// a bare suffix (`co.uk`, `com`) or the empty string is returned unchanged.
 pub fn e2ld(host: &str) -> String {
-    let host = host.trim_end_matches('.').to_ascii_lowercase();
-    let labels: Vec<&str> = host.split('.').collect();
-    if labels.len() <= 1 {
-        return host;
+    if is_normalized(host) {
+        // Hot path: every simulator-generated host is already lowercase
+        // with no trailing dot, so the e2LD is a plain suffix slice and
+        // the single allocation is the owned return value.
+        return e2ld_ref(host).to_string();
+    }
+    let norm = host.trim_end_matches('.').to_ascii_lowercase();
+    let start = norm.len() - e2ld_ref(&norm).len();
+    if start == 0 {
+        norm
+    } else {
+        norm[start..].to_string()
+    }
+}
+
+/// [`e2ld`] without the allocation: the e2LD as a suffix slice of `host`.
+///
+/// Skips the normalization `e2ld` applies, so the two agree exactly on
+/// hosts that are already lowercase without a trailing dot — which is
+/// every host the simulated web generates (pinned by test). Callers with
+/// arbitrary, possibly mixed-case input want [`e2ld`].
+pub fn e2ld_ref(host: &str) -> &str {
+    let host = host.trim_end_matches('.');
+    if label_start(host, 2).is_none() {
+        return host; // zero or one label: the host is its own e2LD.
     }
     // Longest-match against multi-label suffixes.
-    for take in (2..=3.min(labels.len())).rev() {
-        let suffix = labels[labels.len() - take..].join(".");
-        if MULTI_LABEL_SUFFIXES.contains(&suffix.as_str()) {
-            return if labels.len() > take {
-                labels[labels.len() - take - 1..].join(".")
-            } else {
-                suffix
-            };
+    for take in [3usize, 2] {
+        if let Some(s) = label_start(host, take) {
+            if MULTI_LABEL_SUFFIXES.contains(&&host[s..]) {
+                return label_start(host, take + 1).map_or(host, |s| &host[s..]);
+            }
         }
     }
-    labels[labels.len() - 2..].join(".")
+    let s = label_start(host, 2).expect("host has at least two labels");
+    &host[s..]
+}
+
+/// Byte index where the `n`-th label counted from the end begins, or
+/// `None` when `host` has fewer than `n` labels (`n ≥ 1`).
+fn label_start(host: &str, n: usize) -> Option<usize> {
+    let mut end = host.len();
+    for i in 0..n {
+        match host[..end].rfind('.') {
+            Some(dot) => end = dot,
+            None => return (i + 1 == n).then_some(0),
+        }
+    }
+    Some(end + 1)
+}
+
+/// Whether `host` is already in `e2ld`'s normalized form (lowercase, no
+/// trailing dot), i.e. whether [`e2ld_ref`] agrees with [`e2ld`] on it.
+fn is_normalized(host: &str) -> bool {
+    !host.ends_with('.') && !host.bytes().any(|b| b.is_ascii_uppercase())
 }
 
 /// True if `host` equals or is a subdomain of `apex`'s e2LD.
 pub fn same_site(host: &str, apex: &str) -> bool {
+    if is_normalized(host) && is_normalized(apex) {
+        return e2ld_ref(host) == e2ld_ref(apex);
+    }
     e2ld(host) == e2ld(apex)
 }
 
@@ -73,6 +114,30 @@ mod tests {
     #[test]
     fn case_and_trailing_dot_normalized() {
         assert_eq!(e2ld("WWW.Evil.CLUB."), "evil.club");
+    }
+
+    #[test]
+    fn e2ld_ref_matches_e2ld_on_normalized_hosts() {
+        // The zero-alloc slice variant must agree with the allocating one
+        // on every normalized host shape the extractor distinguishes.
+        for h in [
+            "evil.club",
+            "www.evil.club",
+            "a.b.c.evil.club",
+            "shop.example.co.uk",
+            "example.co.uk",
+            "deep.sub.site.com.br",
+            "co.uk",
+            "com",
+            "",
+            "localhost",
+            "x.com.ru",
+            "srv7.adnet12.com",
+        ] {
+            assert_eq!(e2ld_ref(h), e2ld(h), "diverged on {h:?}");
+        }
+        // Trailing dots are trimmed by both.
+        assert_eq!(e2ld_ref("www.evil.club."), "evil.club");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod world;
 pub use adnet::{AdNetworkId, AdNetworkSpec};
 pub use campaign::{CampaignId, SeCampaign, SeCategory};
 pub use client::{ClientProfile, OsClass, UaProfile, Vantage};
-pub use domain::e2ld;
+pub use domain::{e2ld, e2ld_ref};
 pub use host::{HostResponse, LiteResponse, RedirectKind};
 pub use page::{ClickAction, Element, ElementKind, LockTactic, Page};
 pub use payload::{FileFormat, FilePayload};

@@ -55,9 +55,16 @@ impl Url {
         e2ld(&self.host)
     }
 
+    /// [`e2ld`](Self::e2ld) as a borrowed suffix of the host — no
+    /// allocation. Exact for every URL built through
+    /// [`http`](Self::http), whose hosts are lowercased on construction.
+    pub fn e2ld_ref(&self) -> &str {
+        crate::domain::e2ld_ref(&self.host)
+    }
+
     /// True if both URLs share an e2LD.
     pub fn same_site(&self, other: &Url) -> bool {
-        self.e2ld() == other.e2ld()
+        crate::domain::same_site(&self.host, &other.host)
     }
 
     /// Path plus `?query` when present.

@@ -12,7 +12,7 @@ use seacma_util::{impl_json_enum, impl_json_struct};
 
 use crate::adnet::{standard_networks, AdNetworkId, AdNetworkSpec};
 use crate::campaign::{CampaignId, SeCampaign, SeCategory};
-use crate::client::ClientProfile;
+use crate::client::{ClientProfile, UaProfile};
 use crate::det::{det_bool, det_f64, det_hash, det_range, det_weighted, str_word};
 use crate::host::{HostResponse, LiteResponse, RedirectKind};
 use crate::names::{common_domain, gibberish_label, throwaway_domain};
@@ -118,6 +118,12 @@ pub struct World {
     confounder_domains: Vec<String>,
     /// Ad-exchange hosts (syndication hop between network and TDS).
     exchange_domains: Vec<String>,
+    /// Per-UA SE inventory columns, indexed by [`UaProfile::index`]:
+    /// the campaign indices whose category targets that UA, with their
+    /// serving weights in the same order. Precomputed at generation so
+    /// the per-click campaign draw borrows two slices instead of
+    /// filtering and re-weighting the whole inventory per ad click.
+    se_inventory: Vec<(Vec<u32>, Vec<f64>)>,
 }
 
 impl World {
@@ -295,6 +301,38 @@ impl World {
             })
             .collect();
 
+        // --- per-UA SE inventory columns ---------------------------------------
+        // Exactly the sequence `pick_campaign` used to build per click:
+        // campaigns filtered by category targeting in inventory order,
+        // weighted by traffic share × weight / scaled category size. The
+        // weights are computed once here with the same expression, so the
+        // weighted draw consumes bit-identical `f64`s.
+        let se_inventory: Vec<(Vec<u32>, Vec<f64>)> = UaProfile::ALL
+            .iter()
+            .map(|&ua| {
+                let idx: Vec<u32> = campaigns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.category.targets(ua))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let weights: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| {
+                        let c = &campaigns[i as usize];
+                        let cat_n =
+                            c.category.paper_campaign_count() as f64 * config.campaign_scale;
+                        c.category.traffic_share() * c.weight / cat_n.max(1.0)
+                    })
+                    .collect();
+                (idx, weights)
+            })
+            .collect();
+        debug_assert!(
+            UaProfile::ALL.iter().enumerate().all(|(i, ua)| ua.index() as usize == i),
+            "inventory columns are indexed by UaProfile::index"
+        );
+
         World {
             config,
             networks,
@@ -310,6 +348,7 @@ impl World {
             confounder_by_domain,
             confounder_domains,
             exchange_domains,
+            se_inventory,
         }
     }
 
@@ -459,11 +498,42 @@ impl World {
         } else {
             FOREVER
         };
-        let uw = url.det_word();
-        if det_bool(&[self.seed(), 0xE44, uw, t.minutes() / 30], self.config.error_rate) {
+        if self.transient_error(url, t) {
             return (LiteResponse::Doc, err_h); // transient blank load
         }
+        let (resp, stable_h) = self.fetch_lite_stable(url, client, t);
+        (resp, err_h.min(stable_h))
+    }
 
+    /// Whether the hosting layer's transient-failure draw fires for a
+    /// document fetch of `url` at `t` — the blank-load branch every
+    /// [`fetch`](Self::fetch) runs first. Exposed so repeat probers can
+    /// re-check only this draw (it re-rolls on 30-minute buckets) against
+    /// a memoized redirect chain whose stable classification
+    /// ([`fetch_lite_stable`](Self::fetch_lite_stable)) is still valid.
+    pub fn transient_error(&self, url: &Url, t: SimTime) -> bool {
+        det_bool(
+            &[self.seed(), 0xE44, url.det_word(), t.minutes() / 30],
+            self.config.error_rate,
+        )
+    }
+
+    /// [`fetch_lite`](Self::fetch_lite) **as if the transient-error draw
+    /// never fired**, plus the validity horizon of that error-free view:
+    /// classification and redirect target are guaranteed unchanged for
+    /// every `t' ∈ [t, h)` at which no transient error fires. Combined
+    /// with [`transient_error`](Self::transient_error) this factors
+    /// `fetch_lite_ttl` into its long-lived part (ad-inventory buckets,
+    /// campaign epochs — hours) and its fast-rolling part (the 30-minute
+    /// error draw), so a prober can memoize the chain on the former and
+    /// re-roll only the latter.
+    pub fn fetch_lite_stable(
+        &self,
+        url: &Url,
+        client: &ClientProfile,
+        t: SimTime,
+    ) -> (LiteResponse, SimTime) {
+        const FOREVER: SimTime = SimTime(u64::MAX);
         let (resp, selector_h) = if self.pub_by_domain.contains_key(&url.host) {
             (LiteResponse::Doc, FOREVER)
         } else if let Some(&nid) = self.net_by_code_domain.get(&url.host) {
@@ -507,7 +577,30 @@ impl World {
             },
             _ => FOREVER,
         };
-        (resp, err_h.min(selector_h).min(target_h))
+        (resp, selector_h.min(target_h))
+    }
+
+    /// Conservative content-validity horizon for a **direct publisher
+    /// load**: when `url`'s host is a publisher domain, returns `h` such
+    /// that `fetch(url, client, t')` is bit-identical to
+    /// `fetch(url, client, t)` for every client and every `t' ∈ [t, h)`.
+    /// Publisher hosts always answer a fetch with a document (the content
+    /// page, or the transient blank page when the error draw fires), so
+    /// that one response determines an entire zero-hop page load —
+    /// repeat visitors (the crawler reloads each publisher between ad
+    /// interactions) can replay the previous load inside the window.
+    ///
+    /// Publisher serving varies with time only through the ad networks'
+    /// daily slot rotation (`t.days()` in the handler) and the 30-minute
+    /// transient-error re-roll in [`fetch`](Self::fetch); day boundaries
+    /// are themselves 30-minute boundaries, so the next 30-minute
+    /// boundary bounds both. Non-publisher URLs return `None` — no
+    /// validity is claimed for them. Soundness is pinned by a property
+    /// test alongside the `fetch_lite_ttl` horizon's.
+    pub fn publisher_content_horizon(&self, url: &Url, t: SimTime) -> Option<SimTime> {
+        self.pub_by_domain
+            .contains_key(&url.host)
+            .then(|| SimTime((t.minutes() / 30 + 1) * 30))
     }
 
     /// The most recent epoch within the parking grace window in which
@@ -615,8 +708,10 @@ impl World {
         // Ad rotation: the same click URL serves different inventory over
         // time (2-hour buckets). This is why upstream TDS URLs milk
         // reliably while re-querying an ad network's click URL does not.
-        let mut words = vec![seed, 0xC11C_0, u64::from(nid.0), qw, t.minutes() / 120];
-        words.extend_from_slice(&client.det_words());
+        // Every draw below salts this fixed-width base — stack arrays,
+        // since this runs once per simulated ad click.
+        let [cw0, cw1, cw2] = client.det_words();
+        let words = [seed, 0xC11C_0, u64::from(nid.0), qw, t.minutes() / 120, cw0, cw1, cw2];
 
         let serves_se = n.serves_se_to(client) && det_bool(&words, n.se_rate);
         if serves_se {
@@ -648,10 +743,10 @@ impl World {
         // from a freshly-salted hash — reusing the branch-selection hash
         // for the pick would confine picks to the slice of hash space
         // that survived the branch.
-        words.push(0xBE19);
-        if det_bool(&words, self.config.confounder_rate) {
-            let mut pick = words.clone();
-            pick.push(0xC0F);
+        let [w0, w1, w2, w3, w4, w5, w6, w7] = words;
+        let benign = [w0, w1, w2, w3, w4, w5, w6, w7, 0xBE19];
+        if det_bool(&benign, self.config.confounder_rate) {
+            let pick = [w0, w1, w2, w3, w4, w5, w6, w7, 0xBE19, 0xC0F];
             let d = &self.confounder_domains
                 [det_range(&pick, self.confounder_domains.len() as u64) as usize];
             return HostResponse::Redirect {
@@ -659,8 +754,7 @@ impl World {
                 kind: RedirectKind::Http302,
             };
         }
-        let mut pick = words.clone();
-        pick.push(0xADF);
+        let pick = [w0, w1, w2, w3, w4, w5, w6, w7, 0xBE19, 0xADF];
         let adv = det_weighted(&pick, &self.advertiser_weights);
         HostResponse::Redirect {
             to: Url::http(self.advertiser_domains[adv].clone(), "/offer"),
@@ -672,31 +766,25 @@ impl World {
     /// traffic share × campaign weight. Returns `None` when no campaign
     /// targets this platform (e.g. nothing may remain for some desktop
     /// draws in a lottery-heavy slice).
+    ///
+    /// The eligibility filter and weight column depend only on the UA, so
+    /// both are precomputed per UA at generation ([`World::generate`]) and
+    /// borrowed here — the per-click cost is one salted hash and a
+    /// weighted scan, no allocation.
     fn pick_campaign(
         &self,
         n: &AdNetworkSpec,
         client: &ClientProfile,
-        words: &[u64],
+        words: &[u64; 8],
     ) -> Option<&SeCampaign> {
         let _ = n; // all networks draw from the global campaign inventory
-        let eligible: Vec<&SeCampaign> = self
-            .campaigns
-            .iter()
-            .filter(|c| c.category.targets(client.ua))
-            .collect();
+        let (eligible, weights) = &self.se_inventory[client.ua.index() as usize];
         if eligible.is_empty() {
             return None;
         }
-        let weights: Vec<f64> = eligible
-            .iter()
-            .map(|c| {
-                let cat_n = c.category.paper_campaign_count() as f64 * self.config.campaign_scale;
-                c.category.traffic_share() * c.weight / cat_n.max(1.0)
-            })
-            .collect();
-        let mut w = words.to_vec();
-        w.push(0x91C4);
-        Some(eligible[det_weighted(&w, &weights)])
+        let [w0, w1, w2, w3, w4, w5, w6, w7] = *words;
+        let w = [w0, w1, w2, w3, w4, w5, w6, w7, 0x91C4];
+        Some(&self.campaigns[eligible[det_weighted(&w, weights)] as usize])
     }
 
     /// Resolves an exchange bid-response URL: decode the winning campaign

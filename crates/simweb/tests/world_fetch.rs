@@ -448,6 +448,12 @@ fn fetch_lite_ttl_horizon_is_sound() {
         let url = rng.pick(&bag);
         let t = SimTime(rng.below(40 * 24 * 60));
         let (resp, h) = w.fetch_lite_ttl(url, &client, t);
+        // The publisher horizon claims full-response identity; here only
+        // its None side is in scope (the Some side has a dedicated test
+        // below).
+        if w.publisher_by_domain(&url.host).is_none() {
+            assert_eq!(w.publisher_content_horizon(url, t), None);
+        }
         assert_eq!(resp, w.fetch_lite(url, &client, t), "ttl variant must match fetch_lite");
         assert!(h > t, "horizon must lie strictly in the future");
         // Sample instants inside the window, biased toward its edges.
@@ -461,6 +467,73 @@ fn fetch_lite_ttl_horizon_is_sound() {
                 w.fetch_lite(url, &client, probe),
                 resp,
                 "classification changed inside [{t}, {h}) at {probe} for {url}"
+            );
+        }
+        // The stable factoring: `fetch_lite_ttl` is `fetch_lite_stable`
+        // overridden by the transient-error draw, and the stable view
+        // holds for its own (longer) horizon at every error-free instant.
+        let (sresp, sh) = w.fetch_lite_stable(url, &client, t);
+        assert!(sh >= h, "stable horizon can only be longer");
+        if w.transient_error(url, t) {
+            assert_eq!(resp, seacma_simweb::LiteResponse::Doc);
+        } else {
+            assert_eq!(resp, sresp, "error-free ttl must equal the stable view");
+        }
+        let sspan = sh.minutes().saturating_sub(t.minutes()).min(30 * 24 * 60);
+        for probe in
+            [t, SimTime(t.minutes() + rng.below(sspan.max(1))), SimTime(t.minutes() + sspan - 1)]
+        {
+            assert_eq!(
+                w.fetch_lite_stable(url, &client, probe).0,
+                sresp,
+                "stable view changed inside [{t}, {sh}) at {probe} for {url}"
+            );
+        }
+    });
+}
+
+/// `publisher_content_horizon` promises bit-identical **full** responses
+/// (document included) across its window, for every client — the
+/// contract the browser's memoized publisher reload leans on. Sampled
+/// in a world with transient errors so the 30-minute re-roll is live,
+/// with probes biased toward the window edges and one probe just past
+/// the horizon to show the bound is tight where a boundary flips state.
+#[test]
+fn publisher_content_horizon_is_sound() {
+    let w = World::generate(WorldConfig {
+        seed: 17,
+        n_publishers: 120,
+        n_hidden_only_publishers: 10,
+        n_advertisers: 20,
+        campaign_scale: 0.5,
+        error_rate: 0.08,
+        ..Default::default()
+    });
+    let clients = [
+        ClientProfile::stealthy(UaProfile::ChromeMac, Vantage::Residential),
+        ClientProfile::stealthy(UaProfile::ChromeAndroid, Vantage::Cloud),
+    ];
+
+    seacma_util::forall!(300, |rng| {
+        let p = &w.publishers()[rng.below(w.publishers().len() as u64) as usize];
+        let url = p.url();
+        let t = SimTime(rng.below(40 * 24 * 60));
+        let h = w
+            .publisher_content_horizon(&url, t)
+            .expect("publisher URLs always get a horizon");
+        assert!(h > t, "horizon must lie strictly in the future");
+        let client = rng.pick(&clients);
+        let reference = w.fetch(&url, client, t);
+        assert!(
+            matches!(reference, HostResponse::Page(_)),
+            "publisher hosts always serve a document"
+        );
+        let span = h.minutes() - t.minutes();
+        for probe in [t, SimTime(t.minutes() + rng.below(span)), SimTime(h.minutes() - 1)] {
+            assert_eq!(
+                w.fetch(&url, client, probe),
+                reference,
+                "response changed inside [{t}, {h}) at {probe} for {url}"
             );
         }
     });

@@ -57,10 +57,16 @@ crate::impl_json_newtype!(Sym);
 
 /// The generic append-only interner: dense `u32` ids in first-seen order.
 ///
-/// Stores each distinct value twice (once in the id map, once in the
-/// resolve column) — the classic space/speed trade that still wins big
-/// when values repeat, which is exactly the workload (70k visits landing
-/// on a few hundred distinct e2LDs).
+/// Stores each distinct value exactly **once**, in the resolve column.
+/// Lookup goes through a hash-indexed chain: `heads` maps a value's hash
+/// to the most recently interned id with that hash, and `next[id]` links
+/// ids sharing a hash (collision chain, walked with real equality
+/// checks). A miss therefore costs a single `to_owned`, not the two full
+/// clones a `HashMap<T, u32>` index would — which is exactly what the
+/// crawl hot path pays per distinct URL per event log. The hasher is the
+/// std `DefaultHasher` with its fixed default keys, so nothing about the
+/// structure (let alone the observable first-seen order) depends on
+/// process randomness.
 ///
 /// ```
 /// use seacma_util::sym::Interner;
@@ -75,20 +81,34 @@ crate::impl_json_newtype!(Sym);
 #[derive(Debug, Clone)]
 pub struct Interner<T> {
     items: Vec<T>,
-    ids: HashMap<T, u32>,
+    /// value hash → id of the last item interned with that hash.
+    heads: HashMap<u64, u32>,
+    /// `next[id]` → previous id sharing `id`'s hash, or `NO_ID`.
+    next: Vec<u32>,
+}
+
+/// Chain terminator for [`Interner::next`] (also the id-space ceiling: an
+/// interner holds fewer than `u32::MAX` values).
+const NO_ID: u32 = u32::MAX;
+
+fn hash_of<Q: Hash + ?Sized>(q: &Q) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    q.hash(&mut h);
+    h.finish()
 }
 
 // Manual impl: an empty interner needs no `T: Default`.
 impl<T> Default for Interner<T> {
     fn default() -> Self {
-        Interner { items: Vec::new(), ids: HashMap::new() }
+        Interner { items: Vec::new(), heads: HashMap::new(), next: Vec::new() }
     }
 }
 
 impl<T: Eq + Hash + Clone> Interner<T> {
     /// An empty interner.
     pub fn new() -> Self {
-        Interner { items: Vec::new(), ids: HashMap::new() }
+        Self::default()
     }
 
     /// Interns a value, returning its stable dense id. The first call for
@@ -98,14 +118,33 @@ impl<T: Eq + Hash + Clone> Interner<T> {
         T: Borrow<Q>,
         Q: Hash + Eq + ToOwned<Owned = T> + ?Sized,
     {
-        if let Some(&id) = self.ids.get(item) {
+        let h = hash_of(item);
+        if let Some(id) = self.find(h, item) {
             return id;
         }
         let id = self.items.len() as u32;
-        let owned = item.to_owned();
-        self.items.push(owned.clone());
-        self.ids.insert(owned, id);
+        debug_assert!(id < NO_ID, "interner id space exhausted");
+        self.items.push(item.to_owned());
+        self.next.push(self.heads.insert(h, id).unwrap_or(NO_ID));
         id
+    }
+
+    /// Walks the collision chain for hash `h` looking for `item`. The
+    /// `Borrow` contract guarantees `T` and `Q` hash and compare alike,
+    /// so probing with the borrowed form finds the owned one.
+    fn find<Q>(&self, h: u64, item: &Q) -> Option<u32>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        let mut cur = self.heads.get(&h).copied().unwrap_or(NO_ID);
+        while cur != NO_ID {
+            if self.items[cur as usize].borrow() == item {
+                return Some(cur);
+            }
+            cur = self.next[cur as usize];
+        }
+        None
     }
 
     /// The id a value already holds, without interning it.
@@ -114,7 +153,7 @@ impl<T: Eq + Hash + Clone> Interner<T> {
         T: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        self.ids.get(item).copied()
+        self.find(hash_of(item), item)
     }
 
     /// The value behind an id. Panics on an id this interner never
@@ -136,6 +175,20 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     /// All interned values, in first-seen (id) order.
     pub fn items(&self) -> &[T] {
         &self.items
+    }
+
+    /// Forgets every interned value while keeping the backing capacity.
+    ///
+    /// This is the scratch-reuse escape hatch for interners whose
+    /// lifetime is one unit of work (a browser session's event log): the
+    /// append-only contract holds *within* a generation, and `clear`
+    /// starts a new one. Ids assigned after a clear restart from 0 and
+    /// are a pure function of the post-clear intern sequence, so a
+    /// cleared interner is observationally identical to a fresh one.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.heads.clear();
+        self.next.clear();
     }
 }
 

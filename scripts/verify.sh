@@ -36,7 +36,10 @@ done
 # aborts unless the symbol-path tracker is byte-identical to the
 # string-based reference; on top of that, each phase's allocation count
 # (exact and reproducible at workers=1) must not exceed the checked-in
-# baseline by more than 10%.
+# baseline by more than 10%, and the summed phase wall time must stay
+# under a generous sanity ceiling (the quick run takes ~0.2 s on a dev
+# box; 10 s catches an accidental paper-scale config or a pathological
+# slowdown without flaking on slow CI hardware).
 e2e=$(mktemp)
 cargo run --release --offline -p seacma-bench --features count-alloc \
     --bin e2e_scaling -- --quick --json "$e2e"
@@ -45,6 +48,10 @@ awk '
         if (match($0, /"name": *"[^"]*"/)) {
             name = substr($0, RSTART, RLENGTH)
             sub(/.*: *"/, "", name); sub(/"$/, "", name)
+        }
+        if (FNR != NR && match($0, /"wall_ms": *[0-9.]+/)) {
+            w = substr($0, RSTART, RLENGTH)
+            sub(/.*: */, "", w); wall += w
         }
         if (match($0, /"allocs": *[0-9]+/)) {
             a = substr($0, RSTART, RLENGTH)
@@ -56,7 +63,11 @@ awk '
             } else { printf "alloc gate %-14s %8d (baseline %8d) ok\n", name, a, base[name] }
         }
     }
-    END { exit bad }
+    END {
+        if (wall > 10000) { printf "e2e wall-time sanity: %.1f ms > 10000 ms\n", wall; bad = 1 }
+        else { printf "e2e wall-time sanity: %.1f ms across all phases (< 10 s) ok\n", wall }
+        exit bad
+    }
 ' scripts/e2e_alloc_baseline.json "$e2e"
 rm -f "$e2e"
 echo "e2e smoke: symbol path byte-identical, per-phase allocs within baseline"

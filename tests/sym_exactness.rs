@@ -7,10 +7,14 @@
 //! pipeline's numbers.
 
 use seacma_core::blacklist::VirusTotal;
-use seacma_core::simweb::{SimDuration, SimTime, HOUR};
+use seacma_core::browser::{BrowserConfig, QuietBrowser, RenderCache};
+use seacma_core::crawler::{visit_publisher, visit_publisher_reusing, CrawlPolicy, VisitScratch};
+use seacma_core::milker::trackfeed::{discovery_points, epoch_batches};
+use seacma_core::simweb::{SimDuration, SimTime, UaProfile, Vantage, HOUR};
 use seacma_core::tracker::CampaignTracker;
 use seacma_core::vision::cluster::{cluster_screenshots_parallel, ScreenshotPoint};
 use seacma_core::{Pipeline, PipelineConfig};
+use seacma_util::sym::SymbolArena;
 use seacma_util::{forall, json};
 
 /// A pipeline small enough to discover + track + milk inside a property
@@ -60,6 +64,140 @@ fn discovery_boundaries_match_string_reference_at_any_worker_count() {
             json::to_string(&string_clusters),
             "sym-column clustering diverged from the string reference"
         );
+    });
+}
+
+#[test]
+fn memoized_crawl_visits_match_uncached_reference_in_any_job_order() {
+    // The crawl hot path stacks three transparencies: a shared clean-render
+    // cache, per-visit reload memoization, and worker-scratch reuse of the
+    // event log / backtracking graph. None of them may leave a byte behind:
+    // a random job order driven through the full fast path must produce
+    // visit records and arena symbol assignment identical to fresh-state,
+    // cache-free visits of the same jobs.
+    forall!(5, |rng| {
+        let seed = rng.range_u64(1, 1 << 40);
+        let pipeline = Pipeline::new(tiny_config(seed, 1));
+        let world = pipeline.world();
+
+        // A random job order over a random slice of the publisher list —
+        // the farm's per-worker streams are subsequences of exactly this
+        // shape.
+        let mut jobs: Vec<usize> = (0..world.publishers().len()).collect();
+        for i in (1..jobs.len()).rev() {
+            jobs.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        jobs.truncate(40);
+
+        let cache = RenderCache::new();
+        let mut scratch = VisitScratch::new();
+        let mut arena_fast = SymbolArena::new();
+        let mut arena_ref = SymbolArena::new();
+        let config = BrowserConfig::instrumented(UaProfile::ChromeMac, Vantage::Residential);
+        for (i, &j) in jobs.iter().enumerate() {
+            let publisher = &world.publishers()[j];
+            let start = SimTime(200 + (i as u64 % 7) * 30);
+            let fast = visit_publisher_reusing(
+                world,
+                publisher,
+                config,
+                start,
+                CrawlPolicy::default(),
+                Some(&cache),
+                &mut arena_fast,
+                &mut scratch,
+            );
+            let reference = visit_publisher(
+                world,
+                publisher,
+                config,
+                start,
+                CrawlPolicy::default(),
+                None,
+                &mut arena_ref,
+            );
+            assert_eq!(fast, reference, "memoized visit diverged at {}", publisher.domain);
+        }
+        assert_eq!(
+            arena_fast.strings().to_vec(),
+            arena_ref.strings().to_vec(),
+            "arena symbol assignment diverged under scratch reuse"
+        );
+    });
+}
+
+#[test]
+fn batched_trackfeed_rederivation_matches_per_discovery_reference() {
+    // The milker trackfeed groups discoveries by source and replays each
+    // source's timeline through one warm browser pass. The reference is
+    // the obvious slow shape: a fresh browser and a fresh render cache per
+    // discovery, replayed in the outcome's own merge-sweep order. Both
+    // must produce the same feed byte for byte, and bucketing the feed
+    // into a random epoch split must preserve it exactly.
+    forall!(3, |rng| {
+        let seed = rng.range_u64(1, 1 << 40);
+        let mut config = tiny_config(seed, rng.range(1, 4));
+        config.milking.duration = SimDuration::from_days(rng.range_u64(1, 4));
+        let days = config
+            .milking
+            .duration
+            .minutes()
+            .div_ceil(seacma_core::simweb::DAY.minutes())
+            .max(1);
+        let pipeline = Pipeline::new(config);
+        let discovery = pipeline.discover();
+        let mut fast =
+            CampaignTracker::with_arena(pipeline.tracker_config(), discovery.arena.clone());
+        for sb in pipeline.crawl_epoch_sym_batches(&discovery) {
+            for (dhash, sym) in sb {
+                fast.ingest_sym(dhash, sym);
+            }
+            fast.end_epoch();
+        }
+        let crawl_end = discovery
+            .crawl
+            .visits
+            .iter()
+            .map(|v| v.started)
+            .max()
+            .unwrap_or(SimTime::EPOCH)
+            + HOUR;
+        let sources = pipeline.milking_sources(&discovery, &fast, crawl_end);
+        let mut vt = VirusTotal::new(pipeline.world().seed() ^ 0x7A);
+        let milking = pipeline.milk(&sources, crawl_end, &mut vt);
+
+        let batched = discovery_points(pipeline.world(), &sources, &milking);
+        let naive: Vec<(SimTime, ScreenshotPoint)> = milking
+            .discoveries
+            .iter()
+            .filter_map(|d| {
+                let src = &sources[d.source_idx];
+                let cache = RenderCache::new();
+                let browser = QuietBrowser::with_cache(
+                    pipeline.world(),
+                    BrowserConfig::instrumented(src.ua, Vantage::Residential)
+                        .without_screenshots(),
+                    &cache,
+                );
+                let (url, page) = browser.load(&src.url, d.first_seen).ok()?;
+                let dhash = browser.screenshot_dhash(&url, &page, d.first_seen);
+                Some((d.first_seen, ScreenshotPoint::new(dhash, d.domain.clone())))
+            })
+            .collect();
+        assert_eq!(
+            json::to_string(&batched.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>()),
+            json::to_string(&naive.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>()),
+            "batched re-derivation diverged from the per-discovery reference"
+        );
+        assert!(batched.iter().zip(&naive).all(|(a, b)| a.0 == b.0));
+
+        // Random epoch split: concatenated buckets reproduce the feed.
+        let rejoined: Vec<ScreenshotPoint> = epoch_batches(&batched, crawl_end, days)
+            .into_iter()
+            .flatten()
+            .collect();
+        let flat: Vec<ScreenshotPoint> = batched.into_iter().map(|(_, p)| p).collect();
+        assert_eq!(rejoined, flat, "epoch bucketing must preserve the feed");
     });
 }
 
